@@ -1,0 +1,45 @@
+// Design-choice ablation: the sequential model of the individual mobility
+// layer (Eq. 2). The paper allows LSTM or Transformer encoders; this bench
+// compares both instantiations of the Seq2Seq backbone under vanilla and
+// AdapTraj training (target SDD).
+
+#include "bench_util.h"
+
+namespace adaptraj {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation C", "individual mobility encoder (Eq. 2): LSTM vs Transformer");
+  BenchScales scales = GetScales();
+  scales.epochs = scales.epochs * 2 / 3;
+  auto dgd = data::BuildDomainGeneralizationData(SourcesExcluding(sim::Domain::kSdd),
+                                                 sim::Domain::kSdd,
+                                                 MakeCorpusConfig(scales));
+
+  eval::TablePrinter table({"Encoder", "Method", "ADE", "FDE"}, {13, 12, 8, 8});
+  table.PrintHeader();
+  for (auto encoder : {models::EncoderKind::kLstm, models::EncoderKind::kTransformer}) {
+    for (auto method : {eval::MethodKind::kVanilla, eval::MethodKind::kAdapTraj}) {
+      auto cfg = MakeExperimentConfig(models::BackboneKind::kSeq2Seq, method, scales);
+      cfg.backbone_config.encoder = encoder;
+      cfg.backbone_config.transformer_blocks = 1;
+      auto r = eval::RunExperiment(dgd, cfg);
+      table.PrintRow({encoder == models::EncoderKind::kLstm ? "LSTM" : "Transformer",
+                      eval::MethodKindName(method), eval::FormatFloat(r.target.ade),
+                      eval::FormatFloat(r.target.fde)});
+    }
+    table.PrintSeparator();
+  }
+  std::printf("\nBoth encoders are drop-in instantiations of Eq. 2; the AdapTraj\n"
+              "framework applies unchanged on top of either.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptraj
+
+int main() {
+  adaptraj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3: AdapTraj ADE on SDD across source-domain configurations, for
+// both backbones. The paper's bars: {SDD (i.i.d.)}, {ETH&UCY},
+// {ETH&UCY, L-CAS}, {ETH&UCY, L-CAS, SYI}.
+
+#include "bench_util.h"
+
+namespace adaptraj {
+namespace bench {
+namespace {
+
+struct Bar {
+  const char* label;
+  std::vector<sim::Domain> domains;
+};
+
+void Run() {
+  PrintBanner("Figure 3", "AdapTraj ADE vs number of source domains (SDD target)");
+  const BenchScales scales = GetScales();
+  const std::vector<Bar> bars = {
+      {"SDD (i.i.d.)", {sim::Domain::kSdd}},
+      {"ETH-UCY", {sim::Domain::kEthUcy}},
+      {"ETH-UCY,L-CAS", {sim::Domain::kEthUcy, sim::Domain::kLcas}},
+      {"ETH-UCY,L-CAS,SYI",
+       {sim::Domain::kEthUcy, sim::Domain::kLcas, sim::Domain::kSyi}},
+  };
+
+  eval::TablePrinter table({"Model", "Source Domains", "ADE", "FDE"}, {18, 20, 8, 8});
+  table.PrintHeader();
+  for (auto backbone : {models::BackboneKind::kLbebm, models::BackboneKind::kPecnet}) {
+    std::vector<float> ades;
+    for (const Bar& bar : bars) {
+      auto dgd = data::BuildDomainGeneralizationData(bar.domains, sim::Domain::kSdd,
+                                                     MakeCorpusConfig(scales));
+      auto cfg = MakeExperimentConfig(backbone, eval::MethodKind::kAdapTraj, scales);
+      auto r = eval::RunExperiment(dgd, cfg);
+      ades.push_back(r.target.ade);
+      table.PrintRow({models::BackboneKindName(backbone) + "-AdapTraj", bar.label,
+                      eval::FormatFloat(r.target.ade), eval::FormatFloat(r.target.fde)});
+    }
+    table.PrintSeparator();
+    // Render the figure's bars in ASCII (scaled to the worst ADE).
+    float worst = 0.0f;
+    for (float a : ades) worst = std::max(worst, a);
+    for (size_t i = 0; i < bars.size(); ++i) {
+      const int len = worst > 0.0f ? static_cast<int>(40.0f * ades[i] / worst) : 0;
+      std::printf("  %-20s |%s %s\n", bars[i].label, std::string(len, '#').c_str(),
+                  eval::FormatFloat(ades[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape (paper Fig. 3): under distribution shift, ADE\n"
+              "improves as source domains are added (negative transfer mitigated);\n"
+              "the i.i.d. SDD bar stays lowest overall.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptraj
+
+int main() {
+  adaptraj::bench::Run();
+  return 0;
+}

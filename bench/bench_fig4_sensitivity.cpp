@@ -1,0 +1,87 @@
+// Figure 4: hyperparameter sensitivity of AdapTraj (PECNet backbone, target
+// SDD). Sweeps the six knobs of Alg. 1: domain weight delta, aggregator
+// start/end epochs, aggregator ratio sigma, and the low/high learning-rate
+// fractions.
+
+#include "bench_util.h"
+
+namespace adaptraj {
+namespace bench {
+namespace {
+
+using Mutator = void (*)(eval::ExperimentConfig*, float);
+
+struct Sweep {
+  const char* name;       // matches the paper's subplot
+  const char* expected;   // paper trend summary
+  std::vector<float> values;
+  Mutator apply;
+};
+
+void Run() {
+  PrintBanner("Figure 4", "parameter sensitivity (PECNet-AdapTraj, target SDD)");
+  BenchScales scales = GetScales();
+  // Sensitivity needs many runs; use a reduced budget per run.
+  scales.epochs = std::max(8, scales.epochs / 2);
+  scales.eval_samples = std::max(4, scales.eval_samples / 2);
+
+  auto dgd = data::BuildDomainGeneralizationData(SourcesExcluding(sim::Domain::kSdd),
+                                                 sim::Domain::kSdd,
+                                                 MakeCorpusConfig(scales));
+
+  const std::vector<Sweep> sweeps = {
+      {"(a) domain weight delta",
+       "moderate values best; extremes hurt",
+       {0.0f, 0.1f, 0.2f, 0.5f, 1.5f},
+       [](eval::ExperimentConfig* c, float v) { c->adaptraj_schedule.delta = v; }},
+      {"(b) aggregator start fraction (e_start/e_total)",
+       "later start (well-trained extractors) helps, then plateaus",
+       {0.2f, 0.4f, 0.5f, 0.7f},
+       [](eval::ExperimentConfig* c, float v) {
+         c->adaptraj_schedule.start_fraction = v;
+         c->adaptraj_schedule.end_fraction = std::min(0.9f, v + 0.25f);
+       }},
+      {"(c) aggregator end fraction (e_end/e_total)",
+       "longer aggregator training helps, then plateaus",
+       {0.55f, 0.7f, 0.8f, 0.9f},
+       [](eval::ExperimentConfig* c, float v) { c->adaptraj_schedule.end_fraction = v; }},
+      {"(d) aggregator ratio sigma",
+       "larger masking ratio helps up to ~0.5, then flattens/degrades",
+       {0.0f, 0.25f, 0.5f, 0.75f, 1.0f},
+       [](eval::ExperimentConfig* c, float v) { c->adaptraj_schedule.sigma = v; }},
+      {"(e) low lr fraction f_low",
+       "too small or too large hurts; middle best",
+       {0.05f, 0.2f, 0.5f, 1.0f},
+       [](eval::ExperimentConfig* c, float v) { c->adaptraj_schedule.f_low = v; }},
+      {"(f) high lr fraction f_high",
+       "larger f_high trains the aggregator fully and helps",
+       {0.2f, 0.5f, 1.0f},
+       [](eval::ExperimentConfig* c, float v) { c->adaptraj_schedule.f_high = v; }},
+  };
+
+  for (const Sweep& sweep : sweeps) {
+    std::printf("%s  [paper: %s]\n", sweep.name, sweep.expected);
+    eval::TablePrinter table({"value", "ADE", "FDE"}, {8, 8, 8});
+    table.PrintHeader();
+    for (float v : sweep.values) {
+      auto cfg = MakeExperimentConfig(models::BackboneKind::kPecnet,
+                                      eval::MethodKind::kAdapTraj, scales);
+      sweep.apply(&cfg, v);
+      auto r = eval::RunExperiment(dgd, cfg);
+      table.PrintRow({eval::FormatFloat(v, 2), eval::FormatFloat(r.target.ade),
+                      eval::FormatFloat(r.target.fde)});
+    }
+    std::printf("\n");
+  }
+  std::printf("Fractions correspond to the paper's absolute epoch counts\n"
+              "(e_total=300 there; scaled budgets here).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptraj
+
+int main() {
+  adaptraj::bench::Run();
+  return 0;
+}

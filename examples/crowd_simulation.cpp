@@ -1,0 +1,70 @@
+// Crowd simulation demo: generates all four trajectory domains, prints their
+// Table-I-style statistics, and renders one scene as ASCII art.
+//
+//   $ ./build/examples/crowd_simulation
+
+#include <cstdio>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/table.h"
+#include "sim/social_force.h"
+
+using namespace adaptraj;  // NOLINT(build/namespaces): example code
+
+namespace {
+
+// Renders agent positions of a scene's mid-point step on a character grid.
+void RenderScene(const sim::Scene& scene, const sim::DomainSpec& spec) {
+  constexpr int kCols = 60;
+  constexpr int kRows = 18;
+  std::vector<std::string> grid(kRows, std::string(kCols, '.'));
+  const int step = scene.num_steps / 2;
+  int agents = 0;
+  for (const auto& track : scene.tracks) {
+    const int rel = step - track.start_step;
+    if (rel < 0 || rel >= static_cast<int>(track.points.size())) continue;
+    const auto& p = track.points[rel];
+    const int c = static_cast<int>(p.x / spec.world_width * (kCols - 1));
+    const int r = static_cast<int>(p.y / spec.world_height * (kRows - 1));
+    if (c >= 0 && c < kCols && r >= 0 && r < kRows) {
+      grid[kRows - 1 - r][c] = track.group_id >= 0 ? 'o' : '*';
+      ++agents;
+    }
+  }
+  std::printf("  %s at step %d (%d agents; '*' solo, 'o' grouped)\n", spec.name.c_str(),
+              step, agents);
+  for (const auto& row : grid) std::printf("  |%s|\n", row.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Social-force crowd simulator: the four paper domains\n");
+  std::printf("====================================================\n\n");
+
+  eval::TablePrinter table({"Domain", "seqs", "num", "v(x)", "v(y)", "a(x)", "a(y)"},
+                           {8, 6, 6, 6, 6, 6, 6});
+  table.PrintHeader();
+  data::SequenceConfig seq_cfg;
+  for (sim::Domain d : sim::AllDomains()) {
+    auto spec = sim::SpecForDomain(d);
+    auto scenes = sim::GenerateScenes(spec, 4, 60, 2024);
+    auto stats = data::ComputeDomainStats(scenes, seq_cfg, d);
+    table.PrintRow({spec.name, std::to_string(stats.num_sequences),
+                    eval::FormatFloat(stats.avg_num, 1),
+                    eval::FormatFloat(stats.avg_vx), eval::FormatFloat(stats.avg_vy),
+                    eval::FormatFloat(stats.avg_ax), eval::FormatFloat(stats.avg_ay)});
+  }
+  std::printf("\n");
+
+  for (sim::Domain d : {sim::Domain::kEthUcy, sim::Domain::kSyi}) {
+    auto spec = sim::SpecForDomain(d);
+    sim::SocialForceSimulator simulator(spec, 7);
+    RenderScene(simulator.Run(50), spec);
+  }
+  std::printf("Each domain differs in density, speed, acceleration and\n");
+  std::printf("passing-side convention - the distribution shifts AdapTraj targets.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "core/adaptraj_method.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace adaptraj {
+namespace core {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+std::string AdapTrajVariantName(AdapTrajVariant v) {
+  switch (v) {
+    case AdapTrajVariant::kFull: return "ours";
+    case AdapTrajVariant::kNoSpecific: return "w/o specific";
+    case AdapTrajVariant::kNoInvariant: return "w/o invariant";
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown variant");
+  return "";
+}
+
+AdapTrajMethod::AdapTrajMethod(models::BackboneKind kind,
+                               const models::BackboneConfig& backbone_config,
+                               const AdapTrajConfig& model_config, uint64_t init_seed,
+                               AdapTrajVariant variant,
+                               const AdapTrajTrainConfig& schedule)
+    : variant_(variant), schedule_(schedule) {
+  Rng rng(init_seed);
+  model_ =
+      std::make_unique<AdapTrajModel>(kind, backbone_config, model_config, &rng);
+}
+
+AdapTrajFeatures AdapTrajMethod::ApplyVariant(AdapTrajFeatures f) const {
+  switch (variant_) {
+    case AdapTrajVariant::kFull:
+      break;
+    case AdapTrajVariant::kNoSpecific:
+      f.spec = Tensor::Zeros(f.spec.shape());
+      break;
+    case AdapTrajVariant::kNoInvariant:
+      f.inv = Tensor::Zeros(f.inv.shape());
+      break;
+  }
+  return f;
+}
+
+void AdapTrajMethod::TrainStep(const data::Batch& batch, const std::vector<int>& labels,
+                               float delta, nn::Optimizer* opt, Rng* rng) {
+  opt->ZeroGrad();
+  models::EncodeResult enc = model_->backbone().Encode(batch);
+  AdapTrajFeatures f = ApplyVariant(model_->ExtractFeatures(enc, labels));
+  Tensor base = model_->backbone().Loss(batch, enc, f.Extra(), rng);  // L_base
+  Tensor total = Add(base, MulScalar(model_->OursLoss(batch, f, labels), delta));
+  total.Backward();
+  nn::ClipGradNorm(model_->Parameters(), grad_clip_);
+  opt->Step();
+}
+
+void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
+                           const TrainConfig& config) {
+  // Parameter groups: Alg. 1 steers the aggregator and the rest at different
+  // learning-rate fractions per step.
+  nn::Adam opt(config.lr);
+  const int g_main = opt.AddGroup(model_->BackboneAndExtractorParams(), 1.0f);
+  const int g_agg = opt.AddGroup(model_->AggregatorParams(), 0.0f);
+
+  Rng rng(config.seed);
+  data::SequenceConfig seq_cfg;
+  const int e_start =
+      std::max(1, static_cast<int>(std::round(config.epochs * schedule_.start_fraction)));
+  const int e_end = std::max(
+      e_start + 1, static_cast<int>(std::round(config.epochs * schedule_.end_fraction)));
+
+  // Step 1 iterates pooled batches; steps 2-3 iterate per-domain batches
+  // (Alg. 1 lines 8 and 20) so masking hides one whole domain at a time.
+  data::BatchLoader pooled(&dgd.pooled_train, config.batch_size, seq_cfg,
+                           config.seed + 11, /*shuffle=*/true);
+  std::vector<std::unique_ptr<data::BatchLoader>> per_domain;
+  for (const auto& source : dgd.sources) {
+    per_domain.push_back(std::make_unique<data::BatchLoader>(
+        &source.train, config.batch_size, seq_cfg, config.seed + 31 + per_domain.size(),
+        /*shuffle=*/true));
+  }
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (epoch < e_start) {
+      // Step 1: backbone + extractors, full lr; aggregator frozen.
+      opt.SetGroupScale(g_main, 1.0f);
+      opt.SetGroupScale(g_agg, 0.0f);
+      pooled.Reset();
+      data::Batch batch;
+      int batches = 0;
+      while (pooled.Next(&batch)) {
+        if (config.max_batches_per_epoch > 0 &&
+            batches >= config.max_batches_per_epoch) {
+          break;
+        }
+        TrainStep(batch, batch.domain_labels, schedule_.delta, &opt, &rng);
+        ++batches;
+      }
+      continue;
+    }
+
+    // Steps 2-3: per-domain iterations with stochastic label masking.
+    const bool step2 = epoch < e_end;
+    opt.SetGroupScale(g_agg, step2 ? schedule_.f_high : schedule_.f_low);
+    opt.SetGroupScale(g_main, schedule_.f_low);
+    for (size_t k = 0; k < per_domain.size(); ++k) {
+      per_domain[k]->Reset();
+      data::Batch batch;
+      int batches = 0;
+      while (per_domain[k]->Next(&batch)) {
+        if (config.max_batches_per_epoch > 0 &&
+            batches >= config.max_batches_per_epoch) {
+          break;
+        }
+        std::vector<int> labels = batch.domain_labels;
+        if (rng.Bernoulli(schedule_.sigma)) {
+          std::fill(labels.begin(), labels.end(), -1);  // D^k_S -> D^?_S
+        }
+        TrainStep(batch, labels, schedule_.delta_prime, &opt, &rng);
+        ++batches;
+      }
+    }
+  }
+}
+
+Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
+  // Unseen domain: every sequence routes through the aggregator (label -1).
+  std::vector<int> labels(batch.batch_size, -1);
+  models::EncodeResult enc = model_->backbone().Encode(batch);
+  AdapTrajFeatures f = ApplyVariant(model_->ExtractFeatures(enc, labels));
+  return model_->backbone().Predict(batch, enc, f.Extra(), rng, sample);
+}
+
+}  // namespace core
+}  // namespace adaptraj

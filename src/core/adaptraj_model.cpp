@@ -1,0 +1,205 @@
+#include "core/adaptraj_model.h"
+
+#include "nn/losses.h"
+
+namespace adaptraj {
+namespace core {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+Tensor AdapTrajFeatures::Extra() const { return Concat({inv, spec}, 1); }
+
+AdapTrajModel::AdapTrajModel(models::BackboneKind kind,
+                             models::BackboneConfig backbone_config,
+                             const AdapTrajConfig& config, Rng* rng)
+    : config_(config) {
+  ADAPTRAJ_CHECK_MSG(config.num_source_domains >= 1, "need at least one source domain");
+  backbone_config.extra_dim = config_.extra_dim();
+  backbone_ = models::MakeBackbone(kind, backbone_config, rng);
+  RegisterModule("backbone", backbone_.get());
+
+  const int64_t h = backbone_config.hidden_dim;
+  const int64_t p = backbone_config.social_dim;
+  const int64_t f = config_.feature_dim;
+  const int64_t fused = config_.fused_dim;
+
+  v_ind_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{h, f}, rng,
+                                     nn::Activation::kRelu, nn::Activation::kTanh);
+  v_nei_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{p, f}, rng,
+                                     nn::Activation::kRelu, nn::Activation::kTanh);
+  v_fuse_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * f, fused}, rng,
+                                      nn::Activation::kRelu, nn::Activation::kTanh);
+  RegisterModule("v_ind", v_ind_.get());
+  RegisterModule("v_nei", v_nei_.get());
+  RegisterModule("v_fuse", v_fuse_.get());
+
+  for (int k = 0; k < config_.num_source_domains; ++k) {
+    m_ind_.push_back(std::make_unique<nn::Mlp>(std::vector<int64_t>{h, f}, rng,
+                                               nn::Activation::kRelu,
+                                               nn::Activation::kTanh));
+    m_nei_.push_back(std::make_unique<nn::Mlp>(std::vector<int64_t>{p, f}, rng,
+                                               nn::Activation::kRelu,
+                                               nn::Activation::kTanh));
+    RegisterModule("m_ind" + std::to_string(k), m_ind_.back().get());
+    RegisterModule("m_nei" + std::to_string(k), m_nei_.back().get());
+  }
+  m_fuse_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * f, fused}, rng,
+                                      nn::Activation::kRelu, nn::Activation::kTanh);
+  RegisterModule("m_fuse", m_fuse_.get());
+
+  a_ind_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{f, f, f}, rng,
+                                     nn::Activation::kRelu, nn::Activation::kTanh);
+  a_nei_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{f, f, f}, rng,
+                                     nn::Activation::kRelu, nn::Activation::kTanh);
+  RegisterModule("a_ind", a_ind_.get());
+  RegisterModule("a_nei", a_nei_.get());
+
+  const int64_t obs_out = backbone_config.obs_len * 2;
+  d_recon_ = std::make_unique<nn::Mlp>(std::vector<int64_t>{2 * f, h, obs_out}, rng,
+                                       nn::Activation::kRelu, nn::Activation::kNone);
+  d_class_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{4 * f, h, config_.num_source_domains}, rng,
+      nn::Activation::kRelu, nn::Activation::kNone);
+  RegisterModule("d_recon", d_recon_.get());
+  RegisterModule("d_class", d_class_.get());
+}
+
+AdapTrajFeatures AdapTrajModel::ExtractFeatures(const models::EncodeResult& enc,
+                                                const std::vector<int>& labels) const {
+  const int64_t b = enc.h_focal.shape()[0];
+  ADAPTRAJ_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  const int k_domains = config_.num_source_domains;
+
+  AdapTrajFeatures f;
+  // Invariant branch: weight-shared extractors (Eqs. 9-11).
+  f.inv_ind = v_ind_->Forward(enc.h_focal);
+  f.inv_nei = v_nei_->Forward(enc.pooled);
+  f.inv = v_fuse_->Forward(Concat({f.inv_ind, f.inv_nei}, 1));
+
+  // Specific branch: per-domain experts (Eqs. 17-18).
+  std::vector<Tensor> expert_ind(k_domains);
+  std::vector<Tensor> expert_nei(k_domains);
+  for (int k = 0; k < k_domains; ++k) {
+    expert_ind[k] = m_ind_[k]->Forward(enc.h_focal);  // [B, f]
+    expert_nei[k] = m_nei_[k]->Forward(enc.pooled);
+  }
+
+  // Teacher path: rows with a known label route through their own expert.
+  // Student path: masked rows (-1) route through the aggregator over the
+  // pooled, detached expert outputs (Eqs. 21-22).
+  std::vector<float> teacher_mask(b);     // 1 where label >= 0
+  std::vector<std::vector<float>> expert_mask(k_domains, std::vector<float>(b, 0.0f));
+  for (int64_t i = 0; i < b; ++i) {
+    const int label = labels[i];
+    ADAPTRAJ_CHECK_MSG(label >= -1 && label < k_domains, "bad domain label " << label);
+    teacher_mask[i] = label >= 0 ? 1.0f : 0.0f;
+    if (label >= 0) expert_mask[label][i] = 1.0f;
+  }
+
+  auto route = [&](const std::vector<Tensor>& experts, const nn::Mlp& aggregator) {
+    // Teacher contribution: sum_k expert_k * 1[label == k].
+    Tensor teacher = Tensor::Zeros({b, config_.feature_dim});
+    for (int k = 0; k < k_domains; ++k) {
+      Tensor mask =
+          Tensor::FromVector({b, 1}, std::vector<float>(expert_mask[k]));
+      teacher = Add(teacher, BroadcastMul(experts[k], mask));
+    }
+    // Student contribution: aggregator over pooled detached expert outputs.
+    Tensor pooled_experts = experts[0].Detach();
+    for (int k = 1; k < k_domains; ++k) {
+      pooled_experts = Add(pooled_experts, experts[k].Detach());
+    }
+    Tensor student = aggregator.Forward(pooled_experts);
+    std::vector<float> student_mask(b);
+    for (int64_t i = 0; i < b; ++i) student_mask[i] = 1.0f - teacher_mask[i];
+    Tensor t_mask = Tensor::FromVector({b, 1}, std::vector<float>(teacher_mask));
+    Tensor s_mask = Tensor::FromVector({b, 1}, std::move(student_mask));
+    return Add(BroadcastMul(teacher, t_mask), BroadcastMul(student, s_mask));
+  };
+
+  f.spec_ind = route(expert_ind, *a_ind_);
+  f.spec_nei = route(expert_nei, *a_nei_);
+  f.spec = m_fuse_->Forward(Concat({f.spec_ind, f.spec_nei}, 1));
+  return f;
+}
+
+Tensor AdapTrajModel::ReconLoss(const data::Batch& batch,
+                                const AdapTrajFeatures& f) const {
+  Tensor recon = d_recon_->Forward(Concat({f.inv_ind, f.spec_ind}, 1));
+  return nn::SimseLoss(recon, batch.obs_flat);
+}
+
+Tensor AdapTrajModel::SimilarLoss(const AdapTrajFeatures& f,
+                                  const std::vector<int>& labels) const {
+  // Select rows with known labels; masked rows carry no domain supervision.
+  std::vector<int> kept_labels;
+  std::vector<int64_t> kept_rows;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) {
+      kept_labels.push_back(labels[i]);
+      kept_rows.push_back(static_cast<int64_t>(i));
+    }
+  }
+  if (kept_labels.empty()) return Tensor::Scalar(0.0f);
+
+  // The classifier sees the invariant branch through a gradient-reversal
+  // layer (adversarial) and the specific branch directly (cooperative).
+  Tensor inv_in = GradReverse(Concat({f.inv_ind, f.inv_nei}, 1), config_.grl_lambda);
+  Tensor spec_in = Concat({f.spec_ind, f.spec_nei}, 1);
+  Tensor features = Concat({inv_in, spec_in}, 1);
+
+  // Row-select via a binary gather matrix [rows, B] x [B, D].
+  const int64_t b = features.shape()[0];
+  const int64_t rows = static_cast<int64_t>(kept_rows.size());
+  Tensor gather = Tensor::Zeros({rows, b});
+  for (int64_t r = 0; r < rows; ++r) gather.data()[r * b + kept_rows[r]] = 1.0f;
+  Tensor selected = MatMul(gather, features);
+
+  Tensor logits = d_class_->Forward(selected);
+  return nn::CrossEntropyLoss(logits, kept_labels);
+}
+
+Tensor AdapTrajModel::DiffLoss(const AdapTrajFeatures& f) const {
+  return Add(nn::OrthogonalityLoss(f.inv_ind, f.spec_ind),
+             nn::OrthogonalityLoss(f.inv_nei, f.spec_nei));
+}
+
+Tensor AdapTrajModel::OursLoss(const data::Batch& batch, const AdapTrajFeatures& f,
+                               const std::vector<int>& labels) const {
+  Tensor loss = MulScalar(ReconLoss(batch, f), config_.alpha);
+  loss = Add(loss, MulScalar(DiffLoss(f), config_.beta));
+  loss = Add(loss, MulScalar(SimilarLoss(f, labels), config_.gamma));
+  return loss;
+}
+
+std::vector<Tensor> AdapTrajModel::BackboneAndExtractorParams() const {
+  std::vector<Tensor> params = backbone_->Parameters();
+  for (const nn::Module* m :
+       {static_cast<const nn::Module*>(v_ind_.get()), static_cast<const nn::Module*>(v_nei_.get()),
+        static_cast<const nn::Module*>(v_fuse_.get()),
+        static_cast<const nn::Module*>(m_fuse_.get()),
+        static_cast<const nn::Module*>(d_recon_.get()),
+        static_cast<const nn::Module*>(d_class_.get())}) {
+    auto sub = m->Parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  for (const auto& m : m_ind_) {
+    auto sub = m->Parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  for (const auto& m : m_nei_) {
+    auto sub = m->Parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  return params;
+}
+
+std::vector<Tensor> AdapTrajModel::AggregatorParams() const {
+  std::vector<Tensor> params = a_ind_->Parameters();
+  auto sub = a_nei_->Parameters();
+  params.insert(params.end(), sub.begin(), sub.end());
+  return params;
+}
+
+}  // namespace core
+}  // namespace adaptraj

@@ -1,0 +1,131 @@
+// AdapTraj: the paper's multi-source domain-generalization framework
+// (Sec. III), as a plug-and-play wrapper around any Backbone.
+//
+// The causal formulation models four feature types:
+//   H^i_i  - domain-invariant features of the focal agent      (Eq. 9)
+//   H^i_Ei - domain-invariant features of neighbor interaction (Eq. 10)
+//   H^s_i  - domain-specific features of the focal agent       (Eq. 17)
+//   H^s_Ei - domain-specific features of neighbor interaction  (Eq. 18)
+// fused into H^i (Eq. 11) and H^s (Eq. 19) and appended to the backbone's
+// decoder conditioning.
+//
+// Domain-invariant extractors share weights across domains; domain-specific
+// extractors are per-source-domain experts; the domain-specific aggregator
+// (A_ind/A_nei, Eqs. 21-22) is a student that synthesizes specific features
+// from the pooled expert outputs when the domain label is masked or unknown
+// (always the case for the unseen target domain).
+
+#ifndef ADAPTRAJ_CORE_ADAPTRAJ_MODEL_H_
+#define ADAPTRAJ_CORE_ADAPTRAJ_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/backbone.h"
+
+namespace adaptraj {
+namespace core {
+
+/// Hyperparameters of the AdapTraj framework.
+struct AdapTrajConfig {
+  /// Number of source domains K (one specific-extractor expert pair each).
+  int num_source_domains = 3;
+  /// Width of each extracted feature (H^i_i, H^i_Ei, H^s_i, H^s_Ei).
+  int64_t feature_dim = 16;
+  /// Width of the fused features H^i and H^s.
+  int64_t fused_dim = 16;
+  /// Loss weights (paper Sec. IV-A: alpha=0.01, beta=0.075, gamma=0.25).
+  float alpha = 0.01f;   // L_recon
+  float beta = 0.075f;   // L_diff
+  float gamma = 0.25f;   // L_similar
+  /// Gradient-reversal strength applied to the invariant branch inside the
+  /// domain classifier (realizes the adversarial part of L_similar).
+  float grl_lambda = 0.5f;
+
+  /// Conditioning width handed to the backbone: [H^i ; H^s].
+  int64_t extra_dim() const { return 2 * fused_dim; }
+};
+
+/// Per-batch features extracted by the framework.
+struct AdapTrajFeatures {
+  Tensor inv_ind;   // H^i_i  [B, feature_dim]
+  Tensor inv_nei;   // H^i_Ei [B, feature_dim]
+  Tensor inv;       // H^i    [B, fused_dim]
+  Tensor spec_ind;  // H^s_i  [B, feature_dim]
+  Tensor spec_nei;  // H^s_Ei [B, feature_dim]
+  Tensor spec;      // H^s    [B, fused_dim]
+
+  /// Decoder conditioning [H^i ; H^s], [B, 2*fused_dim].
+  Tensor Extra() const;
+};
+
+/// The AdapTraj model: backbone + extractors + aggregator + auxiliary heads.
+class AdapTrajModel : public nn::Module {
+ public:
+  AdapTrajModel(models::BackboneKind kind, models::BackboneConfig backbone_config,
+                const AdapTrajConfig& config, Rng* rng);
+
+  /// Extracts the four feature types for a batch.
+  ///
+  /// `labels` selects the specific-extractor expert per sequence: label k in
+  /// [0, K) routes through expert k (teacher path); label -1 (masked or
+  /// unseen domain) routes through the aggregator over all experts' pooled,
+  /// detached outputs (student path, Eqs. 21-22).
+  AdapTrajFeatures ExtractFeatures(const models::EncodeResult& enc,
+                                   const std::vector<int>& labels) const;
+
+  /// Reconstruction loss L_recon (Eqs. 12-14): D_recon must rebuild the
+  /// observed trajectory from [H^i_i ; H^s_i] using the scale-invariant MSE.
+  Tensor ReconLoss(const data::Batch& batch, const AdapTrajFeatures& f) const;
+
+  /// Domain similarity loss L_similar (Eqs. 15-16): D_class predicts the
+  /// domain from all four features. The invariant branch passes through a
+  /// gradient-reversal layer so that training makes H^i domain-confusable
+  /// while H^s stays domain-identifiable. Rows with label -1 are excluded.
+  Tensor SimilarLoss(const AdapTrajFeatures& f, const std::vector<int>& labels) const;
+
+  /// Difference loss L_diff (Eq. 20): soft orthogonality between invariant
+  /// and specific features of both branches.
+  Tensor DiffLoss(const AdapTrajFeatures& f) const;
+
+  /// Combined auxiliary loss L_ours (Eq. 24).
+  Tensor OursLoss(const data::Batch& batch, const AdapTrajFeatures& f,
+                  const std::vector<int>& labels) const;
+
+  /// Underlying backbone (built with extra_dim = config.extra_dim()).
+  models::Backbone& backbone() { return *backbone_; }
+  const models::Backbone& backbone() const { return *backbone_; }
+
+  const AdapTrajConfig& config() const { return config_; }
+
+  /// Parameter groups for the Alg.-1 phase schedule.
+  std::vector<Tensor> BackboneAndExtractorParams() const;
+  std::vector<Tensor> AggregatorParams() const;
+
+ private:
+  AdapTrajConfig config_;
+  std::unique_ptr<models::Backbone> backbone_;
+
+  // Domain-invariant extractor (shared weights): V_ind, V_nei, V_fuse.
+  std::unique_ptr<nn::Mlp> v_ind_;
+  std::unique_ptr<nn::Mlp> v_nei_;
+  std::unique_ptr<nn::Mlp> v_fuse_;
+
+  // Domain-specific extractor experts {M^k_ind}, {M^k_nei} and M_fuse.
+  std::vector<std::unique_ptr<nn::Mlp>> m_ind_;
+  std::vector<std::unique_ptr<nn::Mlp>> m_nei_;
+  std::unique_ptr<nn::Mlp> m_fuse_;
+
+  // Domain-specific aggregator students A_ind, A_nei.
+  std::unique_ptr<nn::Mlp> a_ind_;
+  std::unique_ptr<nn::Mlp> a_nei_;
+
+  // Auxiliary heads: reconstruction decoder and domain classifier.
+  std::unique_ptr<nn::Mlp> d_recon_;
+  std::unique_ptr<nn::Mlp> d_class_;
+};
+
+}  // namespace core
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_CORE_ADAPTRAJ_MODEL_H_

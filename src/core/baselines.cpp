@@ -1,0 +1,186 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace adaptraj {
+namespace core {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+data::Batch CounterfactualBatch(const data::Batch& batch) {
+  data::Batch cf = batch;  // tensors share storage; replace neighbor fields
+  cf.nbr_mask = Tensor::Zeros(batch.nbr_mask.shape());
+  cf.nbr_offsets = Tensor::Zeros(batch.nbr_offsets.shape());
+  cf.nbr_steps.clear();
+  for (const Tensor& step : batch.nbr_steps) {
+    cf.nbr_steps.push_back(Tensor::Zeros(step.shape()));
+  }
+  return cf;
+}
+
+namespace {
+
+/// Runs one optimization step on `loss` (a cheap handle, passed by value).
+void StepOptimizer(nn::Optimizer* opt, models::Backbone* backbone, Tensor loss,
+                   float grad_clip) {
+  loss.Backward();
+  nn::ClipGradNorm(backbone->Parameters(), grad_clip);
+  opt->Step();
+}
+
+}  // namespace
+
+VanillaMethod::VanillaMethod(models::BackboneKind kind,
+                             const models::BackboneConfig& config, uint64_t init_seed) {
+  Rng rng(init_seed);
+  models::BackboneConfig cfg = config;
+  cfg.extra_dim = 0;
+  backbone_ = models::MakeBackbone(kind, cfg, &rng);
+}
+
+void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
+                          const TrainConfig& config) {
+  nn::Adam opt(config.lr);
+  opt.AddGroup(backbone_->Parameters());
+  Rng rng(config.seed);
+  data::SequenceConfig seq_cfg;
+  data::BatchLoader loader(&dgd.pooled_train, config.batch_size, seq_cfg,
+                           config.seed + 1, /*shuffle=*/true);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    loader.Reset();
+    data::Batch batch;
+    int batches = 0;
+    while (loader.Next(&batch)) {
+      if (config.max_batches_per_epoch > 0 && batches >= config.max_batches_per_epoch) {
+        break;
+      }
+      opt.ZeroGrad();
+      models::EncodeResult enc = backbone_->Encode(batch);
+      Tensor loss = backbone_->Loss(batch, enc, Tensor(), &rng);
+      StepOptimizer(&opt, backbone_.get(), loss, config.grad_clip);
+      ++batches;
+    }
+  }
+}
+
+Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
+  models::EncodeResult enc = backbone_->Encode(batch);
+  return backbone_->Predict(batch, enc, Tensor(), rng, sample);
+}
+
+CounterMethod::CounterMethod(models::BackboneKind kind,
+                             const models::BackboneConfig& config, uint64_t init_seed) {
+  Rng rng(init_seed);
+  models::BackboneConfig cfg = config;
+  cfg.extra_dim = 0;
+  backbone_ = models::MakeBackbone(kind, cfg, &rng);
+}
+
+void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
+                          const TrainConfig& config) {
+  nn::Adam opt(config.lr);
+  opt.AddGroup(backbone_->Parameters());
+  Rng rng(config.seed);
+  data::SequenceConfig seq_cfg;
+  data::BatchLoader loader(&dgd.pooled_train, config.batch_size, seq_cfg,
+                           config.seed + 1, /*shuffle=*/true);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    loader.Reset();
+    data::Batch batch;
+    int batches = 0;
+    while (loader.Next(&batch)) {
+      if (config.max_batches_per_epoch > 0 && batches >= config.max_batches_per_epoch) {
+        break;
+      }
+      opt.ZeroGrad();
+      // Counterfactual intervention: external factors removed everywhere.
+      data::Batch cf = CounterfactualBatch(batch);
+      models::EncodeResult enc = backbone_->Encode(cf);
+      Tensor loss = backbone_->Loss(cf, enc, Tensor(), &rng);
+      StepOptimizer(&opt, backbone_.get(), loss, config.grad_clip);
+      ++batches;
+    }
+  }
+}
+
+Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
+  data::Batch cf = CounterfactualBatch(batch);
+  models::EncodeResult enc = backbone_->Encode(cf);
+  return backbone_->Predict(cf, enc, Tensor(), rng, sample);
+}
+
+CausalMotionMethod::CausalMotionMethod(models::BackboneKind kind,
+                                       const models::BackboneConfig& config,
+                                       uint64_t init_seed, float invariance_weight)
+    : invariance_weight_(invariance_weight) {
+  Rng rng(init_seed);
+  models::BackboneConfig cfg = config;
+  cfg.extra_dim = 0;
+  backbone_ = models::MakeBackbone(kind, cfg, &rng);
+}
+
+void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
+                               const TrainConfig& config) {
+  nn::Adam opt(config.lr);
+  opt.AddGroup(backbone_->Parameters());
+  Rng rng(config.seed);
+  data::SequenceConfig seq_cfg;
+
+  // One loader per source domain: the invariance penalty needs per-domain
+  // risks within each optimization step.
+  std::vector<std::unique_ptr<data::BatchLoader>> loaders;
+  for (const auto& source : dgd.sources) {
+    loaders.push_back(std::make_unique<data::BatchLoader>(
+        &source.train, config.batch_size, seq_cfg, config.seed + loaders.size(),
+        /*shuffle=*/true));
+  }
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (auto& loader : loaders) loader->Reset();
+    int batches = 0;
+    bool any = true;
+    while (any) {
+      if (config.max_batches_per_epoch > 0 && batches >= config.max_batches_per_epoch) {
+        break;
+      }
+      any = false;
+      std::vector<Tensor> risks;
+      opt.ZeroGrad();
+      for (auto& loader : loaders) {
+        data::Batch batch;
+        if (!loader->Next(&batch)) continue;
+        any = true;
+        models::EncodeResult enc = backbone_->Encode(batch);
+        risks.push_back(backbone_->Loss(batch, enc, Tensor(), &rng));
+      }
+      if (risks.empty()) break;
+      // Mean risk + V-REx variance penalty across domains.
+      Tensor mean_risk = risks[0];
+      for (size_t i = 1; i < risks.size(); ++i) mean_risk = Add(mean_risk, risks[i]);
+      mean_risk = MulScalar(mean_risk, 1.0f / static_cast<float>(risks.size()));
+      Tensor loss = mean_risk;
+      if (risks.size() > 1) {
+        Tensor var = Tensor::Scalar(0.0f);
+        for (const Tensor& r : risks) var = Add(var, Square(Sub(r, mean_risk)));
+        var = MulScalar(var, 1.0f / static_cast<float>(risks.size()));
+        loss = Add(loss, MulScalar(var, invariance_weight_));
+      }
+      loss.Backward();
+      nn::ClipGradNorm(backbone_->Parameters(), config.grad_clip);
+      opt.Step();
+      ++batches;
+    }
+  }
+}
+
+Tensor CausalMotionMethod::Predict(const data::Batch& batch, Rng* rng,
+                                   bool sample) const {
+  models::EncodeResult enc = backbone_->Encode(batch);
+  return backbone_->Predict(batch, enc, Tensor(), rng, sample);
+}
+
+}  // namespace core
+}  // namespace adaptraj

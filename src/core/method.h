@@ -1,0 +1,49 @@
+// Learning-method interface: a trained predictor the evaluation harness can
+// query, plus the shared training configuration.
+
+#ifndef ADAPTRAJ_CORE_METHOD_H_
+#define ADAPTRAJ_CORE_METHOD_H_
+
+#include <string>
+
+#include "data/batch.h"
+#include "data/multi_domain.h"
+
+namespace adaptraj {
+namespace core {
+
+/// Optimization settings shared by every learning method.
+struct TrainConfig {
+  float lr = 3e-3f;
+  int epochs = 24;
+  int batch_size = 32;
+  /// Caps batches per epoch (0 = full pass); keeps benches fast.
+  int max_batches_per_epoch = 0;
+  float grad_clip = 5.0f;
+  uint64_t seed = 7;
+};
+
+/// A trained trajectory predictor. Implementations wrap a backbone and the
+/// learning method's inference-time recipe (e.g. Counter's counterfactual
+/// masking, AdapTraj's feature extraction).
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  /// Method name as printed in the paper's tables ("vanilla", "Counter",
+  /// "CausalMotion", "AdapTraj").
+  virtual std::string name() const = 0;
+
+  /// Trains on the source domains of `dgd` (never touches the target).
+  virtual void Train(const data::DomainGeneralizationData& dgd,
+                     const TrainConfig& config) = 0;
+
+  /// Predicts future displacements [B, pred_len*2] for an arbitrary batch.
+  /// With `sample` set, draws one of the multi-modal futures.
+  virtual Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const = 0;
+};
+
+}  // namespace core
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_CORE_METHOD_H_

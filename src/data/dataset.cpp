@@ -1,0 +1,174 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace data {
+
+namespace {
+
+/// Positions of a track restricted to [start, start+len), or empty when the
+/// track does not fully cover the range.
+std::vector<sim::Vec2> TrackWindow(const sim::AgentTrack& track, int start, int len) {
+  const int rel = start - track.start_step;
+  if (rel < 0 || rel + len > static_cast<int>(track.points.size())) return {};
+  return std::vector<sim::Vec2>(track.points.begin() + rel,
+                                track.points.begin() + rel + len);
+}
+
+}  // namespace
+
+std::vector<TrajectorySequence> ExtractSequences(const sim::Scene& scene,
+                                                 const SequenceConfig& config,
+                                                 sim::Domain domain, int scene_index) {
+  std::vector<TrajectorySequence> out;
+  const int total = config.total_len();
+  for (size_t ti = 0; ti < scene.tracks.size(); ++ti) {
+    const sim::AgentTrack& track = scene.tracks[ti];
+    const int track_len = static_cast<int>(track.points.size());
+    for (int offset = 0; offset + total <= track_len; offset += config.stride) {
+      const int start = track.start_step + offset;
+      TrajectorySequence seq;
+      seq.domain = domain;
+      seq.scene_index = scene_index;
+      seq.start_step = start;
+      seq.focal = TrackWindow(track, start, total);
+      ADAPTRAJ_CHECK(!seq.focal.empty());
+
+      // Collect neighbors covering the whole observation window.
+      const sim::Vec2 anchor = seq.focal[config.obs_len - 1];
+      std::vector<std::pair<float, std::vector<sim::Vec2>>> candidates;
+      for (size_t tj = 0; tj < scene.tracks.size(); ++tj) {
+        if (tj == ti) continue;
+        auto window = TrackWindow(scene.tracks[tj], start, config.obs_len);
+        if (window.empty()) continue;
+        const float dist = (window.back() - anchor).Norm();
+        candidates.emplace_back(dist, std::move(window));
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      const int keep = std::min<int>(config.max_neighbors,
+                                     static_cast<int>(candidates.size()));
+      for (int k = 0; k < keep; ++k) seq.neighbors.push_back(std::move(candidates[k].second));
+      out.push_back(std::move(seq));
+    }
+  }
+  return out;
+}
+
+std::vector<TrajectorySequence> ExtractSequences(const std::vector<sim::Scene>& scenes,
+                                                 const SequenceConfig& config,
+                                                 sim::Domain domain) {
+  std::vector<TrajectorySequence> out;
+  for (size_t s = 0; s < scenes.size(); ++s) {
+    auto seqs = ExtractSequences(scenes[s], config, domain, static_cast<int>(s));
+    out.insert(out.end(), std::make_move_iterator(seqs.begin()),
+               std::make_move_iterator(seqs.end()));
+  }
+  return out;
+}
+
+SplitDataset ChronologicalSplit(std::vector<TrajectorySequence> sequences) {
+  std::stable_sort(sequences.begin(), sequences.end(),
+                   [](const TrajectorySequence& a, const TrajectorySequence& b) {
+                     if (a.scene_index != b.scene_index) return a.scene_index < b.scene_index;
+                     return a.start_step < b.start_step;
+                   });
+  SplitDataset split;
+  const size_t n = sequences.size();
+  const size_t train_end = n * 6 / 10;
+  const size_t val_end = n * 8 / 10;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_end) {
+      split.train.sequences.push_back(std::move(sequences[i]));
+    } else if (i < val_end) {
+      split.val.sequences.push_back(std::move(sequences[i]));
+    } else {
+      split.test.sequences.push_back(std::move(sequences[i]));
+    }
+  }
+  return split;
+}
+
+SplitDataset BuildDomainDataset(sim::Domain domain, int num_scenes, int steps_per_scene,
+                                uint64_t seed, const SequenceConfig& config) {
+  return BuildDomainDataset(sim::SpecForDomain(domain), num_scenes, steps_per_scene,
+                            seed, config);
+}
+
+SplitDataset BuildDomainDataset(const sim::DomainSpec& spec, int num_scenes,
+                                int steps_per_scene, uint64_t seed,
+                                const SequenceConfig& config) {
+  auto scenes = sim::GenerateScenes(spec, num_scenes, steps_per_scene, seed);
+  return ChronologicalSplit(ExtractSequences(scenes, config, spec.domain));
+}
+
+DomainStats ComputeDomainStats(const std::vector<sim::Scene>& scenes,
+                               const SequenceConfig& config, sim::Domain domain) {
+  DomainStats stats;
+
+  // Sequence count uses the same extraction as training.
+  stats.num_sequences =
+      static_cast<int>(ExtractSequences(scenes, config, domain).size());
+
+  // Concurrent agent counts per recorded step.
+  double num_sum = 0.0;
+  double num_sq = 0.0;
+  int64_t num_n = 0;
+  // Per-axis absolute per-step velocity and acceleration.
+  double vx_sum = 0.0, vx_sq = 0.0, vy_sum = 0.0, vy_sq = 0.0;
+  int64_t v_n = 0;
+  double ax_sum = 0.0, ax_sq = 0.0, ay_sum = 0.0, ay_sq = 0.0;
+  int64_t a_n = 0;
+
+  for (const sim::Scene& scene : scenes) {
+    for (int step = 0; step < scene.num_steps; ++step) {
+      const int c = scene.ActiveAgentsAt(step);
+      if (c == 0) continue;
+      num_sum += c;
+      num_sq += static_cast<double>(c) * c;
+      ++num_n;
+    }
+    for (const sim::AgentTrack& track : scene.tracks) {
+      const auto& p = track.points;
+      for (size_t t = 0; t + 1 < p.size(); ++t) {
+        const float vx = std::fabs(p[t + 1].x - p[t].x);
+        const float vy = std::fabs(p[t + 1].y - p[t].y);
+        vx_sum += vx;
+        vx_sq += static_cast<double>(vx) * vx;
+        vy_sum += vy;
+        vy_sq += static_cast<double>(vy) * vy;
+        ++v_n;
+      }
+      for (size_t t = 0; t + 2 < p.size(); ++t) {
+        const float ax = std::fabs((p[t + 2].x - p[t + 1].x) - (p[t + 1].x - p[t].x));
+        const float ay = std::fabs((p[t + 2].y - p[t + 1].y) - (p[t + 1].y - p[t].y));
+        ax_sum += ax;
+        ax_sq += static_cast<double>(ax) * ax;
+        ay_sum += ay;
+        ay_sq += static_cast<double>(ay) * ay;
+        ++a_n;
+      }
+    }
+  }
+
+  auto finish = [](double sum, double sq, int64_t n, float* avg, float* stddev) {
+    if (n == 0) return;
+    const double mean = sum / static_cast<double>(n);
+    const double var = std::max(0.0, sq / static_cast<double>(n) - mean * mean);
+    *avg = static_cast<float>(mean);
+    *stddev = static_cast<float>(std::sqrt(var));
+  };
+  finish(num_sum, num_sq, num_n, &stats.avg_num, &stats.std_num);
+  finish(vx_sum, vx_sq, v_n, &stats.avg_vx, &stats.std_vx);
+  finish(vy_sum, vy_sq, v_n, &stats.avg_vy, &stats.std_vy);
+  finish(ax_sum, ax_sq, a_n, &stats.avg_ax, &stats.std_ax);
+  finish(ay_sum, ay_sq, a_n, &stats.avg_ay, &stats.std_ay);
+  return stats;
+}
+
+}  // namespace data
+}  // namespace adaptraj

@@ -1,0 +1,109 @@
+// Sequence extraction, datasets, and chronological splits.
+//
+// Mirrors the paper's TrajNet++-style preprocessing: trajectories resampled
+// at dt = 0.4 s, windows of 8 observed + 12 predicted steps, and a
+// chronological 6:2:2 train/val/test split per domain (Sec. IV-A).
+
+#ifndef ADAPTRAJ_DATA_DATASET_H_
+#define ADAPTRAJ_DATA_DATASET_H_
+
+#include <vector>
+
+#include "sim/social_force.h"
+
+namespace adaptraj {
+namespace data {
+
+/// Windowing and neighbor parameters for sequence extraction.
+struct SequenceConfig {
+  int obs_len = 8;        // observed steps (3.2 s at 0.4 s/step)
+  int pred_len = 12;      // predicted steps (4.8 s)
+  int stride = 5;         // window start stride within a track
+  int max_neighbors = 8;  // neighbors kept per sequence (nearest first)
+  /// Neighbor co-presence requirement: a neighbor must be active for the
+  /// entire observation window to be included.
+  int total_len() const { return obs_len + pred_len; }
+};
+
+/// One prediction instance: a focal agent with co-occurring neighbors.
+struct TrajectorySequence {
+  sim::Domain domain = sim::Domain::kEthUcy;
+  /// Index into the training-time source-domain list; assigned by
+  /// MultiDomainDataset. -1 when unset (e.g. unseen target domain).
+  int domain_label = -1;
+  int scene_index = 0;
+  int start_step = 0;
+  /// Absolute focal positions, length obs_len + pred_len.
+  std::vector<sim::Vec2> focal;
+  /// Absolute neighbor positions over the observation window only
+  /// (each inner vector has length obs_len), ordered nearest-first.
+  std::vector<std::vector<sim::Vec2>> neighbors;
+};
+
+/// A set of sequences from a single domain.
+struct Dataset {
+  std::vector<TrajectorySequence> sequences;
+
+  bool empty() const { return sequences.empty(); }
+  size_t size() const { return sequences.size(); }
+};
+
+/// Train/val/test split of one domain's data.
+struct SplitDataset {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+/// Extracts prediction windows from every track of a scene.
+///
+/// A window is kept when the focal track covers all obs+pred steps. Neighbors
+/// are other agents active for the full observation window, sorted by
+/// distance to the focal agent at the last observed step and truncated to
+/// max_neighbors.
+std::vector<TrajectorySequence> ExtractSequences(const sim::Scene& scene,
+                                                 const SequenceConfig& config,
+                                                 sim::Domain domain, int scene_index);
+
+/// Extracts sequences from many scenes.
+std::vector<TrajectorySequence> ExtractSequences(const std::vector<sim::Scene>& scenes,
+                                                 const SequenceConfig& config,
+                                                 sim::Domain domain);
+
+/// Splits chronologically (by scene index, then window start) 6:2:2.
+SplitDataset ChronologicalSplit(std::vector<TrajectorySequence> sequences);
+
+/// Simulates a domain and returns its split dataset. `num_scenes` scenes of
+/// `steps_per_scene` recorded steps each.
+SplitDataset BuildDomainDataset(sim::Domain domain, int num_scenes, int steps_per_scene,
+                                uint64_t seed, const SequenceConfig& config);
+
+/// Same, but with an explicit (possibly modified) domain spec - used by the
+/// simulator-ablation benches.
+SplitDataset BuildDomainDataset(const sim::DomainSpec& spec, int num_scenes,
+                                int steps_per_scene, uint64_t seed,
+                                const SequenceConfig& config);
+
+/// Aggregate per-step statistics of a domain, matching the paper's Table I.
+struct DomainStats {
+  int num_sequences = 0;
+  float avg_num = 0.0f;  // concurrently present agents per recorded step
+  float std_num = 0.0f;
+  float avg_vx = 0.0f;  // |per-step displacement| along x
+  float std_vx = 0.0f;
+  float avg_vy = 0.0f;
+  float std_vy = 0.0f;
+  float avg_ax = 0.0f;  // |per-step velocity change| along x
+  float std_ax = 0.0f;
+  float avg_ay = 0.0f;
+  float std_ay = 0.0f;
+};
+
+/// Computes Table-I statistics over simulated scenes.
+DomainStats ComputeDomainStats(const std::vector<sim::Scene>& scenes,
+                               const SequenceConfig& config, sim::Domain domain);
+
+}  // namespace data
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_DATA_DATASET_H_

@@ -1,0 +1,48 @@
+// Multi-source domain dataset assembly for the generalization experiments.
+
+#ifndef ADAPTRAJ_DATA_MULTI_DOMAIN_H_
+#define ADAPTRAJ_DATA_MULTI_DOMAIN_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace adaptraj {
+namespace data {
+
+/// Scales for the simulated corpora.
+struct CorpusConfig {
+  int num_scenes = 10;       // scenes per domain
+  int steps_per_scene = 70;  // recorded steps per scene
+  uint64_t seed = 20240101;
+  /// Scales every domain's passing-side convention; 0 ablates the
+  /// neighbor-driven domain-specific behaviour entirely (DESIGN.md Sec. 6).
+  float passing_bias_scale = 1.0f;
+  SequenceConfig seq;
+};
+
+/// Source-domain training data plus the held-out target-domain test split.
+struct DomainGeneralizationData {
+  /// Source domains in label order (domain_label k <-> source_domains[k]).
+  std::vector<sim::Domain> source_domains;
+  /// Per-source splits with domain_label assigned on every sequence.
+  std::vector<SplitDataset> sources;
+  /// All source train sequences pooled (labels preserved).
+  Dataset pooled_train;
+  /// All source val sequences pooled.
+  Dataset pooled_val;
+  /// Unseen target-domain split (labels = -1); evaluation uses test.
+  sim::Domain target_domain = sim::Domain::kSdd;
+  SplitDataset target;
+};
+
+/// Simulates the source domains and the target domain, assigns domain
+/// labels, and pools the source training data.
+DomainGeneralizationData BuildDomainGeneralizationData(
+    const std::vector<sim::Domain>& source_domains, sim::Domain target_domain,
+    const CorpusConfig& config);
+
+}  // namespace data
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_DATA_MULTI_DOMAIN_H_

@@ -1,0 +1,90 @@
+#include "eval/experiment.h"
+
+#include <chrono>
+
+namespace adaptraj {
+namespace eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+std::string MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kVanilla: return "vanilla";
+    case MethodKind::kCounter: return "Counter";
+    case MethodKind::kCausalMotion: return "CausalMotion";
+    case MethodKind::kAdapTraj: return "AdapTraj";
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown method kind");
+  return "";
+}
+
+std::unique_ptr<core::Method> MakeMethod(const ExperimentConfig& config,
+                                         int num_source_domains) {
+  switch (config.method) {
+    case MethodKind::kVanilla:
+      return std::make_unique<core::VanillaMethod>(config.backbone,
+                                                   config.backbone_config, config.seed);
+    case MethodKind::kCounter:
+      return std::make_unique<core::CounterMethod>(config.backbone,
+                                                   config.backbone_config, config.seed);
+    case MethodKind::kCausalMotion:
+      return std::make_unique<core::CausalMotionMethod>(
+          config.backbone, config.backbone_config, config.seed,
+          config.causal_invariance_weight);
+    case MethodKind::kAdapTraj: {
+      core::AdapTrajConfig model_config = config.adaptraj_config;
+      model_config.num_source_domains = num_source_domains;
+      return std::make_unique<core::AdapTrajMethod>(
+          config.backbone, config.backbone_config, model_config, config.seed,
+          config.variant, config.adaptraj_schedule);
+    }
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown method kind");
+  return nullptr;
+}
+
+ExperimentResult RunExperiment(const data::DomainGeneralizationData& dgd,
+                               const ExperimentConfig& config) {
+  auto method = MakeMethod(config, static_cast<int>(dgd.source_domains.size()));
+
+  ExperimentResult result;
+  const auto t0 = Clock::now();
+  method->Train(dgd, config.train);
+  result.train_seconds = Seconds(t0, Clock::now());
+
+  data::SequenceConfig seq_cfg;
+  result.target = EvaluateMinOfK(*method, dgd.target.test, seq_cfg,
+                                 config.eval_samples, config.eval_batch_size,
+                                 config.seed + 500);
+
+  // Timed inference on one representative batch.
+  const int64_t probe = std::min<int64_t>(32, dgd.target.test.size());
+  std::vector<const data::TrajectorySequence*> seqs;
+  for (int64_t i = 0; i < probe; ++i) seqs.push_back(&dgd.target.test.sequences[i]);
+  data::Batch batch = data::MakeBatch(seqs, seq_cfg);
+  result.inference_seconds = MeasureInferenceSeconds(*method, batch, 10, config.seed);
+  return result;
+}
+
+double MeasureInferenceSeconds(const core::Method& method, const data::Batch& batch,
+                               int iterations, uint64_t seed) {
+  Rng rng(seed);
+  // Warm-up run excluded from timing.
+  (void)method.Predict(batch, &rng, /*sample=*/true);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    (void)method.Predict(batch, &rng, /*sample=*/true);
+  }
+  return Seconds(t0, Clock::now()) / iterations;
+}
+
+}  // namespace eval
+}  // namespace adaptraj

@@ -1,0 +1,61 @@
+// Experiment runner: trains one (backbone x learning-method) pair on a set
+// of source domains and evaluates best-of-K ADE/FDE on the unseen target.
+// Every table/figure bench is a thin loop over RunExperiment.
+
+#ifndef ADAPTRAJ_EVAL_EXPERIMENT_H_
+#define ADAPTRAJ_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/adaptraj_method.h"
+#include "core/baselines.h"
+#include "eval/metrics.h"
+
+namespace adaptraj {
+namespace eval {
+
+/// Learning methods compared in the paper's tables.
+enum class MethodKind { kVanilla, kCounter, kCausalMotion, kAdapTraj };
+
+/// Printable method name as used in the tables.
+std::string MethodKindName(MethodKind kind);
+
+/// Full configuration of one experiment cell.
+struct ExperimentConfig {
+  models::BackboneKind backbone = models::BackboneKind::kPecnet;
+  MethodKind method = MethodKind::kVanilla;
+  models::BackboneConfig backbone_config;
+  core::AdapTrajConfig adaptraj_config;          // num_source_domains set by runner
+  core::AdapTrajTrainConfig adaptraj_schedule;   // Alg. 1 knobs
+  core::AdapTrajVariant variant = core::AdapTrajVariant::kFull;
+  core::TrainConfig train;
+  float causal_invariance_weight = 10.0f;
+  int eval_samples = 20;  // best-of-K
+  int eval_batch_size = 64;
+  uint64_t seed = 99;
+};
+
+/// Outcome of one experiment cell.
+struct ExperimentResult {
+  Metrics target;                 // best-of-K on the unseen target test split
+  double train_seconds = 0.0;
+  double inference_seconds = 0.0;  // mean wall-clock per Predict call
+};
+
+/// Instantiates an untrained method for the given configuration.
+std::unique_ptr<core::Method> MakeMethod(const ExperimentConfig& config,
+                                         int num_source_domains);
+
+/// Trains on dgd's sources and evaluates on its target test split.
+ExperimentResult RunExperiment(const data::DomainGeneralizationData& dgd,
+                               const ExperimentConfig& config);
+
+/// Mean wall-clock seconds of one Predict call on a representative batch.
+double MeasureInferenceSeconds(const core::Method& method, const data::Batch& batch,
+                               int iterations, uint64_t seed);
+
+}  // namespace eval
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_EVAL_EXPERIMENT_H_

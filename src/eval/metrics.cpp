@@ -1,0 +1,97 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/batch.h"
+
+namespace adaptraj {
+namespace eval {
+
+void PerSequenceErrors(const Tensor& pred, const Tensor& ground_truth, int pred_len,
+                       std::vector<float>* ade, std::vector<float>* fde) {
+  ADAPTRAJ_CHECK(ade != nullptr && fde != nullptr);
+  ADAPTRAJ_CHECK_MSG(pred.shape() == ground_truth.shape(),
+                     "prediction/target shape mismatch: " << ShapeToString(pred.shape())
+                                                          << " vs "
+                                                          << ShapeToString(ground_truth.shape()));
+  ADAPTRAJ_CHECK_MSG(pred.dim() == 2 && pred.shape()[1] == pred_len * 2,
+                     "expected [B, pred_len*2]");
+  const int64_t batch = pred.shape()[0];
+  ade->assign(batch, 0.0f);
+  fde->assign(batch, 0.0f);
+  const float* p = pred.data();
+  const float* g = ground_truth.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    float px = 0.0f, py = 0.0f, gx = 0.0f, gy = 0.0f;
+    double total = 0.0;
+    float last = 0.0f;
+    for (int t = 0; t < pred_len; ++t) {
+      px += p[b * pred_len * 2 + t * 2 + 0];
+      py += p[b * pred_len * 2 + t * 2 + 1];
+      gx += g[b * pred_len * 2 + t * 2 + 0];
+      gy += g[b * pred_len * 2 + t * 2 + 1];
+      const float dx = px - gx;
+      const float dy = py - gy;
+      last = std::sqrt(dx * dx + dy * dy);
+      total += last;
+    }
+    (*ade)[b] = static_cast<float>(total / pred_len);
+    (*fde)[b] = last;
+  }
+}
+
+Metrics DisplacementErrors(const Tensor& pred, const Tensor& ground_truth,
+                           int pred_len) {
+  std::vector<float> ade;
+  std::vector<float> fde;
+  PerSequenceErrors(pred, ground_truth, pred_len, &ade, &fde);
+  Metrics m;
+  for (size_t i = 0; i < ade.size(); ++i) {
+    m.ade += ade[i];
+    m.fde += fde[i];
+  }
+  m.ade /= static_cast<float>(ade.size());
+  m.fde /= static_cast<float>(fde.size());
+  return m;
+}
+
+Metrics EvaluateMinOfK(const core::Method& method, const data::Dataset& dataset,
+                       const data::SequenceConfig& config, int k_samples,
+                       int batch_size, uint64_t seed) {
+  ADAPTRAJ_CHECK_MSG(!dataset.empty(), "evaluating on an empty dataset");
+  ADAPTRAJ_CHECK_MSG(k_samples >= 1, "k_samples must be positive");
+  Rng rng(seed);
+  data::BatchLoader loader(&dataset, batch_size, config, seed, /*shuffle=*/false);
+
+  double sum_ade = 0.0;
+  double sum_fde = 0.0;
+  int64_t count = 0;
+  data::Batch batch;
+  while (loader.Next(&batch)) {
+    std::vector<float> best_ade(batch.batch_size, 1e30f);
+    std::vector<float> best_fde(batch.batch_size, 1e30f);
+    for (int k = 0; k < k_samples; ++k) {
+      Tensor pred = method.Predict(batch, &rng, /*sample=*/k_samples > 1);
+      std::vector<float> ade;
+      std::vector<float> fde;
+      PerSequenceErrors(pred, batch.fut_flat, batch.pred_len, &ade, &fde);
+      for (int64_t b = 0; b < batch.batch_size; ++b) {
+        best_ade[b] = std::min(best_ade[b], ade[b]);
+        best_fde[b] = std::min(best_fde[b], fde[b]);
+      }
+    }
+    for (int64_t b = 0; b < batch.batch_size; ++b) {
+      sum_ade += best_ade[b];
+      sum_fde += best_fde[b];
+      ++count;
+    }
+  }
+  Metrics m;
+  m.ade = static_cast<float>(sum_ade / static_cast<double>(count));
+  m.fde = static_cast<float>(sum_fde / static_cast<double>(count));
+  return m;
+}
+
+}  // namespace eval
+}  // namespace adaptraj

@@ -1,0 +1,42 @@
+// Evaluation metrics: best-of-K ADE / FDE (Sec. IV-A3).
+//
+// Predictions and ground truth are per-step displacement sequences; errors
+// are computed on the cumulative (absolute, anchor-relative) positions. The
+// best-of-K protocol samples K futures per sequence and scores the minimum,
+// matching the PECNet / LBEBM evaluation convention.
+
+#ifndef ADAPTRAJ_EVAL_METRICS_H_
+#define ADAPTRAJ_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/method.h"
+#include "data/batch.h"
+
+namespace adaptraj {
+namespace eval {
+
+/// Average / final displacement errors.
+struct Metrics {
+  float ade = 0.0f;
+  float fde = 0.0f;
+};
+
+/// Per-sequence ADE/FDE between displacement tensors [B, pred_len*2].
+void PerSequenceErrors(const Tensor& pred, const Tensor& ground_truth, int pred_len,
+                       std::vector<float>* ade, std::vector<float>* fde);
+
+/// Mean ADE/FDE of one prediction (no sampling).
+Metrics DisplacementErrors(const Tensor& pred, const Tensor& ground_truth, int pred_len);
+
+/// Best-of-K evaluation of a trained method over a dataset: for every
+/// sequence the minimum ADE and minimum FDE over `k_samples` sampled futures
+/// are averaged across the dataset.
+Metrics EvaluateMinOfK(const core::Method& method, const data::Dataset& dataset,
+                       const data::SequenceConfig& config, int k_samples,
+                       int batch_size, uint64_t seed);
+
+}  // namespace eval
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_EVAL_METRICS_H_

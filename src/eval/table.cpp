@@ -1,0 +1,61 @@
+#include "eval/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace eval {
+
+std::string FormatFloat(float value, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+std::string FormatAdeFde(float ade, float fde, int precision) {
+  return FormatFloat(ade, precision) + "/" + FormatFloat(fde, precision);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  ADAPTRAJ_CHECK_EQ(headers_.size(), widths_.size());
+}
+
+namespace {
+
+void PrintCell(const std::string& text, int width) {
+  std::string cell = text.size() > static_cast<size_t>(width)
+                         ? text.substr(0, static_cast<size_t>(width))
+                         : text;
+  std::printf("%-*s", width, cell.c_str());
+  std::printf("  ");
+}
+
+}  // namespace
+
+void TablePrinter::PrintHeader() const {
+  for (size_t i = 0; i < headers_.size(); ++i) PrintCell(headers_[i], widths_[i]);
+  std::printf("\n");
+  PrintSeparator();
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (size_t i = 0; i < widths_.size(); ++i) {
+    PrintCell(i < cells.size() ? cells[i] : "", widths_[i]);
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::PrintSeparator() const {
+  int total = 0;
+  for (int w : widths_) total += w + 2;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+}  // namespace eval
+}  // namespace adaptraj

@@ -1,0 +1,42 @@
+// Fixed-width table rendering for the benchmark binaries, which print
+// paper-vs-measured rows in the layout of the paper's tables.
+
+#ifndef ADAPTRAJ_EVAL_TABLE_H_
+#define ADAPTRAJ_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace adaptraj {
+namespace eval {
+
+/// Formats a float with fixed precision ("0.911").
+std::string FormatFloat(float value, int precision = 3);
+
+/// Formats "ade/fde" cells ("0.911/1.670").
+std::string FormatAdeFde(float ade, float fde, int precision = 3);
+
+/// Monospace table with a header row and separators.
+class TablePrinter {
+ public:
+  /// One width per column; text is left-aligned and truncated to fit.
+  TablePrinter(std::vector<std::string> headers, std::vector<int> widths);
+
+  /// Prints the header and a separator line.
+  void PrintHeader() const;
+
+  /// Prints one row (missing cells render empty).
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  /// Prints a separator line.
+  void PrintSeparator() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+}  // namespace eval
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_EVAL_TABLE_H_

@@ -1,0 +1,52 @@
+#include "models/backbone.h"
+
+#include "models/lbebm.h"
+#include "models/pecnet.h"
+#include "models/seq2seq.h"
+
+namespace adaptraj {
+namespace models {
+
+std::string BackboneKindName(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kSeq2Seq: return "Seq2Seq";
+    case BackboneKind::kPecnet: return "PECNet";
+    case BackboneKind::kLbebm: return "LBEBM";
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown backbone kind");
+  return "";
+}
+
+Tensor Backbone::ResolveExtra(const Tensor& extra, int64_t batch) const {
+  if (config_.extra_dim == 0) {
+    ADAPTRAJ_CHECK_MSG(!extra.defined(),
+                       "extra conditioning passed to a backbone built with extra_dim=0");
+    return Tensor();
+  }
+  if (!extra.defined()) return Tensor::Zeros({batch, config_.extra_dim});
+  ADAPTRAJ_CHECK_MSG(extra.shape() == (Shape{batch, config_.extra_dim}),
+                     "extra conditioning has shape " << ShapeToString(extra.shape())
+                                                     << ", expected [" << batch << ", "
+                                                     << config_.extra_dim << "]");
+  return extra;
+}
+
+Tensor Backbone::WithExtra(const Tensor& base, const Tensor& extra) const {
+  Tensor resolved = ResolveExtra(extra, base.shape()[0]);
+  if (!resolved.defined()) return base;
+  return ops::Concat({base, resolved}, 1);
+}
+
+std::unique_ptr<Backbone> MakeBackbone(BackboneKind kind, const BackboneConfig& config,
+                                       Rng* rng) {
+  switch (kind) {
+    case BackboneKind::kSeq2Seq: return std::make_unique<Seq2SeqBackbone>(config, rng);
+    case BackboneKind::kPecnet: return std::make_unique<PecnetBackbone>(config, rng);
+    case BackboneKind::kLbebm: return std::make_unique<LbebmBackbone>(config, rng);
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown backbone kind");
+  return nullptr;
+}
+
+}  // namespace models
+}  // namespace adaptraj

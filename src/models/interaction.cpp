@@ -1,0 +1,116 @@
+#include "models/interaction.h"
+
+#include <cmath>
+
+namespace adaptraj {
+namespace models {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+std::string InteractionKindName(InteractionKind kind) {
+  switch (kind) {
+    case InteractionKind::kAttention: return "attention";
+    case InteractionKind::kMeanPool: return "mean-pool";
+    case InteractionKind::kMaxPool: return "max-pool";
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown interaction kind");
+  return "";
+}
+
+InteractionPooling::InteractionPooling(int64_t embed_dim, int64_t hidden_dim,
+                                       int64_t social_dim, Rng* rng,
+                                       InteractionKind kind)
+    : kind_(kind),
+      hidden_dim_(hidden_dim),
+      social_dim_(social_dim),
+      step_embed_({2, embed_dim}, rng, nn::Activation::kRelu, nn::Activation::kRelu),
+      encoder_(embed_dim, hidden_dim, rng),
+      offset_embed_({2, embed_dim}, rng, nn::Activation::kRelu, nn::Activation::kRelu),
+      fuse_({hidden_dim + embed_dim, hidden_dim}, rng, nn::Activation::kRelu,
+            nn::Activation::kRelu),
+      out_({hidden_dim, social_dim}, rng, nn::Activation::kRelu, nn::Activation::kNone) {
+  RegisterModule("step_embed", &step_embed_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("offset_embed", &offset_embed_);
+  RegisterModule("fuse", &fuse_);
+  RegisterModule("out", &out_);
+}
+
+Tensor InteractionPooling::EncodeNeighbors(const data::Batch& batch) const {
+  std::vector<Tensor> embedded;
+  embedded.reserve(batch.nbr_steps.size());
+  for (const Tensor& step : batch.nbr_steps) {
+    embedded.push_back(step_embed_.Forward(step));
+  }
+  Tensor h = encoder_.Forward(embedded).h;                   // [B*M, hidden]
+  Tensor off = offset_embed_.Forward(batch.nbr_offsets);     // [B*M, embed]
+  return fuse_.Forward(Concat({h, off}, 1));                 // [B*M, hidden]
+}
+
+Tensor InteractionPooling::PoolAttention(const data::Batch& batch, const Tensor& keys,
+                                         const Tensor& h_focal) const {
+  const int64_t b = batch.batch_size;
+  const int64_t m = batch.max_neighbors;
+  // Dot-product attention scores against the focal state.
+  Tensor query = Reshape(h_focal, {b, 1, hidden_dim_});
+  Tensor scores = SumAxis(BroadcastMul(keys, query), 2);  // [B, M]
+  scores = MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(hidden_dim_)));
+  // Mask padding: invalid slots get -1e9 before the softmax.
+  Tensor invalid = AddScalar(MulScalar(batch.nbr_mask, -1.0f), 1.0f);  // 1 - mask
+  scores = MaskedFill(scores, invalid, -1e9f);
+  Tensor weights = Softmax(scores);  // [B, M]
+  Tensor weighted = BroadcastMul(keys, Reshape(weights, {b, m, 1}));
+  return SumAxis(weighted, 1);  // [B, hidden]
+}
+
+Tensor InteractionPooling::PoolMean(const data::Batch& batch, const Tensor& keys) const {
+  const int64_t b = batch.batch_size;
+  // keys already have padded slots zeroed; divide by the true neighbor count.
+  Tensor sum = SumAxis(keys, 1);                                   // [B, hidden]
+  Tensor count = SumAxis(batch.nbr_mask, 1, /*keepdim=*/true);     // [B, 1]
+  Tensor denom = Clamp(count, 1.0f, 1e9f);
+  Tensor recip = Div(Tensor::Full({b, 1}, 1.0f), denom);           // [B, 1]
+  return BroadcastMul(sum, recip);
+}
+
+Tensor InteractionPooling::PoolMax(const data::Batch& batch, const Tensor& keys) const {
+  const int64_t b = batch.batch_size;
+  const int64_t m = batch.max_neighbors;
+  // Push padded slots to -inf so they never win the max, then gate rows
+  // without any neighbor back to zero.
+  Tensor invalid3 = Reshape(AddScalar(MulScalar(batch.nbr_mask, -1.0f), 1.0f),
+                            {b, m, 1});                                  // 1 - mask
+  Tensor masked = BroadcastAdd(keys, MulScalar(invalid3, -1e9f));        // [B, M, H]
+  Tensor maxed = MaxAxis(masked, 1);                                     // [B, H]
+  Tensor has_any = MaxAxis(batch.nbr_mask, 1, /*keepdim=*/true);         // [B, 1]
+  return BroadcastMul(maxed, has_any);
+}
+
+Tensor InteractionPooling::Pool(const data::Batch& batch, const Tensor& h_focal) const {
+  const int64_t b = batch.batch_size;
+  const int64_t m = batch.max_neighbors;
+  ADAPTRAJ_CHECK_MSG(h_focal.shape() == (Shape{b, hidden_dim_}),
+                     "focal state has wrong shape " << ShapeToString(h_focal.shape()));
+
+  Tensor keys = Reshape(EncodeNeighbors(batch), {b, m, hidden_dim_});
+  Tensor mask3 = Reshape(batch.nbr_mask, {b, m, 1});
+  // Zero padded slots so they cannot contribute to sums or attention.
+  keys = BroadcastMul(keys, mask3);
+
+  Tensor pooled;
+  switch (kind_) {
+    case InteractionKind::kAttention:
+      pooled = PoolAttention(batch, keys, h_focal);
+      break;
+    case InteractionKind::kMeanPool:
+      pooled = PoolMean(batch, keys);
+      break;
+    case InteractionKind::kMaxPool:
+      pooled = PoolMax(batch, keys);
+      break;
+  }
+  return out_.Forward(pooled);  // [B, social_dim]
+}
+
+}  // namespace models
+}  // namespace adaptraj

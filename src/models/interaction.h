@@ -1,0 +1,68 @@
+// Neighbor interaction layer (Eq. 3): shared neighbor encoder plus a
+// selectable aggregation over neighbors producing the interaction tensor
+// P_i. The paper lists pooling, attention and graph mechanisms as valid
+// instantiations of phi; this module implements masked attention (default),
+// masked mean pooling and masked max pooling.
+
+#ifndef ADAPTRAJ_MODELS_INTERACTION_H_
+#define ADAPTRAJ_MODELS_INTERACTION_H_
+
+#include <string>
+
+#include "data/batch.h"
+#include "nn/layers.h"
+
+namespace adaptraj {
+namespace models {
+
+/// Aggregation mechanism used over neighbor features.
+enum class InteractionKind {
+  kAttention,  // dot-product attention against the focal state (default)
+  kMeanPool,   // masked mean over neighbor features (Social-LSTM style)
+  kMaxPool,    // masked elementwise max (Social-GAN style)
+};
+
+/// Printable interaction-kind name.
+std::string InteractionKindName(InteractionKind kind);
+
+/// Encodes each neighbor's observed motion and aggregates over neighbors.
+///
+/// Padding slots contribute nothing: their features are zeroed (attention /
+/// mean) or masked to -inf and gated (max), so sequences without neighbors
+/// receive a zero interaction tensor.
+class InteractionPooling : public nn::Module {
+ public:
+  /// `hidden_dim` must match the focal encoder's state width; `social_dim`
+  /// is the width of the pooled interaction tensor.
+  InteractionPooling(int64_t embed_dim, int64_t hidden_dim, int64_t social_dim,
+                     Rng* rng, InteractionKind kind = InteractionKind::kAttention);
+
+  /// Per-neighbor features [B*M, hidden]: LSTM over displacement steps fused
+  /// with the relative-offset embedding.
+  Tensor EncodeNeighbors(const data::Batch& batch) const;
+
+  /// Interaction tensor P_i [B, social_dim] from focal state h [B, hidden].
+  Tensor Pool(const data::Batch& batch, const Tensor& h_focal) const;
+
+  InteractionKind kind() const { return kind_; }
+
+ private:
+  Tensor PoolAttention(const data::Batch& batch, const Tensor& keys,
+                       const Tensor& h_focal) const;
+  Tensor PoolMean(const data::Batch& batch, const Tensor& keys) const;
+  Tensor PoolMax(const data::Batch& batch, const Tensor& keys) const;
+
+  InteractionKind kind_;
+  int64_t hidden_dim_;
+  int64_t social_dim_;
+  nn::Mlp step_embed_;    // neighbor displacement embedding (Eq. 1 analogue)
+  nn::Lstm encoder_;      // neighbor mobility encoder
+  nn::Mlp offset_embed_;  // relative-position embedding
+  nn::Mlp fuse_;          // [lstm ; offset] -> key/value features
+  nn::Mlp out_;           // pooled -> social_dim
+};
+
+}  // namespace models
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_MODELS_INTERACTION_H_

@@ -1,0 +1,86 @@
+#include "models/pecnet.h"
+
+#include "nn/losses.h"
+
+namespace adaptraj {
+namespace models {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+PecnetBackbone::PecnetBackbone(const BackboneConfig& config, Rng* rng)
+    : Backbone(config),
+      past_encoder_({config.obs_len * 2, config.hidden_dim, config.hidden_dim}, rng,
+                    nn::Activation::kRelu, nn::Activation::kRelu),
+      social_(config.embed_dim, config.hidden_dim, config.social_dim, rng,
+              config.interaction),
+      latent_encoder_({2 + config.hidden_dim, config.hidden_dim, 2 * config.latent_dim},
+                      rng, nn::Activation::kRelu, nn::Activation::kNone),
+      endpoint_decoder_({config.hidden_dim + config.latent_dim, config.hidden_dim, 2},
+                        rng, nn::Activation::kRelu, nn::Activation::kNone),
+      traj_decoder_({config.hidden_dim + config.social_dim + 2 + config.extra_dim,
+                     config.hidden_dim, (config.pred_len - 1) * 2},
+                    rng, nn::Activation::kRelu, nn::Activation::kNone) {
+  ADAPTRAJ_CHECK_MSG(config.pred_len >= 2, "PECNet needs pred_len >= 2");
+  RegisterModule("past_encoder", &past_encoder_);
+  RegisterModule("social", &social_);
+  RegisterModule("latent_encoder", &latent_encoder_);
+  RegisterModule("endpoint_decoder", &endpoint_decoder_);
+  RegisterModule("traj_decoder", &traj_decoder_);
+}
+
+EncodeResult PecnetBackbone::Encode(const data::Batch& batch) const {
+  EncodeResult enc;
+  enc.h_focal = past_encoder_.Forward(batch.obs_flat);
+  enc.pooled = social_.Pool(batch, enc.h_focal);
+  return enc;
+}
+
+Tensor PecnetBackbone::DecodeEndpoint(const Tensor& feat, const Tensor& z) const {
+  return endpoint_decoder_.Forward(Concat({feat, z}, 1));
+}
+
+Tensor PecnetBackbone::DecodeTrajectory(const data::Batch& batch, const EncodeResult& enc,
+                                        const Tensor& endpoint_hat,
+                                        const Tensor& extra) const {
+  Tensor in = Concat({enc.h_focal, enc.pooled, endpoint_hat}, 1);
+  in = WithExtra(in, extra);
+  Tensor partial = traj_decoder_.Forward(in);  // [B, (pred_len-1)*2]
+  // Hard endpoint conditioning: the final displacement closes the gap so the
+  // cumulative path lands exactly on the endpoint.
+  const int64_t b = batch.batch_size;
+  Tensor partial3 = Reshape(partial, {b, config_.pred_len - 1, 2});
+  Tensor last = Sub(endpoint_hat, SumAxis(partial3, 1));  // [B, 2]
+  return Concat({partial, last}, 1);                      // [B, pred_len*2]
+}
+
+Tensor PecnetBackbone::Predict(const data::Batch& batch, const EncodeResult& enc,
+                               const Tensor& extra, Rng* rng, bool sample) const {
+  const int64_t b = batch.batch_size;
+  Tensor z = sample ? Tensor::Randn({b, config_.latent_dim}, rng)
+                    : Tensor::Zeros({b, config_.latent_dim});
+  Tensor endpoint_hat = DecodeEndpoint(enc.h_focal, z);
+  return DecodeTrajectory(batch, enc, endpoint_hat, extra);
+}
+
+Tensor PecnetBackbone::Loss(const data::Batch& batch, const EncodeResult& enc,
+                            const Tensor& extra, Rng* rng) const {
+  const int64_t b = batch.batch_size;
+  // CVAE posterior over the endpoint latent.
+  Tensor stats = latent_encoder_.Forward(Concat({batch.endpoint, enc.h_focal}, 1));
+  Tensor mu = Slice(stats, 1, 0, config_.latent_dim);
+  Tensor logvar = Clamp(Slice(stats, 1, config_.latent_dim, 2 * config_.latent_dim),
+                        -6.0f, 6.0f);
+  Tensor eps = Tensor::Randn({b, config_.latent_dim}, rng);
+  Tensor z = Add(mu, Mul(Exp(MulScalar(logvar, 0.5f)), eps));
+
+  Tensor endpoint_hat = DecodeEndpoint(enc.h_focal, z);
+  Tensor traj = DecodeTrajectory(batch, enc, endpoint_hat, extra);
+
+  Tensor loss = nn::MseLoss(traj, batch.fut_flat);                       // Eq. 8
+  loss = Add(loss, nn::MseLoss(endpoint_hat, batch.endpoint));           // endpoint
+  loss = Add(loss, MulScalar(nn::KlStandardNormal(mu, logvar), kl_weight_));
+  return loss;
+}
+
+}  // namespace models
+}  // namespace adaptraj

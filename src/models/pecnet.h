@@ -1,0 +1,47 @@
+// PECNet-style backbone: endpoint-conditioned trajectory prediction
+// (Mangalam et al., ECCV 2020), reimplemented at reduced width.
+//
+// A CVAE infers a latent over trajectory endpoints; the decoder predicts the
+// remaining waypoints hard-conditioned to land on the sampled endpoint, with
+// a non-local social layer pooling neighbor features.
+
+#ifndef ADAPTRAJ_MODELS_PECNET_H_
+#define ADAPTRAJ_MODELS_PECNET_H_
+
+#include "models/backbone.h"
+#include "models/interaction.h"
+
+namespace adaptraj {
+namespace models {
+
+/// Endpoint-conditioned CVAE backbone.
+class PecnetBackbone : public Backbone {
+ public:
+  PecnetBackbone(const BackboneConfig& config, Rng* rng);
+
+  EncodeResult Encode(const data::Batch& batch) const override;
+  Tensor Predict(const data::Batch& batch, const EncodeResult& enc, const Tensor& extra,
+                 Rng* rng, bool sample) const override;
+  Tensor Loss(const data::Batch& batch, const EncodeResult& enc, const Tensor& extra,
+              Rng* rng) const override;
+  BackboneKind kind() const override { return BackboneKind::kPecnet; }
+
+ private:
+  /// Decodes an endpoint from past features and a latent sample.
+  Tensor DecodeEndpoint(const Tensor& feat, const Tensor& z) const;
+  /// Full future from features, social context, endpoint and conditioning.
+  Tensor DecodeTrajectory(const data::Batch& batch, const EncodeResult& enc,
+                          const Tensor& endpoint_hat, const Tensor& extra) const;
+
+  nn::Mlp past_encoder_;      // observed trajectory -> feature
+  InteractionPooling social_;  // non-local social layer
+  nn::Mlp latent_encoder_;    // q(z | endpoint, feat): outputs [mu ; logvar]
+  nn::Mlp endpoint_decoder_;  // (feat, z) -> endpoint
+  nn::Mlp traj_decoder_;      // (feat, social, endpoint, extra) -> waypoints
+  float kl_weight_ = 0.1f;
+};
+
+}  // namespace models
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_MODELS_PECNET_H_

@@ -1,0 +1,88 @@
+#include "models/seq2seq.h"
+
+#include "nn/losses.h"
+
+namespace adaptraj {
+namespace models {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+Seq2SeqBackbone::Seq2SeqBackbone(const BackboneConfig& config, Rng* rng)
+    : Backbone(config),
+      step_embed_({2, config.embed_dim}, rng, nn::Activation::kRelu,
+                  nn::Activation::kRelu),
+      encoder_(config.embed_dim, config.hidden_dim, rng),
+      interaction_(config.embed_dim, config.hidden_dim, config.social_dim, rng,
+                   config.interaction),
+      decoder_init_({config.hidden_dim + config.social_dim + config.latent_dim +
+                         config.extra_dim,
+                     config.hidden_dim},
+                    rng, nn::Activation::kRelu, nn::Activation::kTanh),
+      decoder_cell_(config.embed_dim + config.social_dim, config.hidden_dim, rng),
+      head_({config.hidden_dim, config.hidden_dim, 2}, rng, nn::Activation::kRelu,
+            nn::Activation::kNone) {
+  RegisterModule("step_embed", &step_embed_);
+  if (config.encoder == EncoderKind::kTransformer) {
+    transformer_ = std::make_unique<nn::TransformerEncoder>(
+        2, config.hidden_dim, config.transformer_blocks, config.obs_len, rng);
+    RegisterModule("transformer", transformer_.get());
+  } else {
+    RegisterModule("encoder", &encoder_);
+  }
+  RegisterModule("interaction", &interaction_);
+  RegisterModule("decoder_init", &decoder_init_);
+  RegisterModule("decoder_cell", &decoder_cell_);
+  RegisterModule("head", &head_);
+}
+
+EncodeResult Seq2SeqBackbone::Encode(const data::Batch& batch) const {
+  EncodeResult enc;
+  if (transformer_ != nullptr) {
+    // Transformer variant of Eq. 2 (embeds its own inputs).
+    enc.h_focal = transformer_->Forward(batch.obs_steps);
+  } else {
+    std::vector<Tensor> embedded;
+    embedded.reserve(batch.obs_steps.size());
+    for (const Tensor& step : batch.obs_steps) {
+      embedded.push_back(step_embed_.Forward(step));  // Eq. 1
+    }
+    enc.h_focal = encoder_.Forward(embedded).h;  // Eq. 2 (LSTM variant)
+  }
+  enc.pooled = interaction_.Pool(batch, enc.h_focal);  // Eq. 3
+  return enc;
+}
+
+Tensor Seq2SeqBackbone::Predict(const data::Batch& batch, const EncodeResult& enc,
+                                const Tensor& extra, Rng* rng, bool sample) const {
+  const int64_t b = batch.batch_size;
+  Tensor z = sample ? Tensor::Randn({b, config_.latent_dim}, rng)
+                    : Tensor::Zeros({b, config_.latent_dim});
+
+  // Eqs. 4-5: decoder state from [c_i ; z] (+ AdapTraj conditioning).
+  Tensor init_in = Concat({enc.h_focal, enc.pooled, z}, 1);
+  init_in = WithExtra(init_in, extra);
+  nn::LstmCell::State state{decoder_init_.Forward(init_in),
+                            Tensor::Zeros({b, config_.hidden_dim})};
+
+  // Eqs. 6-7: autoregressive rollout of future displacements.
+  Tensor prev = batch.obs_steps.back();
+  std::vector<Tensor> outputs;
+  outputs.reserve(config_.pred_len);
+  for (int t = 0; t < config_.pred_len; ++t) {
+    Tensor cell_in = Concat({step_embed_.Forward(prev), enc.pooled}, 1);
+    state = decoder_cell_.Forward(cell_in, state);
+    Tensor disp = head_.Forward(state.h);  // [B, 2]
+    outputs.push_back(disp);
+    prev = disp;
+  }
+  return Concat(outputs, 1);  // [B, pred_len*2]
+}
+
+Tensor Seq2SeqBackbone::Loss(const data::Batch& batch, const EncodeResult& enc,
+                             const Tensor& extra, Rng* rng) const {
+  Tensor pred = Predict(batch, enc, extra, rng, /*sample=*/true);
+  return nn::MseLoss(pred, batch.fut_flat);  // Eq. 8
+}
+
+}  // namespace models
+}  // namespace adaptraj

@@ -1,0 +1,47 @@
+// Plain seq2seq backbone: the reference implementation of Sec. II-C.
+//
+// MLP location embedding (Eq. 1), LSTM individual-mobility encoder (Eq. 2),
+// attention-based neighbor interaction layer (Eq. 3), decoder initialization
+// gamma (Eqs. 4-5) with latent noise z, LSTM trajectory generator psi/mu
+// (Eqs. 6-7). Used by the quickstart example and as the custom-backbone
+// template; the paper's evaluation uses PECNet and LBEBM.
+
+#ifndef ADAPTRAJ_MODELS_SEQ2SEQ_H_
+#define ADAPTRAJ_MODELS_SEQ2SEQ_H_
+
+#include <memory>
+
+#include "models/backbone.h"
+#include "models/interaction.h"
+#include "nn/transformer.h"
+
+namespace adaptraj {
+namespace models {
+
+/// LSTM encoder/decoder backbone with social attention pooling.
+class Seq2SeqBackbone : public Backbone {
+ public:
+  Seq2SeqBackbone(const BackboneConfig& config, Rng* rng);
+
+  EncodeResult Encode(const data::Batch& batch) const override;
+  Tensor Predict(const data::Batch& batch, const EncodeResult& enc, const Tensor& extra,
+                 Rng* rng, bool sample) const override;
+  Tensor Loss(const data::Batch& batch, const EncodeResult& enc, const Tensor& extra,
+              Rng* rng) const override;
+  BackboneKind kind() const override { return BackboneKind::kSeq2Seq; }
+
+ private:
+  nn::Mlp step_embed_;            // phi of Eq. 1
+  nn::Lstm encoder_;              // phi of Eq. 2 (LSTM variant)
+  /// Transformer variant of Eq. 2; null unless configured.
+  std::unique_ptr<nn::TransformerEncoder> transformer_;
+  InteractionPooling interaction_;  // phi of Eq. 3
+  nn::Mlp decoder_init_;          // gamma of Eq. 4
+  nn::LstmCell decoder_cell_;     // psi of Eq. 6
+  nn::Mlp head_;                  // mu of Eq. 7: hidden -> displacement
+};
+
+}  // namespace models
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_MODELS_SEQ2SEQ_H_

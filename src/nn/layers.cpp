@@ -1,0 +1,94 @@
+#include "nn/layers.h"
+
+namespace adaptraj {
+namespace nn {
+
+using namespace ops;  // NOLINT(build/namespaces): op sugar within the library
+
+Tensor Activate(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return Relu(x);
+    case Activation::kTanh: return Tanh(x);
+    case Activation::kSigmoid: return Sigmoid(x);
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unreachable activation");
+  return x;
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng) {
+  weight_ = RegisterParameter("w", XavierMatrix(in_features, out_features, rng));
+  bias_ = RegisterParameter("b", Tensor::Zeros({1, out_features}));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  ADAPTRAJ_CHECK_MSG(x.dim() == 2 && x.shape()[1] == in_features(),
+                     "Linear expects [B, " << in_features() << "]; got "
+                                           << ShapeToString(x.shape()));
+  return BroadcastAdd(MatMul(x, weight_), bias_);
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, Activation hidden, Activation output)
+    : hidden_(hidden), output_(output) {
+  ADAPTRAJ_CHECK_MSG(dims.size() >= 2, "Mlp needs at least input and output widths");
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("fc" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    h = Activate(h, i + 1 < layers_.size() ? hidden_ : output_);
+  }
+  return h;
+}
+
+int64_t Mlp::out_features() const { return layers_.back()->out_features(); }
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter("w_ih", XavierMatrix(input_size, 4 * hidden_size, rng));
+  w_hh_ = RegisterParameter("w_hh", XavierMatrix(hidden_size, 4 * hidden_size, rng));
+  Tensor bias = Tensor::Zeros({1, 4 * hidden_size});
+  // Forget-gate bias = 1 eases gradient flow early in training.
+  for (int64_t j = hidden_size; j < 2 * hidden_size; ++j) bias.data()[j] = 1.0f;
+  bias_ = RegisterParameter("b", bias);
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return {Tensor::Zeros({batch, hidden_size_}), Tensor::Zeros({batch, hidden_size_})};
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& state) const {
+  const int64_t h = hidden_size_;
+  Tensor gates = BroadcastAdd(Add(MatMul(x, w_ih_), MatMul(state.h, w_hh_)), bias_);
+  Tensor i_gate = Sigmoid(Slice(gates, 1, 0, h));
+  Tensor f_gate = Sigmoid(Slice(gates, 1, h, 2 * h));
+  Tensor g_gate = Tanh(Slice(gates, 1, 2 * h, 3 * h));
+  Tensor o_gate = Sigmoid(Slice(gates, 1, 3 * h, 4 * h));
+  Tensor c_next = Add(Mul(f_gate, state.c), Mul(i_gate, g_gate));
+  Tensor h_next = Mul(o_gate, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+LstmCell::State Lstm::Forward(const std::vector<Tensor>& steps,
+                              std::vector<Tensor>* outputs) const {
+  ADAPTRAJ_CHECK_MSG(!steps.empty(), "Lstm::Forward on empty sequence");
+  LstmCell::State state = cell_.InitialState(steps[0].shape()[0]);
+  for (const Tensor& x : steps) {
+    state = cell_.Forward(x, state);
+    if (outputs != nullptr) outputs->push_back(state.h);
+  }
+  return state;
+}
+
+}  // namespace nn
+}  // namespace adaptraj

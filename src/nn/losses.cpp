@@ -1,0 +1,41 @@
+#include "nn/losses.h"
+
+namespace adaptraj {
+namespace nn {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor SimseLoss(const Tensor& pred, const Tensor& target) {
+  Tensor diff = Sub(pred, target);
+  const float m = static_cast<float>(diff.size());
+  Tensor first = MulScalar(Sum(Square(diff)), 1.0f / m);
+  Tensor second = MulScalar(Square(Sum(diff)), 1.0f / (m * m));
+  return Sub(first, second);
+}
+
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels) {
+  return NllLoss(LogSoftmax(logits), labels);
+}
+
+Tensor KlStandardNormal(const Tensor& mu, const Tensor& logvar) {
+  ADAPTRAJ_CHECK_MSG(mu.shape() == logvar.shape(), "KL: mu/logvar shape mismatch");
+  const float batch = static_cast<float>(mu.shape()[0]);
+  // -0.5 * sum(1 + logvar - mu^2 - exp(logvar)) / B
+  Tensor inner = Sub(Sub(AddScalar(logvar, 1.0f), Square(mu)), Exp(logvar));
+  return MulScalar(Sum(inner), -0.5f / batch);
+}
+
+Tensor OrthogonalityLoss(const Tensor& a, const Tensor& b) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == 2 && b.dim() == 2 && a.shape()[0] == b.shape()[0],
+                     "OrthogonalityLoss expects [B, D1], [B, D2] with equal batch");
+  const float batch = static_cast<float>(a.shape()[0]);
+  Tensor gram = MatMul(Transpose(a), b);  // [D1, D2]
+  return MulScalar(Sum(Square(gram)), 1.0f / (batch * batch));
+}
+
+}  // namespace nn
+}  // namespace adaptraj

@@ -1,0 +1,35 @@
+// Loss functions used by the backbones and the AdapTraj framework.
+
+#ifndef ADAPTRAJ_NN_LOSSES_H_
+#define ADAPTRAJ_NN_LOSSES_H_
+
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace nn {
+
+/// Mean squared error over all elements.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+/// Scale-invariant MSE (Eq. 14): (1/m)||d||^2 - (1/m^2)(sum d)^2 where
+/// d = pred - target and m is the element count. Credits errors that share a
+/// direction; used for the AdapTraj reconstruction loss.
+Tensor SimseLoss(const Tensor& pred, const Tensor& target);
+
+/// Cross entropy from raw logits [B, C] against integer labels.
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels);
+
+/// KL( N(mu, exp(logvar)) || N(0, I) ), averaged over the batch dimension.
+Tensor KlStandardNormal(const Tensor& mu, const Tensor& logvar);
+
+/// Squared-Frobenius soft orthogonality between two feature matrices
+/// [B, D1], [B, D2]: ||A^T B||_F^2 (Eq. 20's per-term form). Normalized by
+/// batch size squared so the magnitude is batch-invariant.
+Tensor OrthogonalityLoss(const Tensor& a, const Tensor& b);
+
+}  // namespace nn
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_NN_LOSSES_H_

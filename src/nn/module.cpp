@@ -1,0 +1,57 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace adaptraj {
+namespace nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : params_) out.push_back(t);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, t] : params_) out.emplace_back(name, t);
+  for (const auto& [name, child] : children_) {
+    for (auto& [sub_name, t] : child->NamedParameters()) {
+      out.emplace_back(name + "." + sub_name, t);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::NumParams() const {
+  int64_t n = 0;
+  for (const Tensor& t : Parameters()) n += t.size();
+  return n;
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  ADAPTRAJ_CHECK_MSG(t.defined(), "registering null parameter " << name);
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  ADAPTRAJ_CHECK_MSG(child != nullptr, "registering null module " << name);
+  children_.emplace_back(name, child);
+}
+
+Tensor XavierMatrix(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand({fan_in, fan_out}, rng, -limit, limit);
+}
+
+}  // namespace nn
+}  // namespace adaptraj

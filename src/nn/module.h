@@ -1,0 +1,56 @@
+// Module: base class for neural-network components with parameter registry.
+//
+// A Module owns its submodules as ordinary members and registers them (plus
+// its own parameters) so that Parameters()/NamedParameters() can walk the
+// tree for optimizers and (de)serialization.
+
+#ifndef ADAPTRAJ_NN_MODULE_H_
+#define ADAPTRAJ_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adaptraj {
+namespace nn {
+
+/// Base class for trainable components.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module and its registered submodules.
+  std::vector<Tensor> Parameters() const;
+
+  /// All parameters with hierarchical dotted names ("enc.w", ...).
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Zeroes gradient buffers of every parameter in the tree.
+  void ZeroGrad();
+
+  /// Total scalar parameter count.
+  int64_t NumParams() const;
+
+ protected:
+  Module() = default;
+
+  /// Records a parameter; returns it for convenient member initialization.
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+
+  /// Records a non-owning pointer to a submodule (owned as a member).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+/// Xavier/Glorot-uniform initialized matrix of shape [fan_in, fan_out].
+Tensor XavierMatrix(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+}  // namespace nn
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_NN_MODULE_H_

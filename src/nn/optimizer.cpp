@@ -1,0 +1,106 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace adaptraj {
+namespace nn {
+
+int Optimizer::AddGroup(std::vector<Tensor> params, float lr_scale) {
+  for (const Tensor& p : params) {
+    ADAPTRAJ_CHECK_MSG(p.requires_grad(), "optimizer parameter does not require grad");
+  }
+  groups_.push_back({std::move(params), lr_scale});
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+void Optimizer::SetGroupScale(int group, float lr_scale) {
+  ADAPTRAJ_CHECK_MSG(group >= 0 && group < static_cast<int>(groups_.size()),
+                     "bad group index " << group);
+  groups_[group].lr_scale = lr_scale;
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& g : groups_) {
+    for (Tensor& p : g.params) p.ZeroGrad();
+  }
+}
+
+Sgd::Sgd(float lr, float momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::Step() {
+  velocity_.resize(groups_.size());
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    auto& group = groups_[gi];
+    velocity_[gi].resize(group.params.size());
+    const float lr = lr_ * group.lr_scale;
+    for (size_t pi = 0; pi < group.params.size(); ++pi) {
+      Tensor& p = group.params[pi];
+      auto& impl = *p.impl();
+      if (impl.grad.empty()) continue;
+      auto& vel = velocity_[gi][pi];
+      if (momentum_ != 0.0f && vel.empty()) vel.assign(impl.data.size(), 0.0f);
+      for (size_t i = 0; i < impl.data.size(); ++i) {
+        float g = impl.grad[i];
+        if (momentum_ != 0.0f) {
+          vel[i] = momentum_ * vel[i] + g;
+          g = vel[i];
+        }
+        impl.data[i] -= lr * g;
+      }
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps, float weight_decay)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+void Adam::Step() {
+  ++t_;
+  m_.resize(groups_.size());
+  v_.resize(groups_.size());
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    auto& group = groups_[gi];
+    m_[gi].resize(group.params.size());
+    v_[gi].resize(group.params.size());
+    const float lr = lr_ * group.lr_scale;
+    if (lr == 0.0f) continue;
+    for (size_t pi = 0; pi < group.params.size(); ++pi) {
+      Tensor& p = group.params[pi];
+      auto& impl = *p.impl();
+      if (impl.grad.empty()) continue;
+      auto& m = m_[gi][pi];
+      auto& v = v_[gi][pi];
+      if (m.empty()) m.assign(impl.data.size(), 0.0f);
+      if (v.empty()) v.assign(impl.data.size(), 0.0f);
+      for (size_t i = 0; i < impl.data.size(); ++i) {
+        float g = impl.grad[i];
+        if (weight_decay_ != 0.0f) g += weight_decay_ * impl.data[i];
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+        const float m_hat = m[i] / bc1;
+        const float v_hat = v[i] / bc2;
+        impl.data[i] -= lr * m_hat / (std::sqrt(v_hat) + eps_);
+      }
+    }
+  }
+}
+
+void ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (const Tensor& p : params) {
+    const auto& impl = *p.impl();
+    for (float g : impl.grad) total += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (const Tensor& p : params) {
+    auto& impl = *p.impl();
+    for (float& g : impl.grad) g *= scale;
+  }
+}
+
+}  // namespace nn
+}  // namespace adaptraj

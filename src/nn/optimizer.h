@@ -1,0 +1,87 @@
+// Optimizers with parameter groups.
+//
+// AdapTraj's Alg. 1 trains different module groups at different learning-rate
+// fractions (f_low / f_high) that change between phases, so groups carry a
+// mutable scale factor on top of the base learning rate.
+
+#ifndef ADAPTRAJ_NN_OPTIMIZER_H_
+#define ADAPTRAJ_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adaptraj {
+namespace nn {
+
+/// A set of parameters sharing a learning-rate scale.
+struct ParamGroup {
+  std::vector<Tensor> params;
+  float lr_scale = 1.0f;
+};
+
+/// Optimizer interface: groups of parameters stepped against their gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Adds a group; returns its index for later SetGroupScale calls.
+  int AddGroup(std::vector<Tensor> params, float lr_scale = 1.0f);
+
+  /// Updates the learning-rate scale of a group.
+  void SetGroupScale(int group, float lr_scale);
+
+  /// Sets the base learning rate.
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+  /// Zeroes gradients of every managed parameter.
+  void ZeroGrad();
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+
+  float lr_;
+  std::vector<ParamGroup> groups_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<std::vector<float>>> velocity_;  // [group][param][i]
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional weight decay.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<std::vector<float>>> m_;  // first moment
+  std::vector<std::vector<std::vector<float>>> v_;  // second moment
+};
+
+/// Rescales gradients in-place so their global L2 norm is at most max_norm.
+void ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_NN_OPTIMIZER_H_

@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace adaptraj {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[] = "ATRJ1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kMagic, kMagicLen);
+  auto named = module.NamedParameters();
+  const uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, t] : named) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), name_len);
+    const uint32_t rank = static_cast<uint32_t>(t.shape().size());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int64_t d : t.shape()) {
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  ADAPTRAJ_CHECK(module != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  if (!in || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::Invalid(path + " is not an AdapTraj checkpoint");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return Status::IOError("truncated checkpoint " + path);
+
+  auto named = module->NamedParameters();
+  std::map<std::string, Tensor> by_name;
+  for (auto& [name, t] : named) by_name.emplace(name, t);
+  if (count != named.size()) {
+    return Status::Invalid("checkpoint has " + std::to_string(count) +
+                           " parameters; module has " + std::to_string(named.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) return Status::Invalid("corrupt name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in || rank > 8) return Status::Invalid("corrupt rank for " + name);
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      in.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("parameter " + name + " not present in module");
+    }
+    Tensor t = it->second;
+    if (t.shape() != shape) {
+      return Status::Invalid("shape mismatch for " + name + ": checkpoint " +
+                             ShapeToString(shape) + " vs module " +
+                             ShapeToString(t.shape()));
+    }
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) return Status::IOError("truncated data for " + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace adaptraj

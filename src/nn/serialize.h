@@ -1,0 +1,27 @@
+// Binary checkpointing of module parameters (Status-based, no exceptions).
+
+#ifndef ADAPTRAJ_NN_SERIALIZE_H_
+#define ADAPTRAJ_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace nn {
+
+/// Writes every named parameter of `module` to `path`.
+///
+/// Format: magic "ATRJ1\n", uint64 count, then per parameter: uint32 name
+/// length, name bytes, uint32 rank, int64 dims, float32 data.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters saved by SaveParameters. Names and shapes must match
+/// the module exactly; extra or missing entries are errors.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_NN_SERIALIZE_H_

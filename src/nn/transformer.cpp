@@ -1,0 +1,123 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace adaptraj {
+namespace nn {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+LayerNorm::LayerNorm(int64_t features, float eps) : features_(features), eps_(eps) {
+  gain_ = RegisterParameter("gain", Tensor::Full({1, features}, 1.0f));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1, features}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  ADAPTRAJ_CHECK_MSG(x.dim() >= 1 && x.shape().back() == features_,
+                     "LayerNorm expects last axis " << features_ << "; got "
+                                                    << ShapeToString(x.shape()));
+  Tensor mean = MeanAxis(x, -1, /*keepdim=*/true);
+  Tensor centered = BroadcastAdd(x, Neg(mean));
+  Tensor var = MeanAxis(Square(centered), -1, /*keepdim=*/true);
+  Tensor inv = Div(Tensor::Full(var.shape(), 1.0f), Sqrt(AddScalar(var, eps_)));
+  Tensor normalized = BroadcastMul(centered, inv);
+  // Reshape the learned gain/bias to the input rank for broadcasting.
+  Shape param_shape(x.dim(), 1);
+  param_shape.back() = features_;
+  Tensor g = Reshape(gain_, param_shape);
+  Tensor b = Reshape(bias_, param_shape);
+  return BroadcastAdd(BroadcastMul(normalized, g), b);
+}
+
+TransformerBlock::TransformerBlock(int64_t model_dim, int64_t ff_dim, Rng* rng)
+    : model_dim_(model_dim),
+      norm_attn_(model_dim),
+      norm_ff_(model_dim),
+      q_(model_dim, model_dim, rng),
+      k_(model_dim, model_dim, rng),
+      v_(model_dim, model_dim, rng),
+      proj_(model_dim, model_dim, rng),
+      ff_({model_dim, ff_dim, model_dim}, rng, Activation::kRelu, Activation::kNone) {
+  RegisterModule("norm_attn", &norm_attn_);
+  RegisterModule("norm_ff", &norm_ff_);
+  RegisterModule("q", &q_);
+  RegisterModule("k", &k_);
+  RegisterModule("v", &v_);
+  RegisterModule("proj", &proj_);
+  RegisterModule("ff", &ff_);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x) const {
+  ADAPTRAJ_CHECK_MSG(x.dim() == 3 && x.shape()[2] == model_dim_,
+                     "TransformerBlock expects [B, T, D]; got "
+                         << ShapeToString(x.shape()));
+  const int64_t b = x.shape()[0];
+  const int64_t t = x.shape()[1];
+  const int64_t d = model_dim_;
+
+  // Pre-norm attention.
+  Tensor h = norm_attn_.Forward(x);
+  Tensor flat = Reshape(h, {b * t, d});
+  Tensor q = Reshape(q_.Forward(flat), {b, t, 1, d});
+  Tensor k = Reshape(k_.Forward(flat), {b, 1, t, d});
+  Tensor v = Reshape(v_.Forward(flat), {b, 1, t, d});
+
+  // scores[b,i,j] = q[b,i,:] . k[b,j,:] / sqrt(d); materialize the tiled
+  // query so both operands broadcast against a common [B, T, T, D] shape.
+  Tensor zeros = Tensor::Zeros({b, t, t, d});
+  Tensor q_tiled = BroadcastAdd(zeros, q);
+  Tensor scores = SumAxis(BroadcastMul(q_tiled, k), 3);  // [B, T, T]
+  scores = MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(d)));
+  Tensor weights = Softmax(scores);  // softmax over keys (last axis)
+
+  Tensor w_tiled = BroadcastAdd(zeros, Reshape(weights, {b, t, t, 1}));
+  Tensor attended = SumAxis(BroadcastMul(w_tiled, v), 2);  // [B, T, D]
+  Tensor attn_out =
+      Reshape(proj_.Forward(Reshape(attended, {b * t, d})), {b, t, d});
+  Tensor res1 = Add(x, attn_out);
+
+  // Pre-norm feed-forward.
+  Tensor h2 = norm_ff_.Forward(res1);
+  Tensor ff_out = Reshape(ff_.Forward(Reshape(h2, {b * t, d})), {b, t, d});
+  return Add(res1, ff_out);
+}
+
+TransformerEncoder::TransformerEncoder(int64_t input_dim, int64_t model_dim,
+                                       int num_blocks, int max_len, Rng* rng)
+    : model_dim_(model_dim),
+      max_len_(max_len),
+      input_proj_(input_dim, model_dim, rng),
+      final_norm_(model_dim) {
+  ADAPTRAJ_CHECK_MSG(num_blocks >= 1, "need at least one Transformer block");
+  RegisterModule("input_proj", &input_proj_);
+  positions_ = RegisterParameter(
+      "positions", Tensor::Randn({static_cast<int64_t>(max_len), model_dim}, rng, 0.1f));
+  for (int i = 0; i < num_blocks; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(model_dim, 2 * model_dim, rng));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+  RegisterModule("final_norm", &final_norm_);
+}
+
+Tensor TransformerEncoder::Forward(const std::vector<Tensor>& steps) const {
+  ADAPTRAJ_CHECK_MSG(!steps.empty(), "TransformerEncoder on empty sequence");
+  ADAPTRAJ_CHECK_MSG(static_cast<int>(steps.size()) <= max_len_,
+                     "sequence longer than max_len " << max_len_);
+  const int64_t b = steps[0].shape()[0];
+  const int64_t t = static_cast<int64_t>(steps.size());
+
+  std::vector<Tensor> embedded;
+  embedded.reserve(steps.size());
+  for (int64_t i = 0; i < t; ++i) {
+    Tensor e = input_proj_.Forward(steps[i]);                       // [B, D]
+    Tensor pos = Slice(positions_, 0, i, i + 1);                    // [1, D]
+    embedded.push_back(Reshape(BroadcastAdd(e, pos), {b, 1, model_dim_}));
+  }
+  Tensor x = Concat(embedded, 1);  // [B, T, D]
+  for (const auto& block : blocks_) x = block->Forward(x);
+  x = final_norm_.Forward(x);
+  return Reshape(Slice(x, 1, t - 1, t), {b, model_dim_});  // last step
+}
+
+}  // namespace nn
+}  // namespace adaptraj

@@ -1,0 +1,79 @@
+// Single-head Transformer encoder for trajectory sequences.
+//
+// The paper's individual mobility layer (Sec. II-C) allows "any sequential
+// models, such as LSTM, or more advanced models like Transformer". This is
+// the Transformer instantiation: learned positional embeddings, one (or
+// more) pre-norm self-attention blocks with residual feed-forward layers.
+
+#ifndef ADAPTRAJ_NN_TRANSFORMER_H_
+#define ADAPTRAJ_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace adaptraj {
+namespace nn {
+
+/// Layer normalization over the last axis with learned gain and bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  /// Normalizes the last axis of x (any rank >= 1, last extent == features).
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Tensor gain_;  // [1, features]
+  Tensor bias_;  // [1, features]
+};
+
+/// One pre-norm Transformer block: self-attention + feed-forward, both with
+/// residual connections. Single attention head (widths here are small).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t model_dim, int64_t ff_dim, Rng* rng);
+
+  /// x is [B, T, D]; attention is bidirectional over the T observed steps.
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t model_dim_;
+  LayerNorm norm_attn_;
+  LayerNorm norm_ff_;
+  Linear q_;
+  Linear k_;
+  Linear v_;
+  Linear proj_;
+  Mlp ff_;
+};
+
+/// Sequence encoder: embeds per-step inputs, adds learned positional
+/// embeddings, applies `num_blocks` Transformer blocks and returns the final
+/// step's representation (the analogue of an LSTM's last hidden state).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t input_dim, int64_t model_dim, int num_blocks, int max_len,
+                     Rng* rng);
+
+  /// steps: T tensors of [B, input_dim], T <= max_len. Returns [B, model_dim].
+  Tensor Forward(const std::vector<Tensor>& steps) const;
+
+  int64_t model_dim() const { return model_dim_; }
+
+ private:
+  int64_t model_dim_;
+  int max_len_;
+  Linear input_proj_;
+  Tensor positions_;  // [max_len, model_dim] learned positional embedding
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm final_norm_;
+};
+
+}  // namespace nn
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_NN_TRANSFORMER_H_

@@ -1,0 +1,122 @@
+#include "sim/domain_spec.h"
+
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace sim {
+
+std::vector<Domain> AllDomains() {
+  return {Domain::kEthUcy, Domain::kLcas, Domain::kSyi, Domain::kSdd};
+}
+
+std::string DomainName(Domain d) {
+  switch (d) {
+    case Domain::kEthUcy: return "ETH&UCY";
+    case Domain::kLcas: return "L-CAS";
+    case Domain::kSyi: return "SYI";
+    case Domain::kSdd: return "SDD";
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown domain");
+  return "";
+}
+
+// Preset values are calibrated so that the per-step velocity/acceleration
+// statistics computed by data::ComputeDomainStats approximate the paper's
+// Table I (see bench_table1_dataset_stats for paper-vs-measured output).
+
+DomainSpec EthUcySpec() {
+  DomainSpec s;
+  s.name = DomainName(Domain::kEthUcy);
+  s.domain = Domain::kEthUcy;
+  s.flow = FlowPattern::kBidirectionalX;
+  s.mean_agents = 6.7f;
+  s.std_agents = 5.0f;
+  s.desired_speed_mean = 0.39f;
+  s.desired_speed_std = 0.15f;
+  s.flow_angle_jitter = 0.30f;
+  s.cross_flow_prob = 0.05f;
+  s.noise_std_x = 0.030f;
+  s.noise_std_y = 0.030f;
+  s.passing_side_bias = 0.45f;  // right-of-way convention
+  s.group_prob = 0.25f;
+  s.world_width = 14.0f;
+  s.world_height = 12.0f;
+  return s;
+}
+
+DomainSpec LcasSpec() {
+  DomainSpec s;
+  s.name = DomainName(Domain::kLcas);
+  s.domain = Domain::kLcas;
+  s.flow = FlowPattern::kIndoorMixed;
+  s.mean_agents = 6.2f;
+  s.std_agents = 3.0f;
+  s.desired_speed_mean = 0.19f;
+  s.desired_speed_std = 0.06f;
+  s.flow_angle_jitter = 0.40f;
+  s.cross_flow_prob = 0.12f;
+  s.noise_std_x = 0.066f;  // indoor motion is jerky relative to its speed
+  s.noise_std_y = 0.062f;
+  s.passing_side_bias = -0.5f;  // opposite (left) evasion convention
+  s.group_prob = 0.35f;
+  s.desired_speed_std = 0.05f;
+  s.world_width = 9.0f;
+  s.world_height = 8.0f;
+  s.repulsion_range = 0.4f;
+  return s;
+}
+
+DomainSpec SyiSpec() {
+  DomainSpec s;
+  s.name = DomainName(Domain::kSyi);
+  s.domain = Domain::kSyi;
+  s.flow = FlowPattern::kCorridorY;
+  s.mean_agents = 28.0f;
+  s.std_agents = 16.0f;
+  s.desired_speed_mean = 1.17f;
+  s.desired_speed_std = 0.20f;
+  s.flow_angle_jitter = 0.40f;
+  s.cross_flow_prob = 0.0f;
+  s.noise_std_x = 0.125f;
+  s.noise_std_y = 0.52f;  // stop-and-go surges along the corridor
+  s.passing_side_bias = 0.7f;  // strong right-hand convention in dense flow
+  s.group_prob = 0.1f;
+  s.world_width = 12.0f;
+  s.world_height = 44.0f;
+  s.repulsion_strength = 1.6f;
+  return s;
+}
+
+DomainSpec SddSpec() {
+  DomainSpec s;
+  s.name = DomainName(Domain::kSdd);
+  s.domain = Domain::kSdd;
+  s.flow = FlowPattern::kCampusMixed;
+  s.mean_agents = 13.6f;
+  s.std_agents = 9.0f;
+  s.desired_speed_mean = 0.40f;
+  s.desired_speed_std = 0.22f;
+  s.flow_angle_jitter = 0.35f;
+  s.cross_flow_prob = 0.32f;
+  s.noise_std_x = 0.085f;
+  s.noise_std_y = 0.095f;
+  s.passing_side_bias = 0.15f;  // weak convention: cyclists/pedestrians mix
+  s.group_prob = 0.2f;
+  s.world_width = 20.0f;
+  s.world_height = 18.0f;
+  return s;
+}
+
+DomainSpec SpecForDomain(Domain d) {
+  switch (d) {
+    case Domain::kEthUcy: return EthUcySpec();
+    case Domain::kLcas: return LcasSpec();
+    case Domain::kSyi: return SyiSpec();
+    case Domain::kSdd: return SddSpec();
+  }
+  ADAPTRAJ_CHECK_MSG(false, "unknown domain");
+  return DomainSpec();
+}
+
+}  // namespace sim
+}  // namespace adaptraj

@@ -1,0 +1,101 @@
+// Domain presets for the synthetic trajectory corpora.
+//
+// The paper evaluates on four real datasets (ETH&UCY, L-CAS, SYI, SDD) whose
+// Table-I statistics differ strongly in crowd density, velocity, and
+// acceleration. We reproduce those axes of distribution shift with a
+// social-force simulator parameterized per domain (see DESIGN.md,
+// "Substitutions"). Each preset also fixes a passing-side convention — the
+// neighbor-driven domain-SPECIFIC behaviour ("yielding right-of-way or
+// left-of-way", Sec. I) that AdapTraj's specific extractors must capture and
+// Counter's counterfactual discards.
+
+#ifndef ADAPTRAJ_SIM_DOMAIN_SPEC_H_
+#define ADAPTRAJ_SIM_DOMAIN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace adaptraj {
+namespace sim {
+
+/// The four trajectory domains used throughout the paper's evaluation.
+enum class Domain { kEthUcy = 0, kLcas = 1, kSyi = 2, kSdd = 3 };
+
+/// All domains, in the paper's canonical order.
+std::vector<Domain> AllDomains();
+
+/// Short dataset name as printed in the paper's tables.
+std::string DomainName(Domain d);
+
+/// Dominant direction of crowd flow in a scene.
+enum class FlowPattern {
+  kBidirectionalX,  // two opposing streams along the x axis (ETH&UCY-like)
+  kIndoorMixed,     // slow wandering with frequent direction changes (L-CAS)
+  kCorridorY,       // dense fast corridor along the y axis (SYI-like)
+  kCampusMixed,     // multiple crossing streams (SDD-like)
+};
+
+/// Parameters of one simulated domain.
+struct DomainSpec {
+  std::string name;
+  Domain domain = Domain::kEthUcy;
+  FlowPattern flow = FlowPattern::kBidirectionalX;
+
+  // Crowd density: concurrently active agents per scene.
+  float mean_agents = 9.0f;
+  float std_agents = 3.0f;
+
+  // Kinematics. Speeds are world units per recorded step (dt seconds);
+  // Table I's v/a statistics are computed on the same per-step scale.
+  float desired_speed_mean = 0.3f;
+  float desired_speed_std = 0.1f;
+  float relaxation_time = 0.8f;  // tau of the goal-restoring force (s)
+
+  // Social-force interaction parameters (Helbing & Molnar).
+  float repulsion_strength = 1.2f;  // A
+  float repulsion_range = 0.5f;     // B (m)
+  float agent_radius = 0.25f;       // body radius (m)
+  float anisotropy = 0.4f;          // lambda: field-of-view weighting
+
+  /// Signed passing-side convention in radians: positive rotates the evasion
+  /// direction clockwise (evade to the agent's right / yield right-of-way),
+  /// negative counter-clockwise. This is the domain-specific neighbor
+  /// behaviour; set to 0 to ablate it (tests use this).
+  float passing_side_bias = 0.4f;
+
+  // Group behaviour.
+  float group_prob = 0.2f;      // chance a spawned agent brings a partner
+  float group_cohesion = 0.6f;  // attraction toward group centroid
+
+  // Flow-direction sampling.
+  float flow_angle_jitter = 0.3f;  // std (rad) around the dominant direction
+  float cross_flow_prob = 0.0f;    // probability of following the minor axis
+
+  // Per-axis Gaussian velocity noise per recorded step (drives the Table I
+  // acceleration statistics).
+  float noise_std_x = 0.03f;
+  float noise_std_y = 0.03f;
+
+  // World geometry (meters) and timing.
+  float world_width = 14.0f;
+  float world_height = 14.0f;
+  float dt = 0.4f;    // recording interval (s), matching TrajNet++
+  int substeps = 4;   // physics sub-steps per recorded step
+};
+
+/// ETH&UCY-like preset: moderate density, horizontal bidirectional flow.
+DomainSpec EthUcySpec();
+/// L-CAS-like preset: slow indoor motion, small velocities, jerky.
+DomainSpec LcasSpec();
+/// SYI-like preset: very dense fast vertical corridor (highest v/a on y).
+DomainSpec SyiSpec();
+/// SDD-like preset: campus-scale mixed crossing flows.
+DomainSpec SddSpec();
+
+/// Preset lookup by domain tag.
+DomainSpec SpecForDomain(Domain d);
+
+}  // namespace sim
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_SIM_DOMAIN_SPEC_H_

@@ -1,0 +1,279 @@
+#include "sim/social_force.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace sim {
+
+namespace {
+
+constexpr float kWallStrength = 2.0f;
+constexpr float kWallRange = 0.3f;
+constexpr float kArrivalRadius = 0.6f;
+constexpr float kNeighborCutoffFactor = 6.0f;  // in units of repulsion_range
+
+}  // namespace
+
+int Scene::ActiveAgentsAt(int step) const {
+  int count = 0;
+  for (const AgentTrack& t : tracks) {
+    if (step >= t.start_step &&
+        step < t.start_step + static_cast<int>(t.points.size())) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+SocialForceSimulator::SocialForceSimulator(const DomainSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  ADAPTRAJ_CHECK_MSG(spec_.substeps >= 1, "substeps must be positive");
+  ADAPTRAJ_CHECK_MSG(spec_.dt > 0.0f, "dt must be positive");
+}
+
+float SocialForceSimulator::SampleTargetCount() {
+  float c = rng_.Normal(spec_.mean_agents, spec_.std_agents);
+  return std::max(2.0f, c);
+}
+
+void SocialForceSimulator::SampleRoute(Vec2* pos, Vec2* goal) {
+  const float w = spec_.world_width;
+  const float h = spec_.world_height;
+  const bool cross = rng_.Bernoulli(spec_.cross_flow_prob);
+  const float jitter = rng_.Normal(0.0f, spec_.flow_angle_jitter);
+
+  auto route_along_x = [&]() {
+    const bool left_to_right = rng_.Bernoulli(0.5);
+    const float y0 = rng_.Uniform(0.15f * h, 0.85f * h);
+    *pos = {left_to_right ? 0.2f : w - 0.2f, y0};
+    Vec2 dir = Vec2(left_to_right ? 1.0f : -1.0f, 0.0f).Rotated(jitter);
+    *goal = *pos + dir * (w * 1.2f);
+  };
+  auto route_along_y = [&]() {
+    const bool bottom_to_top = rng_.Bernoulli(0.5);
+    const float x0 = rng_.Uniform(0.15f * w, 0.85f * w);
+    *pos = {x0, bottom_to_top ? 0.2f : h - 0.2f};
+    Vec2 dir = Vec2(0.0f, bottom_to_top ? 1.0f : -1.0f).Rotated(jitter);
+    *goal = *pos + dir * (h * 1.2f);
+  };
+
+  switch (spec_.flow) {
+    case FlowPattern::kBidirectionalX:
+      if (cross) {
+        route_along_y();
+      } else {
+        route_along_x();
+      }
+      break;
+    case FlowPattern::kCorridorY:
+      route_along_y();
+      break;
+    case FlowPattern::kCampusMixed:
+      if (cross) {
+        route_along_y();
+      } else {
+        route_along_x();
+      }
+      break;
+    case FlowPattern::kIndoorMixed: {
+      // Spawn inside the room; wander between waypoints biased along x.
+      *pos = {rng_.Uniform(0.1f * w, 0.9f * w), rng_.Uniform(0.1f * h, 0.9f * h)};
+      const bool along_y = cross;
+      const float base = along_y ? (rng_.Bernoulli(0.5) ? 1.0f : -1.0f) : 0.0f;
+      Vec2 dir = along_y ? Vec2(0.0f, base) : Vec2(rng_.Bernoulli(0.5) ? 1.0f : -1.0f, 0.0f);
+      dir = dir.Rotated(jitter);
+      const float dist = rng_.Uniform(1.5f, 4.0f);
+      *goal = *pos + dir * dist;
+      break;
+    }
+  }
+}
+
+void SocialForceSimulator::SpawnOne(int step, int group_id, const Vec2& pos_hint,
+                                    bool has_hint, Scene* scene) {
+  AgentState a;
+  a.id = next_id_++;
+  a.group_id = group_id;
+  Vec2 pos;
+  Vec2 goal;
+  SampleRoute(&pos, &goal);
+  if (has_hint) {
+    // Partner walks shoulder-to-shoulder: offset spawn, parallel goal.
+    Vec2 offset = {rng_.Normal(0.0f, 0.4f), rng_.Normal(0.0f, 0.4f)};
+    pos = pos_hint + offset;
+    goal = goal + offset;
+  }
+  a.pos = pos;
+  a.goal = goal;
+  a.speed = std::max(0.03f, rng_.Normal(spec_.desired_speed_mean, spec_.desired_speed_std));
+  Vec2 dir = (a.goal - a.pos).Normalized();
+  a.vel = dir * (a.speed / spec_.dt);
+  a.wander_steps_left = static_cast<int>(rng_.UniformInt(25, 70));
+
+  AgentTrack track;
+  track.agent_id = a.id;
+  track.start_step = step;
+  track.group_id = group_id;
+  a.track_index = static_cast<int>(scene->tracks.size());
+  scene->tracks.push_back(track);
+  agents_.push_back(a);
+}
+
+void SocialForceSimulator::SpawnAgents(int step, Scene* scene) {
+  while (static_cast<float>(agents_.size()) < target_count_) {
+    // Stagger arrivals so the scene does not fill instantaneously.
+    if (step > 0 && !rng_.Bernoulli(0.7)) break;
+    if (rng_.Bernoulli(spec_.group_prob)) {
+      const int group_id = next_id_ + 100000;
+      SpawnOne(step, group_id, Vec2(), false, scene);
+      const Vec2 hint = agents_.back().pos;
+      SpawnOne(step, group_id, hint, true, scene);
+    } else {
+      SpawnOne(step, -1, Vec2(), false, scene);
+    }
+  }
+}
+
+Vec2 SocialForceSimulator::ForceOn(size_t i) const {
+  const AgentState& a = agents_[i];
+  const float dt = spec_.dt;
+
+  // Goal-restoring force.
+  Vec2 desired_dir = (a.goal - a.pos).Normalized();
+  Vec2 v_desired = desired_dir * (a.speed / dt);
+  Vec2 force = (v_desired - a.vel) / spec_.relaxation_time;
+
+  // Anisotropic agent repulsion with the domain's passing-side convention.
+  const float cutoff = kNeighborCutoffFactor * spec_.repulsion_range;
+  Vec2 v_dir = a.vel.Normalized();
+  Vec2 group_centroid{0.0f, 0.0f};
+  int group_size = 0;
+  for (size_t j = 0; j < agents_.size(); ++j) {
+    if (j == i) continue;
+    const AgentState& b = agents_[j];
+    if (a.group_id >= 0 && b.group_id == a.group_id) {
+      group_centroid += b.pos;
+      ++group_size;
+      continue;  // no repulsion inside a group
+    }
+    Vec2 diff = a.pos - b.pos;
+    const float d = diff.Norm();
+    if (d > cutoff || d < 1e-6f) continue;
+    Vec2 n = diff.Normalized();
+    // Field-of-view weight: neighbors ahead matter more than behind.
+    const float cos_phi = v_dir.Dot(Vec2() - n);
+    const float w = spec_.anisotropy + (1.0f - spec_.anisotropy) * 0.5f * (1.0f + cos_phi);
+    const float mag = spec_.repulsion_strength *
+                      std::exp((2.0f * spec_.agent_radius - d) / spec_.repulsion_range);
+    // Rotate the evasion direction by the domain convention (clockwise for
+    // positive bias => evade toward the agent's right).
+    Vec2 evade = n.Rotated(-spec_.passing_side_bias);
+    force += evade * (mag * w);
+  }
+
+  // Group cohesion toward the partner centroid when drifting apart.
+  if (group_size > 0) {
+    group_centroid = group_centroid / static_cast<float>(group_size);
+    Vec2 to_centroid = group_centroid - a.pos;
+    if (to_centroid.Norm() > 1.2f) {
+      force += to_centroid.Normalized() * spec_.group_cohesion;
+    }
+  }
+
+  // Soft wall repulsion keeps indoor agents inside the room.
+  if (spec_.flow == FlowPattern::kIndoorMixed) {
+    const float margin = kWallRange;
+    auto wall = [&](float dist, Vec2 inward) {
+      if (dist < margin * 3.0f) {
+        force += inward * (kWallStrength * std::exp((margin - dist) / kWallRange));
+      }
+    };
+    wall(a.pos.x, {1.0f, 0.0f});
+    wall(spec_.world_width - a.pos.x, {-1.0f, 0.0f});
+    wall(a.pos.y, {0.0f, 1.0f});
+    wall(spec_.world_height - a.pos.y, {0.0f, -1.0f});
+  }
+  return force;
+}
+
+bool SocialForceSimulator::ShouldDeactivate(const AgentState& a) const {
+  if (spec_.flow == FlowPattern::kIndoorMixed) {
+    return a.wander_steps_left <= 0;
+  }
+  // Through-traffic leaves once past the world bounds (with slack).
+  const float slack = 1.0f;
+  if (a.pos.x < -slack || a.pos.x > spec_.world_width + slack || a.pos.y < -slack ||
+      a.pos.y > spec_.world_height + slack) {
+    return true;
+  }
+  return (a.goal - a.pos).Norm() < kArrivalRadius;
+}
+
+Scene SocialForceSimulator::Run(int num_steps) {
+  ADAPTRAJ_CHECK_MSG(num_steps > 0, "num_steps must be positive");
+  Scene scene;
+  scene.num_steps = num_steps;
+  agents_.clear();
+  target_count_ = SampleTargetCount();
+
+  const float dt_sub = spec_.dt / static_cast<float>(spec_.substeps);
+  for (int step = 0; step < num_steps; ++step) {
+    SpawnAgents(step, &scene);
+
+    // Per-step velocity noise (per-axis, in units per recorded step).
+    for (AgentState& a : agents_) {
+      a.vel.x += rng_.Normal(0.0f, spec_.noise_std_x) / spec_.dt;
+      a.vel.y += rng_.Normal(0.0f, spec_.noise_std_y) / spec_.dt;
+    }
+
+    for (int sub = 0; sub < spec_.substeps; ++sub) {
+      std::vector<Vec2> forces(agents_.size());
+      for (size_t i = 0; i < agents_.size(); ++i) forces[i] = ForceOn(i);
+      for (size_t i = 0; i < agents_.size(); ++i) {
+        AgentState& a = agents_[i];
+        a.vel += forces[i] * dt_sub;
+        const float vmax = 2.2f * a.speed / spec_.dt;
+        const float vnorm = a.vel.Norm();
+        if (vnorm > vmax) a.vel = a.vel * (vmax / vnorm);
+        a.pos += a.vel * dt_sub;
+      }
+    }
+
+    // Record and retire.
+    std::vector<AgentState> survivors;
+    survivors.reserve(agents_.size());
+    for (AgentState& a : agents_) {
+      scene.tracks[a.track_index].points.push_back(a.pos);
+      a.wander_steps_left -= 1;
+      if (spec_.flow == FlowPattern::kIndoorMixed &&
+          (a.goal - a.pos).Norm() < kArrivalRadius) {
+        // Wanderers pick a fresh waypoint instead of leaving.
+        Vec2 unused_pos;
+        Vec2 new_goal;
+        Vec2 saved = a.pos;
+        SampleRoute(&unused_pos, &new_goal);
+        a.goal = saved + (new_goal - unused_pos);
+      }
+      if (!ShouldDeactivate(a)) survivors.push_back(a);
+    }
+    agents_ = std::move(survivors);
+  }
+  return scene;
+}
+
+std::vector<Scene> GenerateScenes(const DomainSpec& spec, int num_scenes,
+                                  int steps_per_scene, uint64_t seed) {
+  std::vector<Scene> scenes;
+  scenes.reserve(num_scenes);
+  for (int s = 0; s < num_scenes; ++s) {
+    SocialForceSimulator simulator(spec, seed + static_cast<uint64_t>(s) * 7919u);
+    scenes.push_back(simulator.Run(steps_per_scene));
+  }
+  return scenes;
+}
+
+}  // namespace sim
+}  // namespace adaptraj

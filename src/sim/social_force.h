@@ -1,0 +1,97 @@
+// Helbing-Molnar social-force crowd simulator.
+//
+// Generates multi-agent trajectory scenes whose density/velocity/acceleration
+// statistics and interaction conventions are controlled per domain by a
+// DomainSpec. This is the data substrate standing in for the paper's four
+// real datasets (see DESIGN.md).
+
+#ifndef ADAPTRAJ_SIM_SOCIAL_FORCE_H_
+#define ADAPTRAJ_SIM_SOCIAL_FORCE_H_
+
+#include <vector>
+
+#include "sim/domain_spec.h"
+#include "sim/vec2.h"
+#include "tensor/rng.h"
+
+namespace adaptraj {
+namespace sim {
+
+/// Recorded trajectory of one agent: one point per recorded step while the
+/// agent was active, starting at `start_step`.
+struct AgentTrack {
+  int agent_id = 0;
+  int start_step = 0;
+  int group_id = -1;  // shared by agents walking together, -1 if solo
+  std::vector<Vec2> points;
+};
+
+/// One simulated scene: all tracks plus the number of recorded steps.
+struct Scene {
+  std::vector<AgentTrack> tracks;
+  int num_steps = 0;
+
+  /// Number of agents active at the given recorded step.
+  int ActiveAgentsAt(int step) const;
+};
+
+/// Social-force simulator with per-domain parameters.
+///
+/// The force model on agent i:
+///   F = (v_desired - v) / tau                                (goal restore)
+///     + sum_j A * exp((2r - d_ij) / B) * R(bias) n_ij * w_ij (agent repulsion)
+///     + cohesion * unit(centroid_group - x_i)                (group cohesion)
+///     + wall terms                                           (boundaries)
+/// where n_ij is the unit vector from j to i, R(bias) rotates it by the
+/// domain's passing-side convention, and w_ij is the anisotropic
+/// field-of-view weight lambda + (1-lambda)(1+cos phi)/2.
+class SocialForceSimulator {
+ public:
+  SocialForceSimulator(const DomainSpec& spec, uint64_t seed);
+
+  /// Simulates a fresh scene for `num_steps` recorded steps.
+  Scene Run(int num_steps);
+
+  const DomainSpec& spec() const { return spec_; }
+
+ private:
+  struct AgentState {
+    int id = 0;
+    int track_index = 0;
+    int group_id = -1;
+    Vec2 pos;
+    Vec2 vel;    // units per second
+    Vec2 goal;
+    float speed = 0.3f;  // desired speed, units per recorded step
+    int wander_steps_left = 0;  // indoor lifetime budget
+  };
+
+  /// Samples target concurrent agent count for a scene.
+  float SampleTargetCount();
+  /// Spawns one agent (and possibly a group partner) at recorded step `step`.
+  void SpawnAgents(int step, Scene* scene);
+  /// Creates a single agent state and registers its track.
+  void SpawnOne(int step, int group_id, const Vec2& pos_hint, bool has_hint,
+                Scene* scene);
+  /// Picks a spawn position and goal according to the domain's flow pattern.
+  void SampleRoute(Vec2* pos, Vec2* goal);
+  /// Net force on agent `i` given the current agent set.
+  Vec2 ForceOn(size_t i) const;
+  /// True when the agent should be removed from the scene.
+  bool ShouldDeactivate(const AgentState& a) const;
+
+  DomainSpec spec_;
+  Rng rng_;
+  std::vector<AgentState> agents_;
+  int next_id_ = 0;
+  float target_count_ = 0.0f;
+};
+
+/// Convenience: simulates `num_scenes` scenes of `steps_per_scene` steps.
+std::vector<Scene> GenerateScenes(const DomainSpec& spec, int num_scenes,
+                                  int steps_per_scene, uint64_t seed);
+
+}  // namespace sim
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_SIM_SOCIAL_FORCE_H_

@@ -1,0 +1,55 @@
+// Minimal 2-D vector used by the crowd simulator.
+
+#ifndef ADAPTRAJ_SIM_VEC2_H_
+#define ADAPTRAJ_SIM_VEC2_H_
+
+#include <cmath>
+
+namespace adaptraj {
+namespace sim {
+
+/// 2-D point/vector in world coordinates (meters).
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  Vec2() = default;
+  Vec2(float x_in, float y_in) : x(x_in), y(y_in) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(float s) const { return {x * s, y * s}; }
+  Vec2 operator/(float s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  /// Euclidean length.
+  float Norm() const { return std::sqrt(x * x + y * y); }
+
+  /// Unit vector (or zero when degenerate).
+  Vec2 Normalized() const {
+    const float n = Norm();
+    if (n < 1e-9f) return {0.0f, 0.0f};
+    return {x / n, y / n};
+  }
+
+  /// Dot product.
+  float Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+
+  /// Rotated counter-clockwise by `radians`.
+  Vec2 Rotated(float radians) const {
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+inline Vec2 operator*(float s, const Vec2& v) { return v * s; }
+
+}  // namespace sim
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_SIM_VEC2_H_

@@ -1,0 +1,48 @@
+#include "tensor/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptraj {
+
+GradCheckReport CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float epsilon, float abs_tol, float rel_tol) {
+  for (Tensor& t : inputs) {
+    ADAPTRAJ_CHECK_MSG(t.requires_grad(), "gradient-check inputs must require grad");
+    t.ZeroGrad();
+  }
+
+  Tensor loss = fn(inputs);
+  ADAPTRAJ_CHECK_MSG(loss.size() == 1, "gradient check requires scalar loss");
+  loss.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const Tensor& t : inputs) analytic.push_back(t.grad());
+
+  GradCheckReport report;
+  report.ok = true;
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& t = inputs[which];
+    for (int64_t i = 0; i < t.size(); ++i) {
+      const float saved = t.data()[i];
+      t.data()[i] = saved + epsilon;
+      const float up = fn(inputs).item();
+      t.data()[i] = saved - epsilon;
+      const float down = fn(inputs).item();
+      t.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float exact = analytic[which].flat(i);
+      const float abs_err = std::fabs(numeric - exact);
+      const float denom = std::max({std::fabs(numeric), std::fabs(exact), 1e-6f});
+      const float rel_err = abs_err / denom;
+      report.max_abs_error = std::max(report.max_abs_error, abs_err);
+      report.max_rel_error = std::max(report.max_rel_error, rel_err);
+      if (abs_err > abs_tol && rel_err > rel_tol) report.ok = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace adaptraj

@@ -1,0 +1,33 @@
+// Numerical gradient checking used by the test suite.
+
+#ifndef ADAPTRAJ_TENSOR_GRADCHECK_H_
+#define ADAPTRAJ_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adaptraj {
+
+/// Result of a gradient check: worst absolute/relative deviation observed.
+struct GradCheckReport {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  bool ok = false;
+};
+
+/// Compares the analytic gradient of `fn` (a scalar-valued function of the
+/// given leaf inputs) against central finite differences.
+///
+/// Every input must have requires_grad set. `fn` is re-invoked O(total
+/// input size) times, so keep inputs small. Tolerances are absolute OR
+/// relative: a coordinate passes when either bound holds.
+GradCheckReport CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float epsilon = 1e-2f, float abs_tol = 2e-2f,
+    float rel_tol = 2e-2f);
+
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_GRADCHECK_H_

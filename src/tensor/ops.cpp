@@ -1,0 +1,808 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace adaptraj {
+namespace ops {
+
+namespace {
+
+using internal::GradNode;
+using internal::TensorImpl;
+
+using Impl = std::shared_ptr<TensorImpl>;
+
+bool TrackAny(std::initializer_list<const Tensor*> tensors) {
+  for (const Tensor* t : tensors) {
+    if (t->needs_grad()) return true;
+  }
+  return false;
+}
+
+/// Allocates the op output and, when track is set, attaches the GradNode.
+Tensor MakeOutput(const Shape& shape, std::vector<Impl> inputs, const char* name,
+                  std::function<void(TensorImpl&)> backward, bool track) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(NumElements(shape), 0.0f);
+  if (track) {
+    auto node = std::make_shared<GradNode>();
+    node->inputs = std::move(inputs);
+    node->op_name = name;
+    node->backward = std::move(backward);
+    impl->grad_fn = std::move(node);
+  }
+  return Tensor::FromImpl(std::move(impl));
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  ADAPTRAJ_CHECK_MSG(a.shape() == b.shape(), op << ": shape mismatch "
+                                                << ShapeToString(a.shape()) << " vs "
+                                                << ShapeToString(b.shape()));
+}
+
+/// Flat offset into a broadcast operand (same rank; extents equal or 1).
+int64_t BroadcastOffset(const Shape& out_shape, const Shape& b_shape, int64_t flat) {
+  int64_t off = 0;
+  int64_t mul = 1;
+  for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
+    int64_t idx = flat % out_shape[d];
+    flat /= out_shape[d];
+    if (b_shape[d] != 1) off += idx * mul;
+    mul *= b_shape[d];
+  }
+  return off;
+}
+
+void CheckBroadcastable(const Tensor& a, const Tensor& b, const char* op) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == b.dim(), op << ": rank mismatch " << ShapeToString(a.shape())
+                                            << " vs " << ShapeToString(b.shape()));
+  for (int d = 0; d < a.dim(); ++d) {
+    ADAPTRAJ_CHECK_MSG(b.shape()[d] == a.shape()[d] || b.shape()[d] == 1,
+                       op << ": dim " << d << " of " << ShapeToString(b.shape())
+                          << " not broadcastable to " << ShapeToString(a.shape()));
+  }
+}
+
+int NormalizeAxis(int axis, int rank) {
+  if (axis < 0) axis += rank;
+  ADAPTRAJ_CHECK_MSG(axis >= 0 && axis < rank, "axis " << axis << " out of range for rank "
+                                                       << rank);
+  return axis;
+}
+
+/// Generic elementwise binary op over equal shapes.
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
+                         Bwd bwd) {
+  CheckSameShape(a, b, name);
+  bool track = TrackAny({&a, &b});
+  Impl ia = a.impl();
+  Impl ib = b.impl();
+  Tensor out = MakeOutput(
+      a.shape(), {ia, ib}, name,
+      [ia, ib, bwd](TensorImpl& o) {
+        const int64_t n = o.size();
+        std::vector<float> ga(ia->requires_grad || ia->grad_fn ? n : 0);
+        std::vector<float> gb(ib->requires_grad || ib->grad_fn ? n : 0);
+        for (int64_t i = 0; i < n; ++i) {
+          float da = 0.0f;
+          float db = 0.0f;
+          bwd(ia->data[i], ib->data[i], o.grad[i], &da, &db);
+          if (!ga.empty()) ga[i] = da;
+          if (!gb.empty()) gb[i] = db;
+        }
+        if (!ga.empty()) ia->AccumulateGrad(ga.data(), n);
+        if (!gb.empty()) ib->AccumulateGrad(gb.data(), n);
+      },
+      track);
+  const int64_t n = out.size();
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i], pb[i]);
+  return out;
+}
+
+/// Generic elementwise unary op; bwd receives (x, y, dy) and returns dx.
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseUnary(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      a.shape(), {ia}, name,
+      [ia, bwd](TensorImpl& o) {
+        const int64_t n = o.size();
+        std::vector<float> ga(n);
+        for (int64_t i = 0; i < n; ++i) ga[i] = bwd(ia->data[i], o.data[i], o.grad[i]);
+        ia->AccumulateGrad(ga.data(), n);
+      },
+      track);
+  const int64_t n = out.size();
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "Add", [](float x, float y) { return x + y; },
+      [](float, float, float dy, float* da, float* db) {
+        *da = dy;
+        *db = dy;
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "Sub", [](float x, float y) { return x - y; },
+      [](float, float, float dy, float* da, float* db) {
+        *da = dy;
+        *db = -dy;
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "Mul", [](float x, float y) { return x * y; },
+      [](float x, float y, float dy, float* da, float* db) {
+        *da = dy * y;
+        *db = dy * x;
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, "Div", [](float x, float y) { return x / y; },
+      [](float x, float y, float dy, float* da, float* db) {
+        *da = dy / y;
+        *db = -dy * x / (y * y);
+      });
+}
+
+namespace {
+
+template <typename Combine, typename BwdA, typename BwdB>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, const char* name, Combine fwd,
+                       BwdA bwd_a, BwdB bwd_b) {
+  CheckBroadcastable(a, b, name);
+  bool track = TrackAny({&a, &b});
+  Impl ia = a.impl();
+  Impl ib = b.impl();
+  Shape b_shape = b.shape();
+  Tensor out = MakeOutput(
+      a.shape(), {ia, ib}, name,
+      [ia, ib, b_shape, bwd_a, bwd_b](TensorImpl& o) {
+        const int64_t n = o.size();
+        const bool need_a = ia->requires_grad || ia->grad_fn != nullptr;
+        const bool need_b = ib->requires_grad || ib->grad_fn != nullptr;
+        std::vector<float> ga(need_a ? n : 0);
+        std::vector<float> gb(need_b ? ib->size() : 0, 0.0f);
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t j = BroadcastOffset(o.shape, b_shape, i);
+          if (need_a) ga[i] = bwd_a(ia->data[i], ib->data[j], o.grad[i]);
+          if (need_b) gb[j] += bwd_b(ia->data[i], ib->data[j], o.grad[i]);
+        }
+        if (need_a) ia->AccumulateGrad(ga.data(), n);
+        if (need_b) ib->AccumulateGrad(gb.data(), ib->size());
+      },
+      track);
+  const int64_t n = out.size();
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fwd(pa[i], pb[BroadcastOffset(out.shape(), b_shape, i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor BroadcastAdd(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(
+      a, b, "BroadcastAdd", [](float x, float y) { return x + y; },
+      [](float, float, float dy) { return dy; }, [](float, float, float dy) { return dy; });
+}
+
+Tensor BroadcastMul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(
+      a, b, "BroadcastMul", [](float x, float y) { return x * y; },
+      [](float, float y, float dy) { return dy * y; },
+      [](float x, float, float dy) { return dy * x; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(
+      a, "AddScalar", [s](float x) { return x + s; },
+      [](float, float, float dy) { return dy; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(
+      a, "MulScalar", [s](float x) { return x * s; },
+      [s](float, float, float dy) { return dy * s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == 2 && b.dim() == 2,
+                     "MatMul requires 2-D operands; got " << ShapeToString(a.shape())
+                                                          << " x " << ShapeToString(b.shape()));
+  const int64_t m = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  const int64_t n = b.shape()[1];
+  ADAPTRAJ_CHECK_MSG(b.shape()[0] == k, "MatMul inner dims differ: "
+                                            << ShapeToString(a.shape()) << " x "
+                                            << ShapeToString(b.shape()));
+  bool track = TrackAny({&a, &b});
+  Impl ia = a.impl();
+  Impl ib = b.impl();
+  Tensor out = MakeOutput(
+      {m, n}, {ia, ib}, "MatMul",
+      [ia, ib, m, k, n](TensorImpl& o) {
+        const float* gy = o.grad.data();
+        if (ia->requires_grad || ia->grad_fn) {
+          // dA[m,k] = sum_n dY[m,n] * B[k,n]
+          std::vector<float> ga(m * k, 0.0f);
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              float g = gy[i * n + j];
+              if (g == 0.0f) continue;
+              const float* brow = &ib->data[0];
+              for (int64_t p = 0; p < k; ++p) ga[i * k + p] += g * brow[p * n + j];
+            }
+          }
+          ia->AccumulateGrad(ga.data(), m * k);
+        }
+        if (ib->requires_grad || ib->grad_fn) {
+          // dB[k,n] = sum_m A[m,k] * dY[m,n]
+          std::vector<float> gb(k * n, 0.0f);
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t p = 0; p < k; ++p) {
+              float av = ia->data[i * k + p];
+              if (av == 0.0f) continue;
+              for (int64_t j = 0; j < n; ++j) gb[p * n + j] += av * gy[i * n + j];
+            }
+          }
+          ib->AccumulateGrad(gb.data(), k * n);
+        }
+      },
+      track);
+  // Forward: ikj loop order for cache friendliness.
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = &pb[p * n];
+      float* orow = &po[i * n];
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == 2, "Transpose requires 2-D; got " << ShapeToString(a.shape()));
+  const int64_t m = a.shape()[0];
+  const int64_t n = a.shape()[1];
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      {n, m}, {ia}, "Transpose",
+      [ia, m, n](TensorImpl& o) {
+        std::vector<float> ga(m * n);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) ga[i * n + j] = o.grad[j * m + i];
+        }
+        ia->AccumulateGrad(ga.data(), m * n);
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(
+      a, "Relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float, float dy) { return x > 0.0f ? dy : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(
+      a, "Tanh", [](float x) { return std::tanh(x); },
+      [](float, float y, float dy) { return dy * (1.0f - y * y); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(
+      a, "Sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y, float dy) { return dy * y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(
+      a, "Exp", [](float x) { return std::exp(x); },
+      [](float, float y, float dy) { return dy * y; });
+}
+
+Tensor LogClamped(const Tensor& a, float eps) {
+  return ElementwiseUnary(
+      a, "LogClamped", [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float, float dy) { return dy / std::max(x, eps); });
+}
+
+Tensor Square(const Tensor& a) {
+  return ElementwiseUnary(
+      a, "Square", [](float x) { return x * x; },
+      [](float x, float, float dy) { return dy * 2.0f * x; });
+}
+
+Tensor Sqrt(const Tensor& a, float eps) {
+  return ElementwiseUnary(
+      a, "Sqrt", [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [eps](float, float y, float dy) { return dy * 0.5f / std::max(y, eps); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return ElementwiseUnary(
+      a, "Abs", [](float x) { return std::fabs(x); },
+      [](float x, float, float dy) { return x > 0.0f ? dy : (x < 0.0f ? -dy : 0.0f); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  ADAPTRAJ_CHECK_MSG(lo <= hi, "Clamp: lo > hi");
+  return ElementwiseUnary(
+      a, "Clamp", [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float x, float, float dy) { return (x >= lo && x <= hi) ? dy : 0.0f; });
+}
+
+Tensor Sum(const Tensor& a) {
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      {1}, {ia}, "Sum",
+      [ia](TensorImpl& o) {
+        std::vector<float> ga(ia->size(), o.grad[0]);
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += pa[i];
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  ADAPTRAJ_CHECK_MSG(a.size() > 0, "Mean of empty tensor");
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.size()));
+}
+
+namespace {
+
+Tensor ReduceAxis(const Tensor& a, int axis, bool keepdim, bool mean, const char* name) {
+  axis = NormalizeAxis(axis, a.dim());
+  const Shape& in = a.shape();
+  Shape out_shape;
+  for (int d = 0; d < a.dim(); ++d) {
+    if (d == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(in[d]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= in[d];
+  for (int d = axis + 1; d < a.dim(); ++d) inner *= in[d];
+  const int64_t extent = in[axis];
+  const float scale = mean ? 1.0f / static_cast<float>(extent) : 1.0f;
+
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      out_shape, {ia}, name,
+      [ia, outer, inner, extent, scale](TensorImpl& o) {
+        std::vector<float> ga(ia->size());
+        for (int64_t ou = 0; ou < outer; ++ou) {
+          for (int64_t e = 0; e < extent; ++e) {
+            for (int64_t iin = 0; iin < inner; ++iin) {
+              ga[(ou * extent + e) * inner + iin] = o.grad[ou * inner + iin] * scale;
+            }
+          }
+        }
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t ou = 0; ou < outer; ++ou) {
+    for (int64_t iin = 0; iin < inner; ++iin) {
+      double acc = 0.0;
+      for (int64_t e = 0; e < extent; ++e) acc += pa[(ou * extent + e) * inner + iin];
+      po[ou * inner + iin] = static_cast<float>(acc) * scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor SumAxis(const Tensor& a, int axis, bool keepdim) {
+  return ReduceAxis(a, axis, keepdim, /*mean=*/false, "SumAxis");
+}
+
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdim) {
+  return ReduceAxis(a, axis, keepdim, /*mean=*/true, "MeanAxis");
+}
+
+Tensor MaxAxis(const Tensor& a, int axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.dim());
+  const Shape& in = a.shape();
+  ADAPTRAJ_CHECK_MSG(in[axis] > 0, "MaxAxis over empty axis");
+  Shape out_shape;
+  for (int d = 0; d < a.dim(); ++d) {
+    if (d == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(in[d]);
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= in[d];
+  for (int d = axis + 1; d < a.dim(); ++d) inner *= in[d];
+  const int64_t extent = in[axis];
+
+  // Record argmax positions during the forward pass for the backward route.
+  auto argmax = std::make_shared<std::vector<int64_t>>(outer * inner);
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      out_shape, {ia}, "MaxAxis",
+      [ia, argmax, outer, inner, extent](TensorImpl& o) {
+        std::vector<float> ga(ia->size(), 0.0f);
+        for (int64_t ou = 0; ou < outer; ++ou) {
+          for (int64_t iin = 0; iin < inner; ++iin) {
+            const int64_t best = (*argmax)[ou * inner + iin];
+            ga[(ou * extent + best) * inner + iin] = o.grad[ou * inner + iin];
+          }
+        }
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t ou = 0; ou < outer; ++ou) {
+    for (int64_t iin = 0; iin < inner; ++iin) {
+      int64_t best = 0;
+      float best_val = pa[(ou * extent) * inner + iin];
+      for (int64_t e = 1; e < extent; ++e) {
+        const float v = pa[(ou * extent + e) * inner + iin];
+        if (v > best_val) {
+          best_val = v;
+          best = e;
+        }
+      }
+      (*argmax)[ou * inner + iin] = best;
+      po[ou * inner + iin] = best_val;
+    }
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  ADAPTRAJ_CHECK_MSG(a.dim() >= 1, "Softmax on scalar-rank tensor");
+  const int64_t cols = a.shape().back();
+  const int64_t rows = a.size() / cols;
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      a.shape(), {ia}, "Softmax",
+      [ia, rows, cols](TensorImpl& o) {
+        std::vector<float> ga(ia->size());
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* y = &o.data[r * cols];
+          const float* dy = &o.grad[r * cols];
+          double dot = 0.0;
+          for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(dy[c]) * y[c];
+          for (int64_t c = 0; c < cols; ++c) {
+            ga[r * cols + c] = y[c] * (dy[c] - static_cast<float>(dot));
+          }
+        }
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = &pa[r * cols];
+    float* y = &po[r * cols];
+    float mx = x[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - mx);
+      denom += y[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  ADAPTRAJ_CHECK_MSG(a.dim() >= 1, "LogSoftmax on scalar-rank tensor");
+  const int64_t cols = a.shape().back();
+  const int64_t rows = a.size() / cols;
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      a.shape(), {ia}, "LogSoftmax",
+      [ia, rows, cols](TensorImpl& o) {
+        std::vector<float> ga(ia->size());
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* y = &o.data[r * cols];
+          const float* dy = &o.grad[r * cols];
+          double sum_dy = 0.0;
+          for (int64_t c = 0; c < cols; ++c) sum_dy += dy[c];
+          for (int64_t c = 0; c < cols; ++c) {
+            ga[r * cols + c] = dy[c] - std::exp(y[c]) * static_cast<float>(sum_dy);
+          }
+        }
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = &pa[r * cols];
+    float* y = &po[r * cols];
+    float mx = x[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) denom += std::exp(x[c] - mx);
+    const float lse = mx + static_cast<float>(std::log(denom));
+    for (int64_t c = 0; c < cols; ++c) y[c] = x[c] - lse;
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  ADAPTRAJ_CHECK_MSG(!parts.empty(), "Concat of zero tensors");
+  const int rank = parts[0].dim();
+  axis = NormalizeAxis(axis, rank);
+  Shape out_shape = parts[0].shape();
+  int64_t axis_total = 0;
+  for (const Tensor& t : parts) {
+    ADAPTRAJ_CHECK_EQ(t.dim(), rank);
+    for (int d = 0; d < rank; ++d) {
+      if (d != axis) {
+        ADAPTRAJ_CHECK_MSG(t.shape()[d] == out_shape[d],
+                           "Concat: mismatched dim " << d << ": " << ShapeToString(t.shape())
+                                                     << " vs " << ShapeToString(out_shape));
+      }
+    }
+    axis_total += t.shape()[axis];
+  }
+  out_shape[axis] = axis_total;
+
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= out_shape[d];
+  for (int d = axis + 1; d < rank; ++d) inner *= out_shape[d];
+
+  bool track = false;
+  std::vector<Impl> impls;
+  std::vector<int64_t> extents;
+  impls.reserve(parts.size());
+  for (const Tensor& t : parts) {
+    track = track || t.needs_grad();
+    impls.push_back(t.impl());
+    extents.push_back(t.shape()[axis]);
+  }
+
+  Tensor out = MakeOutput(
+      out_shape, impls, "Concat",
+      [impls, extents, outer, inner, axis_total](TensorImpl& o) {
+        int64_t offset = 0;
+        for (size_t p = 0; p < impls.size(); ++p) {
+          const Impl& ip = impls[p];
+          if (ip->requires_grad || ip->grad_fn) {
+            std::vector<float> g(ip->size());
+            for (int64_t ou = 0; ou < outer; ++ou) {
+              const float* src = &o.grad[(ou * axis_total + offset) * inner];
+              float* dst = &g[ou * extents[p] * inner];
+              std::copy(src, src + extents[p] * inner, dst);
+            }
+            ip->AccumulateGrad(g.data(), ip->size());
+          }
+          offset += extents[p];
+        }
+      },
+      track);
+  float* po = out.data();
+  int64_t offset = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const float* src = parts[p].data();
+    for (int64_t ou = 0; ou < outer; ++ou) {
+      std::copy(&src[ou * extents[p] * inner], &src[(ou + 1) * extents[p] * inner],
+                &po[(ou * axis_total + offset) * inner]);
+    }
+    offset += extents[p];
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t end) {
+  axis = NormalizeAxis(axis, a.dim());
+  const Shape& in = a.shape();
+  ADAPTRAJ_CHECK_MSG(start >= 0 && start <= end && end <= in[axis],
+                     "Slice range [" << start << ", " << end << ") invalid for axis extent "
+                                     << in[axis]);
+  Shape out_shape = in;
+  out_shape[axis] = end - start;
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= in[d];
+  for (int d = axis + 1; d < a.dim(); ++d) inner *= in[d];
+  const int64_t in_extent = in[axis];
+  const int64_t out_extent = end - start;
+
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      out_shape, {ia}, "Slice",
+      [ia, outer, inner, in_extent, out_extent, start](TensorImpl& o) {
+        std::vector<float> ga(ia->size(), 0.0f);
+        for (int64_t ou = 0; ou < outer; ++ou) {
+          const float* src = &o.grad[ou * out_extent * inner];
+          float* dst = &ga[(ou * in_extent + start) * inner];
+          for (int64_t i = 0; i < out_extent * inner; ++i) dst[i] += src[i];
+        }
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  for (int64_t ou = 0; ou < outer; ++ou) {
+    const float* src = &pa[(ou * in_extent + start) * inner];
+    std::copy(src, src + out_extent * inner, &po[ou * out_extent * inner]);
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  ADAPTRAJ_CHECK_MSG(!parts.empty(), "Stack of zero tensors");
+  const Shape& base = parts[0].shape();
+  for (const Tensor& t : parts) {
+    ADAPTRAJ_CHECK_MSG(t.shape() == base, "Stack: mismatched shapes "
+                                              << ShapeToString(t.shape()) << " vs "
+                                              << ShapeToString(base));
+  }
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(parts.size()));
+  out_shape.insert(out_shape.end(), base.begin(), base.end());
+
+  bool track = false;
+  std::vector<Impl> impls;
+  for (const Tensor& t : parts) {
+    track = track || t.needs_grad();
+    impls.push_back(t.impl());
+  }
+  const int64_t block = NumElements(base);
+  Tensor out = MakeOutput(
+      out_shape, impls, "Stack",
+      [impls, block](TensorImpl& o) {
+        for (size_t p = 0; p < impls.size(); ++p) {
+          const Impl& ip = impls[p];
+          if (ip->requires_grad || ip->grad_fn) {
+            ip->AccumulateGrad(&o.grad[p * block], block);
+          }
+        }
+      },
+      track);
+  float* po = out.data();
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::copy(parts[p].data(), parts[p].data() + block, &po[p * block]);
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  ADAPTRAJ_CHECK_MSG(NumElements(shape) == a.size(),
+                     "Reshape " << ShapeToString(a.shape()) << " -> " << ShapeToString(shape)
+                                << " changes element count");
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      shape, {ia}, "Reshape",
+      [ia](TensorImpl& o) { ia->AccumulateGrad(o.grad.data(), o.size()); }, track);
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  return out;
+}
+
+Tensor GradReverse(const Tensor& a, float lambda) {
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Tensor out = MakeOutput(
+      a.shape(), {ia}, "GradReverse",
+      [ia, lambda](TensorImpl& o) {
+        std::vector<float> ga(o.size());
+        for (int64_t i = 0; i < o.size(); ++i) ga[i] = -lambda * o.grad[i];
+        ia->AccumulateGrad(ga.data(), o.size());
+      },
+      track);
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  return out;
+}
+
+Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
+  CheckSameShape(a, mask, "MaskedFill");
+  bool track = a.needs_grad();
+  Impl ia = a.impl();
+  Impl im = mask.impl();
+  Tensor out = MakeOutput(
+      a.shape(), {ia}, "MaskedFill",
+      [ia, im](TensorImpl& o) {
+        std::vector<float> ga(o.size());
+        for (int64_t i = 0; i < o.size(); ++i) {
+          ga[i] = (im->data[i] != 0.0f) ? 0.0f : o.grad[i];
+        }
+        ia->AccumulateGrad(ga.data(), o.size());
+      },
+      track);
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pm = mask.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = (pm[i] != 0.0f) ? value : pa[i];
+  return out;
+}
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& labels) {
+  ADAPTRAJ_CHECK_MSG(log_probs.dim() == 2, "NllLoss expects [B, C] log-probs");
+  const int64_t batch = log_probs.shape()[0];
+  const int64_t classes = log_probs.shape()[1];
+  ADAPTRAJ_CHECK_EQ(batch, static_cast<int64_t>(labels.size()));
+  for (int label : labels) {
+    ADAPTRAJ_CHECK_MSG(label >= 0 && label < classes, "label " << label << " out of range");
+  }
+  bool track = log_probs.needs_grad();
+  Impl ia = log_probs.impl();
+  std::vector<int> labels_copy = labels;
+  Tensor out = MakeOutput(
+      {1}, {ia}, "NllLoss",
+      [ia, labels_copy, batch, classes](TensorImpl& o) {
+        std::vector<float> ga(ia->size(), 0.0f);
+        const float scale = o.grad[0] / static_cast<float>(batch);
+        for (int64_t b = 0; b < batch; ++b) {
+          ga[b * classes + labels_copy[b]] = -scale;
+        }
+        ia->AccumulateGrad(ga.data(), ia->size());
+      },
+      track);
+  double acc = 0.0;
+  const float* pa = log_probs.data();
+  for (int64_t b = 0; b < batch; ++b) acc -= pa[b * classes + labels[b]];
+  out.data()[0] = static_cast<float>(acc / static_cast<double>(batch));
+  return out;
+}
+
+}  // namespace ops
+}  // namespace adaptraj

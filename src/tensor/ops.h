@@ -1,0 +1,128 @@
+// Differentiable tensor operations.
+//
+// Every function returns a fresh tensor. When any input participates in
+// gradient flow the result carries a GradNode so Tensor::Backward() can
+// propagate through it; otherwise the op is pure forward computation.
+//
+// Shape conventions: MatMul/Transpose are 2-D; elementwise ops require equal
+// shapes; the Broadcast* variants accept a second operand whose extents are
+// equal to the first's or 1 (same rank); reductions and softmax document
+// their axis handling individually.
+
+#ifndef ADAPTRAJ_TENSOR_OPS_H_
+#define ADAPTRAJ_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adaptraj {
+namespace ops {
+
+// --- Elementwise binary ------------------------------------------------------
+
+/// Elementwise a + b (equal shapes).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b (equal shapes).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise a * b (equal shapes).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Elementwise a / b (equal shapes); b must be nonzero.
+Tensor Div(const Tensor& a, const Tensor& b);
+/// a + b where b broadcasts against a (same rank, extents equal or 1).
+Tensor BroadcastAdd(const Tensor& a, const Tensor& b);
+/// a * b where b broadcasts against a (same rank, extents equal or 1).
+Tensor BroadcastMul(const Tensor& a, const Tensor& b);
+
+// --- Scalar ------------------------------------------------------------------
+
+/// a + s.
+Tensor AddScalar(const Tensor& a, float s);
+/// a * s.
+Tensor MulScalar(const Tensor& a, float s);
+/// -a.
+Tensor Neg(const Tensor& a);
+
+// --- Linear algebra ----------------------------------------------------------
+
+/// 2-D matrix product [M,K] x [K,N] -> [M,N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// 2-D transpose [M,N] -> [N,M].
+Tensor Transpose(const Tensor& a);
+
+// --- Unary -------------------------------------------------------------------
+
+/// max(a, 0).
+Tensor Relu(const Tensor& a);
+/// Hyperbolic tangent.
+Tensor Tanh(const Tensor& a);
+/// Logistic sigmoid.
+Tensor Sigmoid(const Tensor& a);
+/// Exponential.
+Tensor Exp(const Tensor& a);
+/// Natural log of max(a, eps); gradient uses the clamped value.
+Tensor LogClamped(const Tensor& a, float eps = 1e-12f);
+/// Elementwise square.
+Tensor Square(const Tensor& a);
+/// Elementwise square root of max(a, 0) with epsilon-guarded gradient.
+Tensor Sqrt(const Tensor& a, float eps = 1e-12f);
+/// Elementwise absolute value (subgradient 0 at 0).
+Tensor Abs(const Tensor& a);
+/// Clamps into [lo, hi]; gradient is zero where clamped.
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// --- Reductions ----------------------------------------------------------------
+
+/// Sum of all elements -> shape [1].
+Tensor Sum(const Tensor& a);
+/// Mean of all elements -> shape [1].
+Tensor Mean(const Tensor& a);
+/// Sum over one axis. keepdim keeps the axis with extent 1.
+Tensor SumAxis(const Tensor& a, int axis, bool keepdim = false);
+/// Mean over one axis. keepdim keeps the axis with extent 1.
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdim = false);
+/// Max over one axis; the gradient routes to the (first) argmax element.
+Tensor MaxAxis(const Tensor& a, int axis, bool keepdim = false);
+
+// --- Normalization -------------------------------------------------------------
+
+/// Numerically stable softmax along the last axis.
+Tensor Softmax(const Tensor& a);
+/// Numerically stable log-softmax along the last axis.
+Tensor LogSoftmax(const Tensor& a);
+
+// --- Structure -------------------------------------------------------------------
+
+/// Concatenates along `axis`; inputs agree on all other extents.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+/// Sub-range [start, end) of `axis`.
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t end);
+/// Stacks equal-shape tensors along a new leading axis.
+Tensor Stack(const std::vector<Tensor>& parts);
+/// Same data, new shape (element counts must match).
+Tensor Reshape(const Tensor& a, const Shape& shape);
+
+// --- Special -----------------------------------------------------------------
+
+/// Identity forward; multiplies the gradient by -lambda on the way back.
+/// Used for the domain-adversarial similarity loss.
+Tensor GradReverse(const Tensor& a, float lambda = 1.0f);
+/// out = a where mask==0, `value` where mask!=0. No gradient flows into
+/// masked positions (mask itself is never differentiated).
+Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value);
+/// Mean over the batch of -log_probs[b, labels[b]]; log_probs is [B, C].
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& labels);
+
+// --- Operator sugar -------------------------------------------------------------
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator*(const Tensor& a, float s) { return MulScalar(a, s); }
+inline Tensor operator*(float s, const Tensor& a) { return MulScalar(a, s); }
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+
+}  // namespace ops
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_OPS_H_

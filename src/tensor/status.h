@@ -1,0 +1,163 @@
+// Status / Result error-handling primitives used across the library.
+//
+// Policy (see DESIGN.md): recoverable failures (I/O, configuration,
+// serialization) return Status or Result<T>; programming errors (shape
+// mismatches, index errors) hit ADAPTRAJ_CHECK which aborts with a message.
+// Library code does not throw exceptions.
+
+#ifndef ADAPTRAJ_TENSOR_STATUS_H_
+#define ADAPTRAJ_TENSOR_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace adaptraj {
+
+/// Error category carried by a non-ok Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+};
+
+/// Lightweight status object modeled after the Arrow/RocksDB idiom.
+///
+/// A Status is either OK (the default) or carries a code and a message.
+/// Functions that can fail for recoverable reasons return Status (or
+/// Result<T> when they also produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+  /// Returns an invalid-argument error with the given message.
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an I/O error with the given message.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Returns a not-found error with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns a failed-precondition error with the given message.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an internal error with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The human-readable error message ("" when OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kIOError: name = "IOError"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> couples a Status with a value produced on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status.
+  const Status& status() const { return status_; }
+  /// The value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  /// Moves the value out; must only be called when ok().
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "ADAPTRAJ_CHECK failed at %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Aborts with a message when `cond` is false. For programming errors only.
+#define ADAPTRAJ_CHECK(cond)                                                      \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::adaptraj::internal::CheckFailed(__FILE__, __LINE__, "condition: " #cond); \
+    }                                                                             \
+  } while (0)
+
+/// Aborts with a formatted message when `cond` is false.
+#define ADAPTRAJ_CHECK_MSG(cond, msg)                                  \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream oss_;                                         \
+      oss_ << "condition: " #cond << "; " << msg;                      \
+      ::adaptraj::internal::CheckFailed(__FILE__, __LINE__, oss_.str()); \
+    }                                                                  \
+  } while (0)
+
+/// Aborts when two values are not equal, printing both.
+#define ADAPTRAJ_CHECK_EQ(a, b)                                          \
+  do {                                                                   \
+    auto va_ = (a);                                                      \
+    auto vb_ = (b);                                                      \
+    if (!(va_ == vb_)) {                                                 \
+      std::ostringstream oss_;                                           \
+      oss_ << #a " == " #b " (" << va_ << " vs " << vb_ << ")";          \
+      ::adaptraj::internal::CheckFailed(__FILE__, __LINE__, oss_.str()); \
+    }                                                                    \
+  } while (0)
+
+/// Propagates a non-OK Status from the enclosing function.
+#define ADAPTRAJ_RETURN_NOT_OK(expr)         \
+  do {                                       \
+    ::adaptraj::Status st_ = (expr);         \
+    if (!st_.ok()) return st_;               \
+  } while (0)
+
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_STATUS_H_

@@ -1,0 +1,247 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace adaptraj {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    ADAPTRAJ_CHECK_MSG(d >= 0, "negative dimension in shape " << ShapeToString(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+int64_t FlatIndex(const Shape& shape, const std::vector<int64_t>& index) {
+  ADAPTRAJ_CHECK_EQ(shape.size(), index.size());
+  int64_t flat = 0;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    ADAPTRAJ_CHECK_MSG(index[d] >= 0 && index[d] < shape[d],
+                       "index " << index[d] << " out of range for dim " << d << " of "
+                                << ShapeToString(shape));
+    flat = flat * shape[d] + index[d];
+  }
+  return flat;
+}
+
+namespace internal {
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+}
+
+void TensorImpl::AccumulateGrad(const float* g, int64_t n) {
+  ADAPTRAJ_CHECK_EQ(n, size());
+  EnsureGrad();
+  for (int64_t i = 0; i < n; ++i) grad[i] += g[i];
+}
+
+}  // namespace internal
+
+namespace {
+
+std::shared_ptr<internal::TensorImpl> MakeImpl(const Shape& shape, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(NumElements(shape), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return FromImpl(MakeImpl(shape, requires_grad));
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  ADAPTRAJ_CHECK_MSG(NumElements(shape) == static_cast<int64_t>(values.size()),
+                     "shape " << ShapeToString(shape) << " does not match value count "
+                              << values.size());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev, bool requires_grad) {
+  ADAPTRAJ_CHECK(rng != nullptr);
+  auto impl = MakeImpl(shape, requires_grad);
+  for (auto& v : impl->data) v = rng->Normal(0.0f, stddev);
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi,
+                    bool requires_grad) {
+  ADAPTRAJ_CHECK(rng != nullptr);
+  auto impl = MakeImpl(shape, requires_grad);
+  for (auto& v : impl->data) v = rng->Uniform(lo, hi);
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  ADAPTRAJ_CHECK_MSG(defined(), "shape() on null tensor");
+  return impl_->shape;
+}
+
+int64_t Tensor::size() const {
+  ADAPTRAJ_CHECK_MSG(defined(), "size() on null tensor");
+  return impl_->size();
+}
+
+int64_t Tensor::size(int d) const {
+  const Shape& s = shape();
+  int nd = static_cast<int>(s.size());
+  if (d < 0) d += nd;
+  ADAPTRAJ_CHECK_MSG(d >= 0 && d < nd, "dim " << d << " out of range for " << ShapeToString(s));
+  return s[d];
+}
+
+float* Tensor::data() {
+  ADAPTRAJ_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  ADAPTRAJ_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::item() const {
+  ADAPTRAJ_CHECK_MSG(size() == 1, "item() on tensor of shape " << ShapeToString(shape()));
+  return impl_->data[0];
+}
+
+float Tensor::flat(int64_t i) const {
+  ADAPTRAJ_CHECK_MSG(i >= 0 && i < size(), "flat index " << i << " out of range");
+  return impl_->data[i];
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(null)";
+  std::ostringstream oss;
+  oss << "Tensor" << ShapeToString(shape());
+  if (size() <= 16) {
+    oss << " {";
+    for (int64_t i = 0; i < size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << impl_->data[i];
+    }
+    oss << "}";
+  }
+  return oss.str();
+}
+
+bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  ADAPTRAJ_CHECK(defined());
+  impl_->requires_grad = value;
+  return *this;
+}
+
+bool Tensor::needs_grad() const {
+  return defined() && (impl_->requires_grad || impl_->grad_fn != nullptr);
+}
+
+Tensor Tensor::grad() const {
+  ADAPTRAJ_CHECK(defined());
+  Tensor g = Tensor::Zeros(impl_->shape);
+  if (!impl_->grad.empty()) {
+    std::copy(impl_->grad.begin(), impl_->grad.end(), g.data());
+  }
+  return g;
+}
+
+void Tensor::ZeroGrad() {
+  ADAPTRAJ_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  ADAPTRAJ_CHECK(defined());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // copy keeps semantics simple and safe
+  impl->requires_grad = false;
+  return FromImpl(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+void Tensor::Backward() {
+  ADAPTRAJ_CHECK_MSG(defined(), "Backward() on null tensor");
+  ADAPTRAJ_CHECK_MSG(size() == 1,
+                     "Backward() requires a scalar; got " << ShapeToString(shape()));
+
+  // Iterative post-order DFS over the graph to get a topological order.
+  std::vector<internal::TensorImpl*> topo;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* impl;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  if (impl_->grad_fn) stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& node = f.impl->grad_fn;
+    if (node && f.next_child < node->inputs.size()) {
+      internal::TensorImpl* child = node->inputs[f.next_child++].get();
+      if (child->grad_fn && !visited.count(child)) {
+        visited.insert(child);
+        stack.push_back({child, 0});
+      }
+    } else {
+      topo.push_back(f.impl);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+
+  // topo is post-order (children before parents), so iterate in reverse.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    internal::TensorImpl* impl = *it;
+    if (impl->grad_fn && impl->grad_fn->backward) {
+      impl->EnsureGrad();
+      impl->grad_fn->backward(*impl);
+    }
+  }
+}
+
+}  // namespace adaptraj

@@ -1,0 +1,147 @@
+// Dense float tensor with reverse-mode automatic differentiation.
+//
+// Tensor is a value-semantics handle to shared storage (TensorImpl). Ops in
+// ops.h build a dynamic computation graph of GradNode closures; calling
+// Backward() on a scalar output traverses the graph in reverse topological
+// order and accumulates gradients into every tensor that requires them.
+//
+// The engine is deliberately small: dense row-major float32 storage, the op
+// set needed by the AdapTraj models (matmul, elementwise, reductions,
+// softmax, concat/slice/stack, gradient reversal), and nothing else.
+
+#ifndef ADAPTRAJ_TENSOR_TENSOR_H_
+#define ADAPTRAJ_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/status.h"
+
+namespace adaptraj {
+
+/// Tensor shape: one extent per dimension, row-major layout.
+using Shape = std::vector<int64_t>;
+
+/// Product of the extents (the element count for that shape).
+int64_t NumElements(const Shape& shape);
+
+/// Renders a shape as "[2, 3]".
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+struct GradNode;
+
+/// Shared tensor storage plus autograd bookkeeping.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // empty until first accumulation
+  bool requires_grad = false;
+  std::shared_ptr<GradNode> grad_fn;  // null for leaves / pure-forward results
+
+  int64_t size() const { return static_cast<int64_t>(data.size()); }
+  /// Allocates (zero-filled) gradient storage if not already present.
+  void EnsureGrad();
+  /// Adds n values from g into this impl's gradient buffer.
+  void AccumulateGrad(const float* g, int64_t n);
+};
+
+/// A node in the reverse-mode graph. Owned by the op output's TensorImpl.
+struct GradNode {
+  /// Parents (op inputs) whose gradients this node populates.
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  /// Debug name of the producing op.
+  const char* op_name = "";
+  /// Accumulates input gradients given the output impl (out.grad is final).
+  std::function<void(TensorImpl& out)> backward;
+};
+
+}  // namespace internal
+
+/// Value-semantics handle to a (possibly autograd-tracked) float tensor.
+class Tensor {
+ public:
+  /// Null tensor; defined() is false.
+  Tensor() = default;
+
+  // --- Factories -----------------------------------------------------------
+
+  /// Zero-filled tensor of the given shape.
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  /// Constant-filled tensor of the given shape.
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  /// Tensor adopting the given row-major values (size must match shape).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// Scalar tensor of shape [1].
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// I.i.d. normal entries with the given stddev.
+  static Tensor Randn(const Shape& shape, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// Uniform entries in [lo, hi).
+  static Tensor Rand(const Shape& shape, Rng* rng, float lo, float hi,
+                     bool requires_grad = false);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// True when this handle points at storage.
+  bool defined() const { return impl_ != nullptr; }
+  /// The shape (must be defined).
+  const Shape& shape() const;
+  /// Number of dimensions.
+  int dim() const { return static_cast<int>(shape().size()); }
+  /// Total element count.
+  int64_t size() const;
+  /// Extent of dimension d (negative d counts from the end).
+  int64_t size(int d) const;
+  /// Mutable pointer to row-major data.
+  float* data();
+  /// Const pointer to row-major data.
+  const float* data() const;
+  /// Value of a single-element tensor.
+  float item() const;
+  /// Element at flat index i.
+  float flat(int64_t i) const;
+  /// Renders shape and (for small tensors) the values.
+  std::string ToString() const;
+
+  // --- Autograd ------------------------------------------------------------
+
+  /// True when gradients are requested for this tensor (leaf flag).
+  bool requires_grad() const;
+  /// Marks this tensor as a differentiable leaf (e.g. a parameter).
+  Tensor& set_requires_grad(bool value);
+  /// True when this tensor participates in gradient flow (leaf or op output).
+  bool needs_grad() const;
+  /// The accumulated gradient as a (non-tracked) tensor; zeros if untouched.
+  Tensor grad() const;
+  /// Clears the accumulated gradient.
+  void ZeroGrad();
+  /// Runs reverse-mode differentiation from this scalar tensor.
+  void Backward();
+  /// Returns a view sharing data but detached from the autograd graph.
+  Tensor Detach() const;
+  /// Deep copy of data (not tracked).
+  Tensor Clone() const;
+
+  /// Internal handle (used by ops).
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+
+  /// Wraps an existing impl.
+  static Tensor FromImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Row-major flat index for the given multi-dimensional index.
+int64_t FlatIndex(const Shape& shape, const std::vector<int64_t>& index);
+
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_TENSOR_H_

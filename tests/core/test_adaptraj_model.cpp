@@ -1,0 +1,256 @@
+// Tests for the AdapTraj framework components: extractor routing, losses,
+// aggregator (teacher-student) behaviour, and parameter grouping.
+
+#include "core/adaptraj_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace core {
+namespace {
+
+models::BackboneConfig SmallBackbone() {
+  models::BackboneConfig c;
+  c.embed_dim = 8;
+  c.hidden_dim = 16;
+  c.social_dim = 16;
+  c.latent_dim = 4;
+  return c;
+}
+
+AdapTrajConfig SmallConfig(int k = 2) {
+  AdapTrajConfig c;
+  c.num_source_domains = k;
+  c.feature_dim = 8;
+  c.fused_dim = 8;
+  return c;
+}
+
+data::Batch TestBatch(int n, const data::SequenceConfig& cfg, int labels_mod = 2) {
+  std::vector<data::TrajectorySequence> seqs(n);
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < n; ++i) {
+    auto& s = seqs[i];
+    s.domain_label = i % labels_mod;
+    for (int t = 0; t < cfg.total_len(); ++t) {
+      s.focal.push_back({0.3f * static_cast<float>(t), static_cast<float>(i)});
+    }
+    std::vector<sim::Vec2> nbr;
+    for (int t = 0; t < cfg.obs_len; ++t) {
+      nbr.push_back({0.3f * static_cast<float>(t), static_cast<float>(i) + 1.0f});
+    }
+    s.neighbors.push_back(nbr);
+    ptrs.push_back(&s);
+  }
+  return data::MakeBatch(ptrs, cfg);
+}
+
+class AdapTrajModelTest : public ::testing::Test {
+ protected:
+  AdapTrajModelTest()
+      : rng_(1),
+        model_(models::BackboneKind::kSeq2Seq, SmallBackbone(), SmallConfig(), &rng_) {}
+
+  Rng rng_;
+  AdapTrajModel model_;
+  data::SequenceConfig seq_cfg_;
+};
+
+TEST_F(AdapTrajModelTest, BackboneGetsExtraDim) {
+  EXPECT_EQ(model_.backbone().config().extra_dim, SmallConfig().extra_dim());
+  EXPECT_EQ(SmallConfig().extra_dim(), 16);
+}
+
+TEST_F(AdapTrajModelTest, FeatureShapes) {
+  data::Batch batch = TestBatch(3, seq_cfg_);
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {0, 1, -1});
+  EXPECT_EQ(f.inv_ind.shape(), (Shape{3, 8}));
+  EXPECT_EQ(f.inv_nei.shape(), (Shape{3, 8}));
+  EXPECT_EQ(f.inv.shape(), (Shape{3, 8}));
+  EXPECT_EQ(f.spec_ind.shape(), (Shape{3, 8}));
+  EXPECT_EQ(f.spec_nei.shape(), (Shape{3, 8}));
+  EXPECT_EQ(f.spec.shape(), (Shape{3, 8}));
+  EXPECT_EQ(f.Extra().shape(), (Shape{3, 16}));
+}
+
+TEST_F(AdapTrajModelTest, ExpertRoutingFollowsLabels) {
+  // Two identical sequences with different labels must receive different
+  // specific features (different experts), while invariant features match.
+  data::Batch batch = TestBatch(2, seq_cfg_);
+  // Make both sequences identical.
+  for (auto* t : {&batch.obs_flat}) {
+    for (int64_t i = 0; i < t->size() / 2; ++i) {
+      t->data()[t->size() / 2 + i] = t->flat(i);
+    }
+  }
+  for (auto& step : batch.obs_steps) {
+    step.data()[2] = step.flat(0);
+    step.data()[3] = step.flat(1);
+  }
+  for (auto& step : batch.nbr_steps) {
+    step.data()[2] = step.flat(0);
+    step.data()[3] = step.flat(1);
+  }
+  for (auto* t : {&batch.nbr_offsets, &batch.nbr_mask}) {
+    t->data()[t->size() / 2] = t->flat(0);
+    if (t->size() > 2) t->data()[t->size() / 2 + 1] = t->flat(1);
+  }
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {0, 1});
+  float inv_diff = 0.0f;
+  float spec_diff = 0.0f;
+  for (int64_t j = 0; j < 8; ++j) {
+    inv_diff += std::fabs(f.inv_ind.flat(j) - f.inv_ind.flat(8 + j));
+    spec_diff += std::fabs(f.spec_ind.flat(j) - f.spec_ind.flat(8 + j));
+  }
+  EXPECT_LT(inv_diff, 1e-5f);   // shared weights -> identical
+  EXPECT_GT(spec_diff, 1e-4f);  // different experts -> different features
+}
+
+TEST_F(AdapTrajModelTest, MaskedLabelRoutesThroughAggregator) {
+  data::Batch batch = TestBatch(2, seq_cfg_);
+  auto enc = model_.backbone().Encode(batch);
+  auto labeled = model_.ExtractFeatures(enc, {0, 0});
+  auto masked = model_.ExtractFeatures(enc, {-1, -1});
+  float diff = 0.0f;
+  for (int64_t i = 0; i < labeled.spec_ind.size(); ++i) {
+    diff += std::fabs(labeled.spec_ind.flat(i) - masked.spec_ind.flat(i));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST_F(AdapTrajModelTest, AggregatorPathBlocksExpertGradients) {
+  // Teacher-student: when every label is masked, expert parameters must not
+  // receive gradients (their outputs are detached before the aggregator).
+  data::Batch batch = TestBatch(2, seq_cfg_);
+  model_.ZeroGrad();
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {-1, -1});
+  ops::Sum(f.spec_ind).Backward();
+  // Aggregator params must have gradients; expert params must not. Identify
+  // them via the parameter groups.
+  bool agg_has_grad = false;
+  for (const Tensor& p : model_.AggregatorParams()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) agg_has_grad = agg_has_grad || g.flat(i) != 0.0f;
+  }
+  EXPECT_TRUE(agg_has_grad);
+  // Expert gradient check: named parameters starting with m_ind/m_nei.
+  for (const auto& [name, p] : model_.NamedParameters()) {
+    if (name.rfind("m_ind", 0) == 0 || name.rfind("m_nei", 0) == 0) {
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.size(); ++i) {
+        ASSERT_EQ(g.flat(i), 0.0f) << "expert " << name << " leaked gradient";
+      }
+    }
+  }
+}
+
+TEST_F(AdapTrajModelTest, LabeledPathTrainsExperts) {
+  data::Batch batch = TestBatch(2, seq_cfg_);
+  model_.ZeroGrad();
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {0, 1});
+  ops::Sum(f.spec_ind).Backward();
+  bool expert_has_grad = false;
+  for (const auto& [name, p] : model_.NamedParameters()) {
+    if (name.rfind("m_ind", 0) == 0) {
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.size(); ++i) {
+        expert_has_grad = expert_has_grad || g.flat(i) != 0.0f;
+      }
+    }
+  }
+  EXPECT_TRUE(expert_has_grad);
+}
+
+TEST_F(AdapTrajModelTest, LossesAreFiniteScalars) {
+  data::Batch batch = TestBatch(4, seq_cfg_);
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {0, 1, 0, 1});
+  for (Tensor loss : {model_.ReconLoss(batch, f), model_.SimilarLoss(f, {0, 1, 0, 1}),
+                      model_.DiffLoss(f), model_.OursLoss(batch, f, {0, 1, 0, 1})}) {
+    ASSERT_EQ(loss.size(), 1);
+    EXPECT_TRUE(std::isfinite(loss.item()));
+  }
+}
+
+TEST_F(AdapTrajModelTest, SimilarLossSkipsMaskedRows) {
+  data::Batch batch = TestBatch(2, seq_cfg_);
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {-1, -1});
+  Tensor loss = model_.SimilarLoss(f, {-1, -1});
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+}
+
+TEST_F(AdapTrajModelTest, GradReverseMakesInvariantGradOpposeClassifier) {
+  // Sanity check of the adversarial wiring: training the classifier loss
+  // should push invariant features toward confusion. We verify that the
+  // invariant extractor receives nonzero gradient through the GRL.
+  data::Batch batch = TestBatch(4, seq_cfg_);
+  model_.ZeroGrad();
+  auto enc = model_.backbone().Encode(batch);
+  auto f = model_.ExtractFeatures(enc, {0, 1, 0, 1});
+  model_.SimilarLoss(f, {0, 1, 0, 1}).Backward();
+  bool v_ind_grad = false;
+  for (const auto& [name, p] : model_.NamedParameters()) {
+    if (name.rfind("v_ind", 0) == 0) {
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.size(); ++i) v_ind_grad = v_ind_grad || g.flat(i) != 0.0f;
+    }
+  }
+  EXPECT_TRUE(v_ind_grad);
+}
+
+TEST_F(AdapTrajModelTest, DiffLossDecreasesUnderTraining) {
+  data::Batch batch = TestBatch(4, seq_cfg_);
+  nn::Adam opt(1e-2f);
+  opt.AddGroup(model_.Parameters());
+  auto eval_diff = [&]() {
+    auto enc = model_.backbone().Encode(batch);
+    auto f = model_.ExtractFeatures(enc, {0, 1, 0, 1});
+    return model_.DiffLoss(f).item();
+  };
+  const float before = eval_diff();
+  for (int it = 0; it < 50; ++it) {
+    opt.ZeroGrad();
+    auto enc = model_.backbone().Encode(batch);
+    auto f = model_.ExtractFeatures(enc, {0, 1, 0, 1});
+    model_.DiffLoss(f).Backward();
+    opt.Step();
+  }
+  EXPECT_LT(eval_diff(), before);
+}
+
+TEST_F(AdapTrajModelTest, ParameterGroupsPartitionAllParameters) {
+  const size_t total = model_.Parameters().size();
+  const size_t main_group = model_.BackboneAndExtractorParams().size();
+  const size_t agg_group = model_.AggregatorParams().size();
+  EXPECT_EQ(total, main_group + agg_group);
+}
+
+TEST(AdapTrajConfigTest, ExtraDimIsTwiceFused) {
+  AdapTrajConfig c;
+  c.fused_dim = 24;
+  EXPECT_EQ(c.extra_dim(), 48);
+}
+
+TEST(AdapTrajModelVariantsTest, DifferentSourceCountsChangeExpertCount) {
+  Rng rng(3);
+  AdapTrajModel one(models::BackboneKind::kSeq2Seq, SmallBackbone(), SmallConfig(1),
+                    &rng);
+  Rng rng2(3);
+  AdapTrajModel three(models::BackboneKind::kSeq2Seq, SmallBackbone(), SmallConfig(3),
+                      &rng2);
+  EXPECT_GT(three.NumParams(), one.NumParams());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace adaptraj

@@ -1,0 +1,160 @@
+// Tests for sequence extraction, chronological splits, and statistics.
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptraj {
+namespace data {
+namespace {
+
+// Builds a deterministic synthetic scene: `n` agents moving in straight
+// lines, all present from step 0 for `len` steps.
+sim::Scene StraightLineScene(int n, int len, float speed = 0.3f) {
+  sim::Scene scene;
+  scene.num_steps = len;
+  for (int a = 0; a < n; ++a) {
+    sim::AgentTrack t;
+    t.agent_id = a;
+    t.start_step = 0;
+    for (int s = 0; s < len; ++s) {
+      t.points.push_back({speed * static_cast<float>(s),
+                          static_cast<float>(a)});  // parallel lanes 1 m apart
+    }
+    scene.tracks.push_back(t);
+  }
+  return scene;
+}
+
+TEST(ExtractTest, WindowCountFollowsStride) {
+  SequenceConfig cfg;
+  cfg.stride = 5;
+  // Track length 30, window 20 => offsets 0,5,10 => 3 windows per agent.
+  sim::Scene scene = StraightLineScene(2, 30);
+  auto seqs = ExtractSequences(scene, cfg, sim::Domain::kEthUcy, 0);
+  EXPECT_EQ(seqs.size(), 2u * 3u);
+}
+
+TEST(ExtractTest, TooShortTracksYieldNothing) {
+  SequenceConfig cfg;
+  sim::Scene scene = StraightLineScene(3, cfg.total_len() - 1);
+  EXPECT_TRUE(ExtractSequences(scene, cfg, sim::Domain::kEthUcy, 0).empty());
+}
+
+TEST(ExtractTest, FocalCoversObsPlusPred) {
+  SequenceConfig cfg;
+  sim::Scene scene = StraightLineScene(1, 25);
+  auto seqs = ExtractSequences(scene, cfg, sim::Domain::kSdd, 0);
+  ASSERT_FALSE(seqs.empty());
+  EXPECT_EQ(static_cast<int>(seqs[0].focal.size()), cfg.total_len());
+  EXPECT_EQ(seqs[0].domain, sim::Domain::kSdd);
+}
+
+TEST(ExtractTest, NeighborsRequireFullObsWindow) {
+  SequenceConfig cfg;
+  sim::Scene scene = StraightLineScene(2, 25);
+  // Second agent appears late: misses the first window's obs steps.
+  scene.tracks[1].start_step = 3;
+  scene.tracks[1].points.resize(22);
+  auto seqs = ExtractSequences(scene, cfg, sim::Domain::kEthUcy, 0);
+  // First agent's window at offset 0 has no full-coverage neighbor.
+  bool found_first_window = false;
+  for (const auto& s : seqs) {
+    if (s.start_step == 0) {
+      found_first_window = true;
+      EXPECT_TRUE(s.neighbors.empty());
+    }
+  }
+  EXPECT_TRUE(found_first_window);
+}
+
+TEST(ExtractTest, NeighborsSortedNearestFirstAndCapped) {
+  SequenceConfig cfg;
+  cfg.max_neighbors = 3;
+  sim::Scene scene = StraightLineScene(6, 25);  // lanes y = 0..5
+  auto seqs = ExtractSequences(scene, cfg, sim::Domain::kEthUcy, 0);
+  ASSERT_FALSE(seqs.empty());
+  // For the focal agent in lane 0, nearest neighbors are lanes 1,2,3.
+  const auto& s0 = seqs[0];
+  ASSERT_EQ(s0.neighbors.size(), 3u);
+  EXPECT_NEAR(s0.neighbors[0].back().y, 1.0f, 1e-5);
+  EXPECT_NEAR(s0.neighbors[1].back().y, 2.0f, 1e-5);
+  EXPECT_NEAR(s0.neighbors[2].back().y, 3.0f, 1e-5);
+}
+
+TEST(ExtractTest, NeighborWindowHasObsLength) {
+  SequenceConfig cfg;
+  sim::Scene scene = StraightLineScene(3, 25);
+  auto seqs = ExtractSequences(scene, cfg, sim::Domain::kEthUcy, 0);
+  for (const auto& s : seqs) {
+    for (const auto& n : s.neighbors) {
+      EXPECT_EQ(static_cast<int>(n.size()), cfg.obs_len);
+    }
+  }
+}
+
+TEST(SplitTest, RatiosAreSixTwoTwo) {
+  std::vector<TrajectorySequence> seqs(100);
+  for (int i = 0; i < 100; ++i) {
+    seqs[i].scene_index = i / 10;
+    seqs[i].start_step = i % 10;
+  }
+  SplitDataset split = ChronologicalSplit(std::move(seqs));
+  EXPECT_EQ(split.train.size(), 60u);
+  EXPECT_EQ(split.val.size(), 20u);
+  EXPECT_EQ(split.test.size(), 20u);
+}
+
+TEST(SplitTest, ChronologicalOrderPreserved) {
+  std::vector<TrajectorySequence> seqs(10);
+  for (int i = 0; i < 10; ++i) {
+    seqs[i].scene_index = 9 - i;  // reversed input order
+  }
+  SplitDataset split = ChronologicalSplit(std::move(seqs));
+  // Train must hold the chronologically earliest scenes.
+  for (const auto& s : split.train.sequences) EXPECT_LT(s.scene_index, 6);
+  for (const auto& s : split.test.sequences) EXPECT_GE(s.scene_index, 8);
+}
+
+TEST(SplitTest, EmptyInputYieldsEmptySplits) {
+  SplitDataset split = ChronologicalSplit({});
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.val.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(BuildDatasetTest, ProducesNonEmptySplitsForAllDomains) {
+  SequenceConfig cfg;
+  for (sim::Domain d : sim::AllDomains()) {
+    SplitDataset split = BuildDomainDataset(d, 3, 50, 99, cfg);
+    EXPECT_FALSE(split.train.empty()) << sim::DomainName(d);
+    EXPECT_FALSE(split.test.empty()) << sim::DomainName(d);
+    for (const auto& s : split.train.sequences) {
+      EXPECT_EQ(s.domain, d);
+      EXPECT_EQ(static_cast<int>(s.focal.size()), cfg.total_len());
+    }
+  }
+}
+
+TEST(StatsTest, StraightLineSceneHasZeroAcceleration) {
+  SequenceConfig cfg;
+  sim::Scene scene = StraightLineScene(3, 25, 0.4f);
+  auto stats = ComputeDomainStats({scene}, cfg, sim::Domain::kEthUcy);
+  EXPECT_NEAR(stats.avg_vx, 0.4f, 1e-5);
+  EXPECT_NEAR(stats.avg_vy, 0.0f, 1e-5);
+  EXPECT_NEAR(stats.avg_ax, 0.0f, 1e-5);
+  EXPECT_NEAR(stats.avg_ay, 0.0f, 1e-5);
+  EXPECT_NEAR(stats.avg_num, 3.0f, 1e-5);
+  EXPECT_NEAR(stats.std_num, 0.0f, 1e-5);
+}
+
+TEST(StatsTest, SequenceCountMatchesExtraction) {
+  SequenceConfig cfg;
+  sim::Scene scene = StraightLineScene(2, 30);
+  auto stats = ComputeDomainStats({scene}, cfg, sim::Domain::kEthUcy);
+  EXPECT_EQ(stats.num_sequences, 6);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace adaptraj

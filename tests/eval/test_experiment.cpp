@@ -1,0 +1,145 @@
+// Integration tests for the experiment runner: every (backbone, method)
+// cell trains and evaluates end-to-end; checkpointing round-trips.
+
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/serialize.h"
+
+namespace adaptraj {
+namespace eval {
+namespace {
+
+data::DomainGeneralizationData SmallData() {
+  data::CorpusConfig cfg;
+  cfg.num_scenes = 2;
+  cfg.steps_per_scene = 45;
+  cfg.seed = 909;
+  return data::BuildDomainGeneralizationData(
+      {sim::Domain::kEthUcy, sim::Domain::kLcas}, sim::Domain::kSdd, cfg);
+}
+
+ExperimentConfig SmallConfig(models::BackboneKind backbone, MethodKind method) {
+  ExperimentConfig cfg;
+  cfg.backbone = backbone;
+  cfg.method = method;
+  cfg.backbone_config.embed_dim = 8;
+  cfg.backbone_config.hidden_dim = 16;
+  cfg.backbone_config.social_dim = 16;
+  cfg.backbone_config.latent_dim = 4;
+  cfg.backbone_config.langevin_steps = 2;
+  cfg.train.epochs = 4;
+  cfg.train.max_batches_per_epoch = 3;
+  cfg.eval_samples = 3;
+  return cfg;
+}
+
+TEST(MethodKindTest, NamesMatchPaper) {
+  EXPECT_EQ(MethodKindName(MethodKind::kVanilla), "vanilla");
+  EXPECT_EQ(MethodKindName(MethodKind::kCounter), "Counter");
+  EXPECT_EQ(MethodKindName(MethodKind::kCausalMotion), "CausalMotion");
+  EXPECT_EQ(MethodKindName(MethodKind::kAdapTraj), "AdapTraj");
+}
+
+TEST(MakeMethodTest, BuildsEveryKind) {
+  for (auto kind : {MethodKind::kVanilla, MethodKind::kCounter,
+                    MethodKind::kCausalMotion, MethodKind::kAdapTraj}) {
+    auto cfg = SmallConfig(models::BackboneKind::kSeq2Seq, kind);
+    auto method = MakeMethod(cfg, 2);
+    ASSERT_NE(method, nullptr);
+    EXPECT_EQ(method->name(), MethodKindName(kind));
+  }
+}
+
+struct Cell {
+  models::BackboneKind backbone;
+  MethodKind method;
+};
+
+class ExperimentCellTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(ExperimentCellTest, RunsEndToEnd) {
+  auto dgd = SmallData();
+  auto cfg = SmallConfig(GetParam().backbone, GetParam().method);
+  auto result = RunExperiment(dgd, cfg);
+  EXPECT_TRUE(std::isfinite(result.target.ade));
+  EXPECT_TRUE(std::isfinite(result.target.fde));
+  EXPECT_GT(result.target.ade, 0.0f);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_GT(result.inference_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ExperimentCellTest,
+    ::testing::Values(Cell{models::BackboneKind::kPecnet, MethodKind::kVanilla},
+                      Cell{models::BackboneKind::kPecnet, MethodKind::kCounter},
+                      Cell{models::BackboneKind::kPecnet, MethodKind::kCausalMotion},
+                      Cell{models::BackboneKind::kPecnet, MethodKind::kAdapTraj},
+                      Cell{models::BackboneKind::kLbebm, MethodKind::kVanilla},
+                      Cell{models::BackboneKind::kLbebm, MethodKind::kAdapTraj}),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return models::BackboneKindName(info.param.backbone) +
+             MethodKindName(info.param.method);
+    });
+
+TEST(CheckpointIntegrationTest, AdapTrajModelRoundTripsThroughDisk) {
+  Rng rng(11);
+  models::BackboneConfig bcfg;
+  bcfg.embed_dim = 8;
+  bcfg.hidden_dim = 16;
+  bcfg.social_dim = 16;
+  bcfg.latent_dim = 4;
+  core::AdapTrajConfig acfg;
+  acfg.num_source_domains = 2;
+  acfg.feature_dim = 8;
+  acfg.fused_dim = 8;
+  core::AdapTrajModel original(models::BackboneKind::kPecnet, bcfg, acfg, &rng);
+
+  const std::string path = std::string(::testing::TempDir()) + "/adaptraj_full.bin";
+  ASSERT_TRUE(nn::SaveParameters(original, path).ok());
+
+  Rng rng2(99);
+  core::AdapTrajModel restored(models::BackboneKind::kPecnet, bcfg, acfg, &rng2);
+  ASSERT_TRUE(nn::LoadParameters(&restored, path).ok());
+
+  // Identical predictions after restore.
+  auto dgd = SmallData();
+  data::SequenceConfig seq_cfg;
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < 3; ++i) ptrs.push_back(&dgd.target.test.sequences[i]);
+  data::Batch batch = data::MakeBatch(ptrs, seq_cfg);
+  std::vector<int> labels(3, -1);
+
+  auto enc_a = original.backbone().Encode(batch);
+  auto f_a = original.ExtractFeatures(enc_a, labels);
+  Rng pr_a(5);
+  Tensor pa = original.backbone().Predict(batch, enc_a, f_a.Extra(), &pr_a, false);
+
+  auto enc_b = restored.backbone().Encode(batch);
+  auto f_b = restored.ExtractFeatures(enc_b, labels);
+  Rng pr_b(5);
+  Tensor pb = restored.backbone().Predict(batch, enc_b, f_b.Extra(), &pr_b, false);
+
+  ASSERT_EQ(pa.size(), pb.size());
+  for (int64_t i = 0; i < pa.size(); ++i) EXPECT_FLOAT_EQ(pa.flat(i), pb.flat(i));
+}
+
+TEST(InferenceTimingTest, MeasureReturnsPositiveSeconds) {
+  auto dgd = SmallData();
+  auto cfg = SmallConfig(models::BackboneKind::kPecnet, MethodKind::kVanilla);
+  auto method = MakeMethod(cfg, 2);
+  data::SequenceConfig seq_cfg;
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < 4; ++i) ptrs.push_back(&dgd.target.test.sequences[i]);
+  data::Batch batch = data::MakeBatch(ptrs, seq_cfg);
+  double secs = MeasureInferenceSeconds(*method, batch, 3, 1);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_LT(secs, 10.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace adaptraj

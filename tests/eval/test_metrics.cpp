@@ -1,0 +1,141 @@
+// Tests for ADE/FDE metrics and the best-of-K protocol.
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+
+namespace adaptraj {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, PerfectPredictionIsZeroError) {
+  Tensor gt = Tensor::FromVector({1, 4}, {0.5f, 0.0f, 0.5f, 0.0f});  // 2 steps
+  Metrics m = DisplacementErrors(gt, gt, 2);
+  EXPECT_FLOAT_EQ(m.ade, 0.0f);
+  EXPECT_FLOAT_EQ(m.fde, 0.0f);
+}
+
+TEST(MetricsTest, KnownHandComputedValues) {
+  // Prediction goes right 1.0/step; truth stays still. Positions after
+  // steps: (1,0), (2,0) -> errors 1, 2 -> ADE 1.5, FDE 2.
+  Tensor pred = Tensor::FromVector({1, 4}, {1.0f, 0.0f, 1.0f, 0.0f});
+  Tensor gt = Tensor::Zeros({1, 4});
+  Metrics m = DisplacementErrors(pred, gt, 2);
+  EXPECT_NEAR(m.ade, 1.5f, 1e-5);
+  EXPECT_NEAR(m.fde, 2.0f, 1e-5);
+}
+
+TEST(MetricsTest, ErrorsAccumulateThroughCumsum) {
+  // A single early displacement error persists in all later positions.
+  Tensor pred = Tensor::FromVector({1, 6}, {1.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f});
+  Tensor gt = Tensor::Zeros({1, 6});
+  Metrics m = DisplacementErrors(pred, gt, 3);
+  EXPECT_NEAR(m.ade, 1.0f, 1e-5);  // error 1 at every step
+  EXPECT_NEAR(m.fde, 1.0f, 1e-5);
+}
+
+TEST(MetricsTest, BatchAveraging) {
+  // One perfect and one offset sequence average to half the single error.
+  Tensor pred = Tensor::FromVector({2, 2}, {0.0f, 0.0f, 3.0f, 4.0f});
+  Tensor gt = Tensor::Zeros({2, 2});
+  Metrics m = DisplacementErrors(pred, gt, 1);
+  EXPECT_NEAR(m.ade, 2.5f, 1e-5);  // (0 + 5) / 2
+  EXPECT_NEAR(m.fde, 2.5f, 1e-5);
+}
+
+TEST(MetricsTest, FdeNeverLessThanZeroAndAdeBounded) {
+  Rng rng(4);
+  Tensor pred = Tensor::Randn({5, 24}, &rng);
+  Tensor gt = Tensor::Randn({5, 24}, &rng);
+  Metrics m = DisplacementErrors(pred, gt, 12);
+  EXPECT_GE(m.ade, 0.0f);
+  EXPECT_GE(m.fde, 0.0f);
+}
+
+TEST(PerSequenceTest, VectorsSizedToBatch) {
+  Tensor pred = Tensor::Zeros({3, 8});
+  Tensor gt = Tensor::Zeros({3, 8});
+  std::vector<float> ade;
+  std::vector<float> fde;
+  PerSequenceErrors(pred, gt, 4, &ade, &fde);
+  EXPECT_EQ(ade.size(), 3u);
+  EXPECT_EQ(fde.size(), 3u);
+}
+
+// A fake method whose sampled predictions alternate between bad and perfect:
+// best-of-K must find the perfect one.
+class AlternatingMethod : public core::Method {
+ public:
+  std::string name() const override { return "fake"; }
+  void Train(const data::DomainGeneralizationData&, const core::TrainConfig&) override {}
+  Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override {
+    ++calls_;
+    if (!sample || calls_ % 2 == 0) return batch.fut_flat.Detach();  // perfect
+    Tensor bad = batch.fut_flat.Detach();
+    for (int64_t i = 0; i < bad.size(); ++i) bad.data()[i] += 1.0f;
+    return bad;
+  }
+
+ private:
+  mutable int calls_ = 0;
+};
+
+data::Dataset TinyEvalDataset(int n) {
+  data::SequenceConfig cfg;
+  data::Dataset ds;
+  for (int i = 0; i < n; ++i) {
+    data::TrajectorySequence s;
+    for (int t = 0; t < cfg.total_len(); ++t) {
+      s.focal.push_back({0.2f * static_cast<float>(t), static_cast<float>(i)});
+    }
+    ds.sequences.push_back(s);
+  }
+  return ds;
+}
+
+TEST(MinOfKTest, FindsThePerfectSample) {
+  AlternatingMethod method;
+  data::SequenceConfig cfg;
+  Metrics m = EvaluateMinOfK(method, TinyEvalDataset(6), cfg, 4, 3, 1);
+  EXPECT_NEAR(m.ade, 0.0f, 1e-6);
+  EXPECT_NEAR(m.fde, 0.0f, 1e-6);
+}
+
+TEST(MinOfKTest, SingleSampleUsesDeterministicPath) {
+  AlternatingMethod method;
+  data::SequenceConfig cfg;
+  // k=1 calls Predict with sample=false -> perfect prediction by design.
+  Metrics m = EvaluateMinOfK(method, TinyEvalDataset(4), cfg, 1, 2, 1);
+  EXPECT_NEAR(m.ade, 0.0f, 1e-6);
+}
+
+TEST(MinOfKTest, MoreSamplesNeverHurt) {
+  // Property: best-of-8 <= best-of-2 for a stochastic method.
+  class NoisyMethod : public core::Method {
+   public:
+    std::string name() const override { return "noisy"; }
+    void Train(const data::DomainGeneralizationData&, const core::TrainConfig&) override {}
+    Tensor Predict(const data::Batch& batch, Rng* rng, bool) const override {
+      Tensor out = batch.fut_flat.Detach();
+      for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += rng->Normal(0.0f, 0.5f);
+      return out;
+    }
+  };
+  NoisyMethod method;
+  data::SequenceConfig cfg;
+  Metrics m2 = EvaluateMinOfK(method, TinyEvalDataset(8), cfg, 2, 4, 42);
+  Metrics m8 = EvaluateMinOfK(method, TinyEvalDataset(8), cfg, 8, 4, 42);
+  EXPECT_LE(m8.ade, m2.ade + 1e-5f);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatFloat(0.9114f, 3), "0.911");
+  EXPECT_EQ(FormatFloat(1.0f, 2), "1.00");
+  EXPECT_EQ(FormatAdeFde(0.911f, 1.670f), "0.911/1.670");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace adaptraj

@@ -1,0 +1,154 @@
+// Property tests for the neighbor interaction layer (Eq. 3).
+
+#include "models/interaction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adaptraj {
+namespace models {
+namespace {
+
+data::Batch NeighborBatch(int batch, int neighbors, const data::SequenceConfig& cfg,
+                          uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<data::TrajectorySequence> seqs(batch);
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < batch; ++i) {
+    auto& s = seqs[i];
+    float x = rng.Uniform(-1.0f, 1.0f);
+    float y = rng.Uniform(-1.0f, 1.0f);
+    for (int t = 0; t < cfg.total_len(); ++t) {
+      s.focal.push_back({x + 0.2f * t, y});
+    }
+    for (int m = 0; m < neighbors; ++m) {
+      std::vector<sim::Vec2> nbr;
+      float nx = rng.Uniform(-2.0f, 2.0f);
+      float ny = rng.Uniform(-2.0f, 2.0f);
+      for (int t = 0; t < cfg.obs_len; ++t) nbr.push_back({nx + 0.1f * t, ny});
+      s.neighbors.push_back(std::move(nbr));
+    }
+    ptrs.push_back(&s);
+  }
+  return data::MakeBatch(ptrs, cfg);
+}
+
+TEST(InteractionPoolingTest, OutputShape) {
+  Rng rng(1);
+  InteractionPooling pool(8, 16, 24, &rng);
+  data::SequenceConfig cfg;
+  data::Batch batch = NeighborBatch(3, 2, cfg);
+  Tensor h = Tensor::Randn({3, 16}, &rng);
+  Tensor p = pool.Pool(batch, h);
+  EXPECT_EQ(p.shape(), (Shape{3, 24}));
+}
+
+TEST(InteractionPoolingTest, NoNeighborsYieldsConstantOutput) {
+  // With all slots masked, the pooled pre-projection feature is exactly zero,
+  // so the output equals the projection of zero regardless of focal state.
+  Rng rng(2);
+  InteractionPooling pool(8, 16, 16, &rng);
+  data::SequenceConfig cfg;
+  data::Batch batch = NeighborBatch(2, 0, cfg);
+  Tensor h1 = Tensor::Randn({2, 16}, &rng);
+  Tensor h2 = Tensor::Randn({2, 16}, &rng);
+  Tensor p1 = pool.Pool(batch, h1);
+  Tensor p2 = pool.Pool(batch, h2);
+  for (int64_t i = 0; i < p1.size(); ++i) EXPECT_FLOAT_EQ(p1.flat(i), p2.flat(i));
+}
+
+TEST(InteractionPoolingTest, NeighborPermutationInvariance) {
+  Rng rng(4);
+  InteractionPooling pool(8, 16, 16, &rng);
+  data::SequenceConfig cfg;
+
+  // Build two batches whose single sequence has the same two neighbors in
+  // swapped order.
+  data::TrajectorySequence s;
+  for (int t = 0; t < cfg.total_len(); ++t) s.focal.push_back({0.2f * t, 0.0f});
+  std::vector<sim::Vec2> n1, n2;
+  for (int t = 0; t < cfg.obs_len; ++t) {
+    n1.push_back({0.2f * t, 1.0f});
+    n2.push_back({0.1f * t, -2.0f});
+  }
+  data::TrajectorySequence fwd = s;
+  fwd.neighbors = {n1, n2};
+  data::TrajectorySequence rev = s;
+  rev.neighbors = {n2, n1};
+
+  Tensor h = Tensor::Randn({1, 16}, &rng);
+  Tensor pf = pool.Pool(data::MakeBatch({&fwd}, cfg), h);
+  Tensor pr = pool.Pool(data::MakeBatch({&rev}, cfg), h);
+  for (int64_t i = 0; i < pf.size(); ++i) EXPECT_NEAR(pf.flat(i), pr.flat(i), 1e-4);
+}
+
+TEST(InteractionPoolingTest, PaddingSlotsDoNotAffectOutput) {
+  // A sequence batched alone (M=1 real) vs batched next to a sequence with
+  // more neighbors (M=3, two padded slots) must pool identically.
+  Rng rng(5);
+  InteractionPooling pool(8, 16, 16, &rng);
+  data::SequenceConfig cfg;
+
+  data::TrajectorySequence a;
+  for (int t = 0; t < cfg.total_len(); ++t) a.focal.push_back({0.2f * t, 0.0f});
+  std::vector<sim::Vec2> nbr;
+  for (int t = 0; t < cfg.obs_len; ++t) nbr.push_back({0.15f * t, 1.0f});
+  a.neighbors = {nbr};
+
+  data::TrajectorySequence b;
+  for (int t = 0; t < cfg.total_len(); ++t) b.focal.push_back({-0.2f * t, 3.0f});
+  std::vector<sim::Vec2> n1 = nbr, n2 = nbr, n3 = nbr;
+  for (auto& p : n2) p.y += 1.0f;
+  for (auto& p : n3) p.y += 2.0f;
+  b.neighbors = {n1, n2, n3};
+
+  Tensor h_single = Tensor::Randn({1, 16}, &rng);
+  Tensor p_single = pool.Pool(data::MakeBatch({&a}, cfg), h_single);
+
+  // Batch a together with b: a gets two padding slots.
+  Tensor h_pair = Tensor::Zeros({2, 16});
+  for (int64_t i = 0; i < 16; ++i) h_pair.data()[i] = h_single.flat(i);
+  Tensor p_pair = pool.Pool(data::MakeBatch({&a, &b}, cfg), h_pair);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_NEAR(p_single.flat(i), p_pair.flat(i), 1e-4);
+}
+
+TEST(InteractionPoolingTest, GradientsFlowToAllSubmodules) {
+  Rng rng(6);
+  InteractionPooling pool(8, 16, 16, &rng);
+  data::SequenceConfig cfg;
+  data::Batch batch = NeighborBatch(2, 2, cfg);
+  Tensor h = Tensor::Randn({2, 16}, &rng, 1.0f, /*requires_grad=*/true);
+  pool.ZeroGrad();
+  ops::Sum(ops::Square(pool.Pool(batch, h))).Backward();
+  int with_grad = 0;
+  for (const Tensor& p : pool.Parameters()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (g.flat(i) != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_grad, static_cast<int>(pool.Parameters().size() * 2 / 3));
+}
+
+class NeighborCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeighborCountSweep, PoolingFiniteForAnyNeighborCount) {
+  Rng rng(7);
+  InteractionPooling pool(8, 16, 16, &rng);
+  data::SequenceConfig cfg;
+  cfg.max_neighbors = 16;
+  data::Batch batch = NeighborBatch(3, GetParam(), cfg);
+  Tensor h = Tensor::Randn({3, 16}, &rng);
+  Tensor p = pool.Pool(batch, h);
+  for (int64_t i = 0; i < p.size(); ++i) EXPECT_TRUE(std::isfinite(p.flat(i)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, NeighborCountSweep, ::testing::Values(0, 1, 2, 5, 12));
+
+}  // namespace
+}  // namespace models
+}  // namespace adaptraj

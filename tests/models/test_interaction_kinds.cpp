@@ -1,0 +1,185 @@
+// Tests for the alternative interaction mechanisms (mean / max pooling) and
+// the MaxAxis op that powers max pooling.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/backbone.h"
+#include "models/interaction.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace models {
+namespace {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+TEST(MaxAxisTest, ForwardValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 3, -2, -7, -1});
+  Tensor m = MaxAxis(a, 1);
+  ASSERT_EQ(m.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(m.flat(0), 5.0f);
+  EXPECT_FLOAT_EQ(m.flat(1), -1.0f);
+}
+
+TEST(MaxAxisTest, KeepdimShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(MaxAxis(a, 0, true).shape(), (Shape{1, 2}));
+  EXPECT_EQ(MaxAxis(a, 0, false).shape(), (Shape{2}));
+}
+
+TEST(MaxAxisTest, MiddleAxis3d) {
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 8, 3, 4, 5, 6, 7, 2});
+  Tensor m = MaxAxis(a, 1);
+  ASSERT_EQ(m.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(m.flat(0), 3.0f);
+  EXPECT_FLOAT_EQ(m.flat(1), 8.0f);
+  EXPECT_FLOAT_EQ(m.flat(2), 7.0f);
+  EXPECT_FLOAT_EQ(m.flat(3), 6.0f);
+}
+
+TEST(MaxAxisTest, GradientRoutesToArgmaxOnly) {
+  Tensor a = Tensor::FromVector({1, 3}, {1.0f, 5.0f, 3.0f}, /*requires_grad=*/true);
+  Sum(MaxAxis(a, 1)).Backward();
+  Tensor g = a.grad();
+  EXPECT_FLOAT_EQ(g.flat(0), 0.0f);
+  EXPECT_FLOAT_EQ(g.flat(1), 1.0f);
+  EXPECT_FLOAT_EQ(g.flat(2), 0.0f);
+}
+
+TEST(MaxAxisTest, GradCheck) {
+  // Distinct values avoid argmax ties that break finite differences.
+  Tensor a = Tensor::FromVector({2, 3}, {0.1f, 0.9f, 0.5f, -0.4f, 0.2f, 0.7f},
+                                /*requires_grad=*/true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) { return Sum(Square(MaxAxis(in[0], 1))); }, {a},
+      /*epsilon=*/1e-3f);
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(InteractionKindTest, Names) {
+  EXPECT_EQ(InteractionKindName(InteractionKind::kAttention), "attention");
+  EXPECT_EQ(InteractionKindName(InteractionKind::kMeanPool), "mean-pool");
+  EXPECT_EQ(InteractionKindName(InteractionKind::kMaxPool), "max-pool");
+}
+
+data::Batch KindBatch(int batch, int neighbors, const data::SequenceConfig& cfg) {
+  Rng rng(3);
+  std::vector<data::TrajectorySequence> seqs(batch);
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < batch; ++i) {
+    auto& s = seqs[i];
+    for (int t = 0; t < cfg.total_len(); ++t) {
+      s.focal.push_back({0.2f * t, static_cast<float>(i)});
+    }
+    for (int m = 0; m < neighbors; ++m) {
+      std::vector<sim::Vec2> nbr;
+      for (int t = 0; t < cfg.obs_len; ++t) {
+        nbr.push_back({0.1f * t + 0.3f * m, static_cast<float>(i) + 1.0f});
+      }
+      s.neighbors.push_back(std::move(nbr));
+    }
+    ptrs.push_back(&s);
+  }
+  return data::MakeBatch(ptrs, cfg);
+}
+
+class KindSweep : public ::testing::TestWithParam<InteractionKind> {};
+
+TEST_P(KindSweep, OutputShapeAndFinite) {
+  Rng rng(1);
+  InteractionPooling pool(8, 16, 16, &rng, GetParam());
+  data::SequenceConfig cfg;
+  data::Batch batch = KindBatch(3, 2, cfg);
+  Tensor h = Tensor::Randn({3, 16}, &rng);
+  Tensor p = pool.Pool(batch, h);
+  ASSERT_EQ(p.shape(), (Shape{3, 16}));
+  for (int64_t i = 0; i < p.size(); ++i) EXPECT_TRUE(std::isfinite(p.flat(i)));
+}
+
+TEST_P(KindSweep, NoNeighborsGivesZeroPreProjection) {
+  // All kinds must degrade to the projection of the zero vector when the
+  // scene has no neighbors, regardless of the focal state.
+  Rng rng(2);
+  InteractionPooling pool(8, 16, 16, &rng, GetParam());
+  data::SequenceConfig cfg;
+  data::Batch batch = KindBatch(2, 0, cfg);
+  Tensor p1 = pool.Pool(batch, Tensor::Randn({2, 16}, &rng));
+  Tensor p2 = pool.Pool(batch, Tensor::Randn({2, 16}, &rng));
+  for (int64_t i = 0; i < p1.size(); ++i) EXPECT_FLOAT_EQ(p1.flat(i), p2.flat(i));
+}
+
+TEST_P(KindSweep, GradientsFlowThroughNeighborEncoder) {
+  Rng rng(4);
+  InteractionPooling pool(8, 16, 16, &rng, GetParam());
+  data::SequenceConfig cfg;
+  data::Batch batch = KindBatch(2, 3, cfg);
+  pool.ZeroGrad();
+  Tensor h = Tensor::Randn({2, 16}, &rng);
+  Sum(Square(pool.Pool(batch, h))).Backward();
+  bool any = false;
+  for (const auto& [name, p] : pool.NamedParameters()) {
+    if (name.rfind("encoder", 0) == 0) {
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.size(); ++i) any = any || g.flat(i) != 0.0f;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST_P(KindSweep, PermutationInvariance) {
+  Rng rng(5);
+  InteractionPooling pool(8, 16, 16, &rng, GetParam());
+  data::SequenceConfig cfg;
+  data::TrajectorySequence s;
+  for (int t = 0; t < cfg.total_len(); ++t) s.focal.push_back({0.2f * t, 0.0f});
+  std::vector<sim::Vec2> n1, n2, n3;
+  for (int t = 0; t < cfg.obs_len; ++t) {
+    n1.push_back({0.2f * t, 1.0f});
+    n2.push_back({0.1f * t, -2.0f});
+    n3.push_back({-0.1f * t, 0.5f});
+  }
+  data::TrajectorySequence fwd = s;
+  fwd.neighbors = {n1, n2, n3};
+  data::TrajectorySequence rev = s;
+  rev.neighbors = {n3, n1, n2};
+  Tensor h = Tensor::Randn({1, 16}, &rng);
+  Tensor pf = pool.Pool(data::MakeBatch({&fwd}, cfg), h);
+  Tensor pr = pool.Pool(data::MakeBatch({&rev}, cfg), h);
+  for (int64_t i = 0; i < pf.size(); ++i) EXPECT_NEAR(pf.flat(i), pr.flat(i), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, KindSweep,
+                         ::testing::Values(InteractionKind::kAttention,
+                                           InteractionKind::kMeanPool,
+                                           InteractionKind::kMaxPool),
+                         [](const ::testing::TestParamInfo<InteractionKind>& info) {
+                           std::string n = InteractionKindName(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+                           return n;
+                         });
+
+TEST(BackboneInteractionTest, ConfigSelectsMechanism) {
+  Rng rng(6);
+  BackboneConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.social_dim = 16;
+  cfg.latent_dim = 4;
+  cfg.interaction = InteractionKind::kMaxPool;
+  auto model = MakeBackbone(BackboneKind::kPecnet, cfg, &rng);
+  data::SequenceConfig scfg;
+  data::Batch batch = KindBatch(2, 2, scfg);
+  auto enc = model->Encode(batch);
+  EXPECT_EQ(enc.pooled.shape(), (Shape{2, 16}));
+  Rng r(1);
+  Tensor pred = model->Predict(batch, enc, Tensor(), &r, false);
+  for (int64_t i = 0; i < pred.size(); ++i) EXPECT_TRUE(std::isfinite(pred.flat(i)));
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace adaptraj

@@ -1,0 +1,199 @@
+// Tests for Linear / Mlp / LstmCell / Lstm.
+
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "tensor/gradcheck.h"
+
+namespace adaptraj {
+namespace nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear fc(3, 5, &rng);
+  Tensor x = Tensor::Randn({2, 3}, &rng);
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5}));
+}
+
+TEST(LinearTest, ZeroInputYieldsBias) {
+  Rng rng(2);
+  Linear fc(3, 2, &rng);
+  Tensor x = Tensor::Zeros({1, 3});
+  Tensor y = fc.Forward(x);
+  // Bias starts at zero so the output must be exactly zero.
+  EXPECT_FLOAT_EQ(y.flat(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.flat(1), 0.0f);
+}
+
+TEST(LinearTest, ParametersRegistered) {
+  Rng rng(3);
+  Linear fc(4, 6, &rng);
+  auto params = fc.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(fc.NumParams(), 4 * 6 + 6);
+}
+
+TEST(LinearTest, GradientFlowsToWeightsAndInput) {
+  Rng rng(4);
+  Linear fc(3, 2, &rng);
+  Tensor x = Tensor::Randn({2, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor loss = ops::Mean(ops::Square(fc.Forward(x)));
+  loss.Backward();
+  bool any_w_grad = false;
+  for (const Tensor& p : fc.Parameters()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) any_w_grad = any_w_grad || g.flat(i) != 0.0f;
+  }
+  EXPECT_TRUE(any_w_grad);
+  Tensor gx = x.grad();
+  bool any_x_grad = false;
+  for (int64_t i = 0; i < gx.size(); ++i) any_x_grad = any_x_grad || gx.flat(i) != 0.0f;
+  EXPECT_TRUE(any_x_grad);
+}
+
+TEST(MlpTest, OutputWidthMatchesSpec) {
+  Rng rng(5);
+  Mlp mlp({4, 8, 8, 3}, &rng);
+  EXPECT_EQ(mlp.out_features(), 3);
+  Tensor y = mlp.Forward(Tensor::Randn({5, 4}, &rng));
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(MlpTest, HiddenActivationApplied) {
+  Rng rng(6);
+  // With ReLU hidden and all-negative weights forced, output of single hidden
+  // layer must be the bias-only path; easier: tanh output bounds the range.
+  Mlp mlp({2, 4, 1}, &rng, Activation::kRelu, Activation::kTanh);
+  Tensor y = mlp.Forward(Tensor::Randn({10, 2}, &rng, 5.0f));
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_GE(y.flat(i), -1.0f);
+    EXPECT_LE(y.flat(i), 1.0f);
+  }
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(7);
+  Mlp mlp({3, 5, 2}, &rng);
+  EXPECT_EQ(mlp.NumParams(), (3 * 5 + 5) + (5 * 2 + 2));
+}
+
+TEST(MlpTest, GradCheckSmallNetwork) {
+  Rng rng(8);
+  Mlp mlp({2, 3, 1}, &rng, Activation::kTanh);
+  Tensor x = Tensor::Randn({2, 2}, &rng, 0.5f);
+  auto params = mlp.Parameters();
+  auto report = CheckGradients(
+      [&](const std::vector<Tensor>&) { return ops::Mean(ops::Square(mlp.Forward(x))); },
+      params);
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(LstmCellTest, StateShapes) {
+  Rng rng(9);
+  LstmCell cell(3, 6, &rng);
+  auto st = cell.InitialState(4);
+  EXPECT_EQ(st.h.shape(), (Shape{4, 6}));
+  EXPECT_EQ(st.c.shape(), (Shape{4, 6}));
+  auto next = cell.Forward(Tensor::Randn({4, 3}, &rng), st);
+  EXPECT_EQ(next.h.shape(), (Shape{4, 6}));
+  EXPECT_EQ(next.c.shape(), (Shape{4, 6}));
+}
+
+TEST(LstmCellTest, HiddenStateBounded) {
+  Rng rng(10);
+  LstmCell cell(2, 4, &rng);
+  auto st = cell.InitialState(3);
+  for (int t = 0; t < 5; ++t) {
+    st = cell.Forward(Tensor::Randn({3, 2}, &rng, 3.0f), st);
+  }
+  for (int64_t i = 0; i < st.h.size(); ++i) {
+    EXPECT_GE(st.h.flat(i), -1.0f);
+    EXPECT_LE(st.h.flat(i), 1.0f);
+  }
+}
+
+TEST(LstmCellTest, ZeroInputZeroStateGivesBoundedNonExplosion) {
+  Rng rng(11);
+  LstmCell cell(2, 4, &rng);
+  auto st = cell.InitialState(1);
+  auto next = cell.Forward(Tensor::Zeros({1, 2}), st);
+  for (int64_t i = 0; i < next.h.size(); ++i) {
+    EXPECT_LT(std::abs(next.h.flat(i)), 1.0f);
+  }
+}
+
+TEST(LstmTest, SequenceOutputsCollectAllSteps) {
+  Rng rng(12);
+  Lstm lstm(2, 5, &rng);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 4; ++t) steps.push_back(Tensor::Randn({3, 2}, &rng));
+  std::vector<Tensor> outs;
+  auto final_state = lstm.Forward(steps, &outs);
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_EQ(final_state.h.shape(), (Shape{3, 5}));
+  // Final output equals last collected hidden state.
+  for (int64_t i = 0; i < final_state.h.size(); ++i) {
+    EXPECT_FLOAT_EQ(final_state.h.flat(i), outs.back().flat(i));
+  }
+}
+
+TEST(LstmTest, GradientsReachAllParameters) {
+  Rng rng(13);
+  Lstm lstm(2, 3, &rng);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 3; ++t) steps.push_back(Tensor::Randn({2, 2}, &rng));
+  auto state = lstm.Forward(steps);
+  ops::Mean(ops::Square(state.h)).Backward();
+  for (const Tensor& p : lstm.Parameters()) {
+    Tensor g = p.grad();
+    bool any = false;
+    for (int64_t i = 0; i < g.size(); ++i) any = any || g.flat(i) != 0.0f;
+    EXPECT_TRUE(any) << "parameter with zero gradient";
+  }
+}
+
+TEST(LstmTest, CanOverfitTinySequenceTask) {
+  // Regression: LSTM + linear head should fit a 2-step deterministic mapping.
+  Rng rng(14);
+  Lstm lstm(1, 8, &rng);
+  Linear head(8, 1, &rng);
+  Adam opt(0.02f);
+  opt.AddGroup(lstm.Parameters());
+  opt.AddGroup(head.Parameters());
+
+  std::vector<Tensor> steps = {Tensor::FromVector({2, 1}, {0.1f, 0.9f}),
+                               Tensor::FromVector({2, 1}, {0.2f, 0.8f})};
+  Tensor target = Tensor::FromVector({2, 1}, {1.0f, -1.0f});
+  float final_loss = 1e9f;
+  for (int it = 0; it < 300; ++it) {
+    opt.ZeroGrad();
+    Tensor pred = head.Forward(lstm.Forward(steps).h);
+    Tensor loss = MseLoss(pred, target);
+    loss.Backward();
+    opt.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 1e-2f);
+}
+
+class ActivationSweep : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationSweep, MlpForwardFinite) {
+  Rng rng(15);
+  Mlp mlp({3, 6, 2}, &rng, GetParam());
+  Tensor y = mlp.Forward(Tensor::Randn({4, 3}, &rng, 2.0f));
+  for (int64_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y.flat(i)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationSweep,
+                         ::testing::Values(Activation::kNone, Activation::kRelu,
+                                           Activation::kTanh, Activation::kSigmoid));
+
+}  // namespace
+}  // namespace nn
+}  // namespace adaptraj

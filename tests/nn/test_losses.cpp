@@ -1,0 +1,166 @@
+// Tests for loss functions, including the paper-specific SIMSE and
+// orthogonality losses (Eqs. 14 and 20).
+
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+
+namespace adaptraj {
+namespace nn {
+namespace {
+
+TEST(MseLossTest, ZeroWhenEqual) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(MseLoss(a, a).item(), 0.0f);
+}
+
+TEST(MseLossTest, KnownValue) {
+  Tensor a = Tensor::FromVector({2}, {0.0f, 0.0f});
+  Tensor b = Tensor::FromVector({2}, {3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(MseLoss(a, b).item(), (9.0f + 16.0f) / 2.0f);
+}
+
+TEST(SimseLossTest, ZeroWhenEqual) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_NEAR(SimseLoss(a, a).item(), 0.0f, 1e-7);
+}
+
+TEST(SimseLossTest, ZeroForConstantOffset) {
+  // A uniform shift is fully credited by the scale-invariant term:
+  // (1/m)sum(d^2) - (1/m^2)(sum d)^2 = c^2 - c^2 = 0 when d == c.
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({4}, {3, 4, 5, 6});
+  EXPECT_NEAR(SimseLoss(a, b).item(), 0.0f, 1e-6);
+}
+
+TEST(SimseLossTest, PositiveForOpposingErrors) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, -1.0f});
+  Tensor b = Tensor::FromVector({2}, {0.0f, 0.0f});
+  // d = (1, -1): (1/2)(2) - (1/4)(0)^2 = 1.
+  EXPECT_NEAR(SimseLoss(a, b).item(), 1.0f, 1e-6);
+}
+
+TEST(SimseLossTest, NeverExceedsMse) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor a = Tensor::Randn({6}, &rng);
+    Tensor b = Tensor::Randn({6}, &rng);
+    EXPECT_LE(SimseLoss(a, b).item(), MseLoss(a, b).item() + 1e-6f);
+    EXPECT_GE(SimseLoss(a, b).item(), -1e-6f);
+  }
+}
+
+TEST(SimseLossTest, GradCheck) {
+  Rng rng(2);
+  Tensor pred = Tensor::Randn({5}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor target = Tensor::Randn({5}, &rng);
+  auto report = CheckGradients(
+      [&](const std::vector<Tensor>& in) { return SimseLoss(in[0], target); }, {pred});
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor loss = CrossEntropyLoss(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10.0f, -10.0f, -10.0f});
+  EXPECT_LT(CrossEntropyLoss(logits, {0}).item(), 1e-4f);
+}
+
+TEST(CrossEntropyTest, ConfidentWrongPredictionHighLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10.0f, -10.0f, -10.0f});
+  EXPECT_GT(CrossEntropyLoss(logits, {1}).item(), 10.0f);
+}
+
+TEST(CrossEntropyTest, GradCheck) {
+  Rng rng(3);
+  Tensor logits = Tensor::Randn({3, 4}, &rng, 1.0f, /*requires_grad=*/true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) { return CrossEntropyLoss(in[0], {1, 0, 3}); },
+      {logits});
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(KlTest, ZeroForStandardNormal) {
+  Tensor mu = Tensor::Zeros({2, 3});
+  Tensor logvar = Tensor::Zeros({2, 3});
+  EXPECT_NEAR(KlStandardNormal(mu, logvar).item(), 0.0f, 1e-6);
+}
+
+TEST(KlTest, PositiveForShiftedMean) {
+  Tensor mu = Tensor::Full({1, 2}, 2.0f);
+  Tensor logvar = Tensor::Zeros({1, 2});
+  // KL = 0.5 * sum(mu^2) = 4.
+  EXPECT_NEAR(KlStandardNormal(mu, logvar).item(), 4.0f, 1e-5);
+}
+
+TEST(KlTest, GradCheck) {
+  Rng rng(4);
+  Tensor mu = Tensor::Randn({2, 3}, &rng, 0.5f, /*requires_grad=*/true);
+  Tensor logvar = Tensor::Randn({2, 3}, &rng, 0.5f, /*requires_grad=*/true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) { return KlStandardNormal(in[0], in[1]); },
+      {mu, logvar});
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(OrthogonalityTest, ZeroForOrthogonalFeatures) {
+  // Columns of a live in dim 0, columns of b in dim 1 => A^T B == 0.
+  Tensor a = Tensor::FromVector({2, 1}, {1.0f, 0.0f});
+  Tensor b = Tensor::FromVector({2, 1}, {0.0f, 1.0f});
+  EXPECT_NEAR(OrthogonalityLoss(a, b).item(), 0.0f, 1e-7);
+}
+
+TEST(OrthogonalityTest, PositiveForAlignedFeatures) {
+  Tensor a = Tensor::FromVector({2, 1}, {1.0f, 1.0f});
+  EXPECT_GT(OrthogonalityLoss(a, a).item(), 0.5f);
+}
+
+TEST(OrthogonalityTest, BatchInvariantMagnitude) {
+  // Duplicating the batch should keep the normalized loss constant.
+  Tensor a1 = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor b1 = Tensor::FromVector({2, 2}, {1, 1, 1, 0});
+  Tensor a2 = Tensor::FromVector({4, 2}, {1, 0, 0, 1, 1, 0, 0, 1});
+  Tensor b2 = Tensor::FromVector({4, 2}, {1, 1, 1, 0, 1, 1, 1, 0});
+  EXPECT_NEAR(OrthogonalityLoss(a1, b1).item(), OrthogonalityLoss(a2, b2).item(), 1e-5);
+}
+
+TEST(OrthogonalityTest, GradCheck) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({3, 2}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({3, 2}, &rng, 1.0f, /*requires_grad=*/true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) { return OrthogonalityLoss(in[0], in[1]); }, {a, b});
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(OrthogonalityTest, MinimizingDrivesGramToZero) {
+  // Descent on the loss should decorrelate two feature matrices.
+  Rng rng(6);
+  Tensor a = Tensor::Randn({4, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({4, 3}, &rng, 1.0f, /*requires_grad=*/true);
+  float before = OrthogonalityLoss(a, b).item();
+  for (int it = 0; it < 200; ++it) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor loss = OrthogonalityLoss(a, b);
+    loss.Backward();
+    for (Tensor* t : {&a, &b}) {
+      auto& impl = *t->impl();
+      for (size_t i = 0; i < impl.data.size(); ++i) impl.data[i] -= 0.1f * impl.grad[i];
+    }
+  }
+  float after = OrthogonalityLoss(a, b).item();
+  EXPECT_LT(after, before * 0.05f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace adaptraj

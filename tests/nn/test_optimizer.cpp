@@ -1,0 +1,165 @@
+// Tests for SGD / Adam optimizers, parameter groups and gradient clipping.
+
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace nn {
+namespace {
+
+// Loss f(x) = sum((x - target)^2) with a known minimum.
+Tensor QuadLoss(const Tensor& x, const Tensor& target) {
+  return ops::Sum(ops::Square(ops::Sub(x, target)));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector({2}, {5.0f, -3.0f}, /*requires_grad=*/true);
+  Tensor target = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Sgd opt(0.1f);
+  opt.AddGroup({x});
+  for (int it = 0; it < 100; ++it) {
+    opt.ZeroGrad();
+    QuadLoss(x, target).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.flat(0), 1.0f, 1e-3);
+  EXPECT_NEAR(x.flat(1), 2.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Tensor target = Tensor::FromVector({1}, {0.0f});
+  Tensor x_plain = Tensor::FromVector({1}, {10.0f}, /*requires_grad=*/true);
+  Tensor x_mom = Tensor::FromVector({1}, {10.0f}, /*requires_grad=*/true);
+  Sgd plain(0.01f);
+  plain.AddGroup({x_plain});
+  Sgd mom(0.01f, /*momentum=*/0.9f);
+  mom.AddGroup({x_mom});
+  for (int it = 0; it < 30; ++it) {
+    plain.ZeroGrad();
+    QuadLoss(x_plain, target).Backward();
+    plain.Step();
+    mom.ZeroGrad();
+    QuadLoss(x_mom, target).Backward();
+    mom.Step();
+  }
+  EXPECT_LT(std::fabs(x_mom.flat(0)), std::fabs(x_plain.flat(0)));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector({3}, {4.0f, -4.0f, 0.5f}, /*requires_grad=*/true);
+  Tensor target = Tensor::FromVector({3}, {1.0f, 1.0f, 1.0f});
+  Adam opt(0.1f);
+  opt.AddGroup({x});
+  for (int it = 0; it < 300; ++it) {
+    opt.ZeroGrad();
+    QuadLoss(x, target).Backward();
+    opt.Step();
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x.flat(i), 1.0f, 1e-2);
+}
+
+TEST(AdamTest, FirstStepSizeBoundedByLr) {
+  // Adam's bias-corrected first step has magnitude ~lr regardless of grad scale.
+  Tensor x = Tensor::FromVector({1}, {0.0f}, /*requires_grad=*/true);
+  Adam opt(0.05f);
+  opt.AddGroup({x});
+  opt.ZeroGrad();
+  ops::MulScalar(ops::Sum(x), 1000.0f).Backward();
+  opt.Step();
+  EXPECT_NEAR(std::fabs(x.flat(0)), 0.05f, 5e-3);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}, /*requires_grad=*/true);
+  Adam opt(0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  opt.AddGroup({x});
+  for (int it = 0; it < 50; ++it) {
+    opt.ZeroGrad();
+    // Zero data gradient: decay only.
+    ops::MulScalar(ops::Sum(x), 0.0f).Backward();
+    opt.Step();
+  }
+  EXPECT_LT(x.flat(0), 1.0f);
+}
+
+TEST(ParamGroupTest, ZeroScaleFreezesGroup) {
+  Tensor frozen = Tensor::FromVector({1}, {3.0f}, /*requires_grad=*/true);
+  Tensor live = Tensor::FromVector({1}, {3.0f}, /*requires_grad=*/true);
+  Tensor target = Tensor::FromVector({1}, {0.0f});
+  Adam opt(0.1f);
+  int g_frozen = opt.AddGroup({frozen}, /*lr_scale=*/0.0f);
+  opt.AddGroup({live}, /*lr_scale=*/1.0f);
+  for (int it = 0; it < 20; ++it) {
+    opt.ZeroGrad();
+    ops::Add(QuadLoss(frozen, target), QuadLoss(live, target)).Backward();
+    opt.Step();
+  }
+  EXPECT_FLOAT_EQ(frozen.flat(0), 3.0f);
+  EXPECT_LT(std::fabs(live.flat(0)), 3.0f);
+  // Unfreeze and verify movement resumes.
+  opt.SetGroupScale(g_frozen, 1.0f);
+  opt.ZeroGrad();
+  QuadLoss(frozen, target).Backward();
+  opt.Step();
+  EXPECT_NE(frozen.flat(0), 3.0f);
+}
+
+TEST(ParamGroupTest, ScalesProduceProportionalSgdSteps) {
+  Tensor a = Tensor::FromVector({1}, {1.0f}, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector({1}, {1.0f}, /*requires_grad=*/true);
+  Sgd opt(0.1f);
+  opt.AddGroup({a}, 1.0f);
+  opt.AddGroup({b}, 0.5f);
+  opt.ZeroGrad();
+  ops::Add(ops::Sum(a), ops::Sum(b)).Backward();
+  opt.Step();
+  // Gradients are both 1; steps are lr*scale.
+  EXPECT_NEAR(1.0f - a.flat(0), 0.1f, 1e-6);
+  EXPECT_NEAR(1.0f - b.flat(0), 0.05f, 1e-6);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 1.0f}, /*requires_grad=*/true);
+  ops::Sum(x).Backward();  // grad = (1, 1), norm = sqrt(2)
+  ClipGradNorm({x}, 10.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 1.0f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 1.0f}, /*requires_grad=*/true);
+  ops::MulScalar(ops::Sum(x), 100.0f).Backward();  // grad = (100, 100)
+  ClipGradNorm({x}, 1.0f);
+  Tensor g = x.grad();
+  float norm = std::sqrt(g.flat(0) * g.flat(0) + g.flat(1) * g.flat(1));
+  EXPECT_NEAR(norm, 1.0f, 1e-4);
+}
+
+TEST(OptimizerIntegrationTest, MlpRegressionConverges) {
+  Rng rng(77);
+  Mlp mlp({1, 16, 1}, &rng, Activation::kTanh);
+  Adam opt(0.02f);
+  opt.AddGroup(mlp.Parameters());
+  // Fit y = 2x - 1 on five points.
+  Tensor x = Tensor::FromVector({5, 1}, {-1.0f, -0.5f, 0.0f, 0.5f, 1.0f});
+  Tensor y = Tensor::FromVector({5, 1}, {-3.0f, -2.0f, -1.0f, 0.0f, 1.0f});
+  float loss_val = 1e9f;
+  for (int it = 0; it < 500; ++it) {
+    opt.ZeroGrad();
+    Tensor loss = MseLoss(mlp.Forward(x), y);
+    loss.Backward();
+    opt.Step();
+    loss_val = loss.item();
+  }
+  EXPECT_LT(loss_val, 1e-2f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace adaptraj

@@ -1,0 +1,139 @@
+// Tests for parameter checkpoint save/load (Status-based error paths).
+
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace adaptraj {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripRestoresValues) {
+  Rng rng(1);
+  Mlp src({3, 4, 2}, &rng);
+  const std::string path = TempPath("mlp_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(src, path).ok());
+
+  Rng rng2(999);  // different init
+  Mlp dst({3, 4, 2}, &rng2);
+  ASSERT_TRUE(LoadParameters(&dst, path).ok());
+
+  auto a = src.NamedParameters();
+  auto b = dst.NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].first, b[i].first);
+    for (int64_t j = 0; j < a[i].second.size(); ++j) {
+      EXPECT_FLOAT_EQ(a[i].second.flat(j), b[i].second.flat(j));
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesForwardOutputs) {
+  Rng rng(2);
+  Lstm src(2, 4, &rng);
+  const std::string path = TempPath("lstm_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(src, path).ok());
+  Rng rng2(3);
+  Lstm dst(2, 4, &rng2);
+  ASSERT_TRUE(LoadParameters(&dst, path).ok());
+
+  Rng data_rng(4);
+  std::vector<Tensor> steps = {Tensor::Randn({2, 2}, &data_rng),
+                               Tensor::Randn({2, 2}, &data_rng)};
+  Tensor ha = src.Forward(steps).h;
+  Tensor hb = dst.Forward(steps).h;
+  for (int64_t i = 0; i < ha.size(); ++i) EXPECT_FLOAT_EQ(ha.flat(i), hb.flat(i));
+}
+
+TEST(SerializeTest, MissingFileReturnsIOError) {
+  Rng rng(5);
+  Mlp m({2, 2}, &rng);
+  Status st = LoadParameters(&m, TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, CorruptMagicReturnsInvalid) {
+  const std::string path = TempPath("corrupt.bin");
+  std::ofstream(path) << "not a checkpoint";
+  Rng rng(6);
+  Mlp m({2, 2}, &rng);
+  Status st = LoadParameters(&m, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ShapeMismatchReturnsInvalid) {
+  Rng rng(7);
+  Mlp small({2, 3}, &rng);
+  const std::string path = TempPath("shape_mismatch.bin");
+  ASSERT_TRUE(SaveParameters(small, path).ok());
+  Mlp larger({2, 4}, &rng);  // same parameter names, different shapes
+  Status st = LoadParameters(&larger, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ParameterCountMismatchReturnsInvalid) {
+  Rng rng(8);
+  Mlp two_layer({2, 3, 1}, &rng);
+  const std::string path = TempPath("count_mismatch.bin");
+  ASSERT_TRUE(SaveParameters(two_layer, path).ok());
+  Mlp one_layer({2, 1}, &rng);
+  Status st = LoadParameters(&one_layer, path);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(SerializeTest, TruncatedFileReturnsError) {
+  Rng rng(9);
+  Mlp m({4, 4}, &rng);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  // Truncate to the first 24 bytes.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> head(24);
+  in.read(head.data(), head.size());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(head.data(), head.size());
+  out.close();
+  Status st = LoadParameters(&m, path);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(StatusTest, ToStringAndAccessors) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status inv = Status::Invalid("bad");
+  EXPECT_FALSE(inv.ok());
+  EXPECT_EQ(inv.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(inv.ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace adaptraj

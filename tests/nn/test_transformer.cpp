@@ -1,0 +1,219 @@
+// Tests for LayerNorm, TransformerBlock and TransformerEncoder, plus the
+// Transformer variant of the Seq2Seq backbone's mobility encoder (Eq. 2).
+
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/backbone.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "tensor/gradcheck.h"
+
+namespace adaptraj {
+namespace nn {
+namespace {
+
+TEST(LayerNormTest, NormalizesToZeroMeanUnitVariance) {
+  LayerNorm norm(4);
+  Tensor x = Tensor::FromVector({2, 4}, {1, 2, 3, 4, -10, 0, 10, 20});
+  Tensor y = norm.Forward(x);
+  for (int64_t r = 0; r < 2; ++r) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (int64_t c = 0; c < 4; ++c) mean += y.flat(r * 4 + c) / 4.0f;
+    for (int64_t c = 0; c < 4; ++c) {
+      const float d = y.flat(r * 4 + c) - mean;
+      var += d * d / 4.0f;
+    }
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, WorksOnRank3Input) {
+  LayerNorm norm(3);
+  Rng rng(1);
+  Tensor x = Tensor::Randn({2, 4, 3}, &rng, 2.0f);
+  Tensor y = norm.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 3}));
+  for (int64_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y.flat(i)));
+}
+
+TEST(LayerNormTest, GradCheckThroughNormalization) {
+  Rng rng(2);
+  LayerNorm norm(3);
+  Tensor x = Tensor::Randn({2, 3}, &rng, 1.0f);
+  auto params = norm.Parameters();
+  auto report = CheckGradients(
+      [&](const std::vector<Tensor>&) {
+        return ops::Sum(ops::Square(norm.Forward(x)));
+      },
+      params);
+  EXPECT_TRUE(report.ok) << report.max_abs_error;
+}
+
+TEST(TransformerBlockTest, PreservesShape) {
+  Rng rng(3);
+  TransformerBlock block(8, 16, &rng);
+  Tensor x = Tensor::Randn({2, 5, 8}, &rng);
+  Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+  for (int64_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y.flat(i)));
+}
+
+TEST(TransformerBlockTest, GradientsReachAllParameters) {
+  Rng rng(4);
+  TransformerBlock block(8, 16, &rng);
+  block.ZeroGrad();
+  Tensor x = Tensor::Randn({2, 4, 8}, &rng);
+  ops::Sum(ops::Square(block.Forward(x))).Backward();
+  int with_grad = 0;
+  for (const Tensor& p : block.Parameters()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (g.flat(i) != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(with_grad, static_cast<int>(block.Parameters().size()));
+}
+
+TEST(TransformerEncoderTest, OutputShapeAndDeterminism) {
+  Rng rng(5);
+  TransformerEncoder enc(2, 16, /*num_blocks=*/2, /*max_len=*/8, &rng);
+  std::vector<Tensor> steps;
+  Rng data_rng(6);
+  for (int t = 0; t < 8; ++t) steps.push_back(Tensor::Randn({3, 2}, &data_rng));
+  Tensor a = enc.Forward(steps);
+  Tensor b = enc.Forward(steps);
+  EXPECT_EQ(a.shape(), (Shape{3, 16}));
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.flat(i), b.flat(i));
+}
+
+TEST(TransformerEncoderTest, PositionSensitive) {
+  // Unlike bag-of-steps pooling, the encoder must distinguish step order.
+  Rng rng(7);
+  TransformerEncoder enc(2, 16, 1, 8, &rng);
+  Rng data_rng(8);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 4; ++t) steps.push_back(Tensor::Randn({1, 2}, &data_rng));
+  Tensor fwd = enc.Forward(steps);
+  std::vector<Tensor> reversed(steps.rbegin(), steps.rend());
+  Tensor rev = enc.Forward(reversed);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < fwd.size(); ++i) diff += std::fabs(fwd.flat(i) - rev.flat(i));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(TransformerEncoderTest, ShorterSequencesAccepted) {
+  Rng rng(9);
+  TransformerEncoder enc(2, 8, 1, 8, &rng);
+  Rng data_rng(10);
+  std::vector<Tensor> steps = {Tensor::Randn({2, 2}, &data_rng),
+                               Tensor::Randn({2, 2}, &data_rng)};
+  Tensor out = enc.Forward(steps);
+  EXPECT_EQ(out.shape(), (Shape{2, 8}));
+}
+
+TEST(TransformerEncoderTest, CanOverfitTinyRegression) {
+  Rng rng(11);
+  TransformerEncoder enc(1, 8, 1, 4, &rng);
+  Linear head(8, 1, &rng);
+  Adam opt(0.01f);
+  opt.AddGroup(enc.Parameters());
+  opt.AddGroup(head.Parameters());
+  std::vector<Tensor> steps = {Tensor::FromVector({2, 1}, {0.1f, 0.9f}),
+                               Tensor::FromVector({2, 1}, {0.8f, 0.2f}),
+                               Tensor::FromVector({2, 1}, {0.3f, 0.7f})};
+  Tensor target = Tensor::FromVector({2, 1}, {1.0f, -1.0f});
+  float loss_val = 1e9f;
+  for (int it = 0; it < 400; ++it) {
+    opt.ZeroGrad();
+    Tensor loss = MseLoss(head.Forward(enc.Forward(steps)), target);
+    loss.Backward();
+    opt.Step();
+    loss_val = loss.item();
+  }
+  EXPECT_LT(loss_val, 5e-2f);
+}
+
+TEST(TransformerBackboneTest, Seq2SeqWithTransformerEncoderRuns) {
+  Rng rng(12);
+  models::BackboneConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.social_dim = 16;
+  cfg.latent_dim = 4;
+  cfg.encoder = models::EncoderKind::kTransformer;
+  cfg.transformer_blocks = 1;
+  auto model = models::MakeBackbone(models::BackboneKind::kSeq2Seq, cfg, &rng);
+
+  data::SequenceConfig scfg;
+  std::vector<data::TrajectorySequence> seqs(3);
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < 3; ++i) {
+    for (int t = 0; t < scfg.total_len(); ++t) {
+      seqs[i].focal.push_back({0.25f * t, static_cast<float>(i)});
+    }
+    ptrs.push_back(&seqs[i]);
+  }
+  data::Batch batch = data::MakeBatch(ptrs, scfg);
+  auto enc = model->Encode(batch);
+  EXPECT_EQ(enc.h_focal.shape(), (Shape{3, 16}));
+  Rng r(1);
+  Tensor pred = model->Predict(batch, enc, Tensor(), &r, true);
+  EXPECT_EQ(pred.shape(), (Shape{3, scfg.pred_len * 2}));
+  model->ZeroGrad();
+  Tensor loss = model->Loss(batch, enc, Tensor(), &r);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  loss.Backward();
+}
+
+TEST(TransformerBackboneTest, TransformerTrainingReducesLoss) {
+  Rng rng(13);
+  models::BackboneConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.social_dim = 16;
+  cfg.latent_dim = 4;
+  cfg.encoder = models::EncoderKind::kTransformer;
+  auto model = models::MakeBackbone(models::BackboneKind::kSeq2Seq, cfg, &rng);
+
+  data::SequenceConfig scfg;
+  std::vector<data::TrajectorySequence> seqs(6);
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (int i = 0; i < 6; ++i) {
+    const float sp = 0.1f + 0.05f * static_cast<float>(i);
+    for (int t = 0; t < scfg.total_len(); ++t) {
+      seqs[i].focal.push_back({sp * t, static_cast<float>(i)});
+    }
+    ptrs.push_back(&seqs[i]);
+  }
+  data::Batch batch = data::MakeBatch(ptrs, scfg);
+  Adam opt(5e-3f);
+  opt.AddGroup(model->Parameters());
+  Rng train_rng(14);
+  auto eval_loss = [&]() {
+    Rng fixed(42);
+    auto enc = model->Encode(batch);
+    return model->Loss(batch, enc, Tensor(), &fixed).item();
+  };
+  const float before = eval_loss();
+  for (int it = 0; it < 50; ++it) {
+    opt.ZeroGrad();
+    auto enc = model->Encode(batch);
+    model->Loss(batch, enc, Tensor(), &train_rng).Backward();
+    ClipGradNorm(model->Parameters(), 5.0f);
+    opt.Step();
+  }
+  EXPECT_LT(eval_loss(), before * 0.9f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace adaptraj

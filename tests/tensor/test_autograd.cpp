@@ -1,0 +1,268 @@
+// Gradient correctness: analytic vs central finite differences for every op,
+// including parameterized sweeps over shapes and seeds (property-style).
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+Tensor Leaf(const Shape& shape, Rng* rng, float scale = 1.0f) {
+  return Tensor::Randn(shape, rng, scale, /*requires_grad=*/true);
+}
+
+void ExpectGradOk(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+                  std::vector<Tensor> inputs) {
+  auto report = CheckGradients(fn, std::move(inputs));
+  EXPECT_TRUE(report.ok) << "max_abs_error=" << report.max_abs_error
+                         << " max_rel_error=" << report.max_rel_error;
+}
+
+TEST(AutogradTest, AddGradient) {
+  Rng rng(1);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Add(in[0], in[1])); },
+               {Leaf({2, 3}, &rng), Leaf({2, 3}, &rng)});
+}
+
+TEST(AutogradTest, SubGradient) {
+  Rng rng(2);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Square(Sub(in[0], in[1]))); },
+               {Leaf({3}, &rng), Leaf({3}, &rng)});
+}
+
+TEST(AutogradTest, MulGradient) {
+  Rng rng(3);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Mul(in[0], in[1])); },
+               {Leaf({4}, &rng), Leaf({4}, &rng)});
+}
+
+TEST(AutogradTest, DivGradient) {
+  Rng rng(4);
+  Tensor b = Tensor::Rand({4}, &rng, 1.0f, 2.0f, /*requires_grad=*/true);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Div(in[0], in[1])); },
+               {Leaf({4}, &rng), b});
+}
+
+TEST(AutogradTest, BroadcastAddGradient) {
+  Rng rng(5);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(BroadcastAdd(in[0], in[1]))); },
+      {Leaf({3, 4}, &rng), Leaf({1, 4}, &rng)});
+}
+
+TEST(AutogradTest, BroadcastMulGradient3d) {
+  Rng rng(6);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(BroadcastMul(in[0], in[1])); },
+      {Leaf({2, 3, 2}, &rng), Leaf({2, 3, 1}, &rng)});
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Rng rng(7);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(MatMul(in[0], in[1]))); },
+      {Leaf({3, 4}, &rng, 0.5f), Leaf({4, 2}, &rng, 0.5f)});
+}
+
+TEST(AutogradTest, TransposeGradient) {
+  Rng rng(8);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(Transpose(in[0]))); },
+      {Leaf({3, 5}, &rng)});
+}
+
+TEST(AutogradTest, TanhGradient) {
+  Rng rng(9);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Tanh(in[0])); },
+               {Leaf({6}, &rng)});
+}
+
+TEST(AutogradTest, SigmoidGradient) {
+  Rng rng(10);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Sigmoid(in[0])); },
+               {Leaf({6}, &rng)});
+}
+
+TEST(AutogradTest, ExpGradient) {
+  Rng rng(11);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Exp(in[0])); },
+               {Leaf({5}, &rng, 0.5f)});
+}
+
+TEST(AutogradTest, LogClampedGradient) {
+  Rng rng(12);
+  Tensor a = Tensor::Rand({5}, &rng, 0.5f, 2.0f, /*requires_grad=*/true);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(LogClamped(in[0])); }, {a});
+}
+
+TEST(AutogradTest, SqrtGradient) {
+  Rng rng(13);
+  Tensor a = Tensor::Rand({5}, &rng, 0.5f, 2.0f, /*requires_grad=*/true);
+  ExpectGradOk([](const std::vector<Tensor>& in) { return Sum(Sqrt(in[0])); }, {a});
+}
+
+TEST(AutogradTest, SoftmaxGradient) {
+  Rng rng(14);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor s = Softmax(in[0]);
+        return Sum(Mul(s, s));  // non-trivial downstream function
+      },
+      {Leaf({2, 4}, &rng)});
+}
+
+TEST(AutogradTest, LogSoftmaxGradient) {
+  Rng rng(15);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(LogSoftmax(in[0]))); },
+      {Leaf({2, 3}, &rng)});
+}
+
+TEST(AutogradTest, ConcatGradient) {
+  Rng rng(16);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(Concat({in[0], in[1]}, 1)));
+      },
+      {Leaf({2, 3}, &rng), Leaf({2, 2}, &rng)});
+}
+
+TEST(AutogradTest, SliceGradient) {
+  Rng rng(17);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(Slice(in[0], 1, 1, 3))); },
+      {Leaf({2, 4}, &rng)});
+}
+
+TEST(AutogradTest, StackGradient) {
+  Rng rng(18);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(Stack({in[0], in[1]}))); },
+      {Leaf({3}, &rng), Leaf({3}, &rng)});
+}
+
+TEST(AutogradTest, ReshapeGradient) {
+  Rng rng(19);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(Reshape(in[0], {6}))); },
+      {Leaf({2, 3}, &rng)});
+}
+
+TEST(AutogradTest, SumAxisGradient) {
+  Rng rng(20);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(SumAxis(in[0], 1))); },
+      {Leaf({2, 3, 2}, &rng)});
+}
+
+TEST(AutogradTest, MeanAxisGradient) {
+  Rng rng(21);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Square(MeanAxis(in[0], 0))); },
+      {Leaf({3, 4}, &rng)});
+}
+
+TEST(AutogradTest, ClampGradientZeroOutsideRange) {
+  Tensor x = Tensor::FromVector({3}, {-2.0f, 0.0f, 2.0f}, /*requires_grad=*/true);
+  Sum(Clamp(x, -1.0f, 1.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(1), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(2), 0.0f);
+}
+
+TEST(AutogradTest, GradReverseNegatesAndScales) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Sum(GradReverse(x, 0.5f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), -0.5f);
+  EXPECT_FLOAT_EQ(x.grad().flat(1), -0.5f);
+}
+
+TEST(AutogradTest, MaskedFillBlocksGradAtMask) {
+  Tensor x = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f}, /*requires_grad=*/true);
+  Tensor mask = Tensor::FromVector({3}, {0.0f, 1.0f, 0.0f});
+  Sum(MaskedFill(x, mask, -100.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(1), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(2), 1.0f);
+}
+
+TEST(AutogradTest, NllLossGradient) {
+  Rng rng(22);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return NllLoss(LogSoftmax(in[0]), {1, 0}); },
+      {Leaf({2, 3}, &rng)});
+}
+
+TEST(AutogradTest, CompositeTwoLayerNetwork) {
+  Rng rng(23);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor h = Tanh(BroadcastAdd(MatMul(in[0], in[1]), in[2]));
+        Tensor y = MatMul(h, in[3]);
+        return Mean(Square(y));
+      },
+      {Leaf({2, 3}, &rng, 0.5f), Leaf({3, 4}, &rng, 0.5f), Leaf({1, 4}, &rng, 0.1f),
+       Leaf({4, 1}, &rng, 0.5f)});
+}
+
+// ---- Property-style sweeps over shapes and seeds -----------------------------
+
+struct SweepParam {
+  int64_t rows;
+  int64_t cols;
+  uint64_t seed;
+};
+
+class GradSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GradSweepTest, ChainedOpsGradient) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor h = Relu(BroadcastAdd(in[0], in[1]));
+        Tensor s = Softmax(h);
+        return Mean(Mul(s, h));
+      },
+      {Leaf({p.rows, p.cols}, &rng), Leaf({1, p.cols}, &rng)});
+}
+
+TEST_P(GradSweepTest, MatMulChainGradient) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed + 100);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(MatMul(in[0], Transpose(in[1]))));
+      },
+      {Leaf({p.rows, p.cols}, &rng, 0.5f), Leaf({p.rows, p.cols}, &rng, 0.5f)});
+}
+
+TEST_P(GradSweepTest, ReductionCompositionGradient) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed + 200);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(MeanAxis(Tanh(in[0]), 1)));
+      },
+      {Leaf({p.rows, p.cols}, &rng)});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GradSweepTest,
+    ::testing::Values(SweepParam{1, 1, 1}, SweepParam{1, 5, 2}, SweepParam{4, 1, 3},
+                      SweepParam{2, 3, 4}, SweepParam{3, 4, 5}, SweepParam{5, 2, 6},
+                      SweepParam{4, 4, 7}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "r" + std::to_string(info.param.rows) + "c" + std::to_string(info.param.cols) +
+             "s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace adaptraj

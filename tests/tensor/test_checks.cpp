@@ -1,0 +1,87 @@
+// Contract tests: invalid usage must fail fast with ADAPTRAJ_CHECK (death
+// tests), matching the library's no-exceptions error policy.
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, ElementwiseShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({3, 2});
+  EXPECT_DEATH((void)Add(a, b), "shape mismatch");
+}
+
+TEST(CheckDeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH((void)MatMul(a, b), "inner dims differ");
+}
+
+TEST(CheckDeathTest, MatMulRequiresTwoDims) {
+  Tensor a = Tensor::Zeros({6});
+  Tensor b = Tensor::Zeros({6});
+  EXPECT_DEATH((void)MatMul(a, b), "2-D");
+}
+
+TEST(CheckDeathTest, BackwardRequiresScalar) {
+  Tensor x = Tensor::Zeros({2, 2}, /*requires_grad=*/true);
+  Tensor y = MulScalar(x, 2.0f);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(CheckDeathTest, ItemRequiresSingleElement) {
+  Tensor t = Tensor::Zeros({3});
+  EXPECT_DEATH((void)t.item(), "item()");
+}
+
+TEST(CheckDeathTest, SliceRangeValidation) {
+  Tensor t = Tensor::Zeros({4});
+  EXPECT_DEATH((void)Slice(t, 0, 2, 6), "Slice range");
+  EXPECT_DEATH((void)Slice(t, 0, 3, 2), "Slice range");
+}
+
+TEST(CheckDeathTest, ConcatMismatchedOtherDims) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({3, 3});
+  EXPECT_DEATH((void)Concat({a, b}, 1), "mismatched dim");
+}
+
+TEST(CheckDeathTest, ReshapeElementCountMustMatch) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_DEATH((void)Reshape(t, {4, 2}), "changes element count");
+}
+
+TEST(CheckDeathTest, NllLossLabelOutOfRange) {
+  Tensor lp = Tensor::Zeros({1, 3});
+  EXPECT_DEATH((void)NllLoss(lp, {5}), "out of range");
+}
+
+TEST(CheckDeathTest, FromVectorSizeMismatch) {
+  EXPECT_DEATH((void)Tensor::FromVector({3}, {1.0f, 2.0f}), "does not match");
+}
+
+TEST(CheckDeathTest, AxisOutOfRangeAborts) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DEATH((void)SumAxis(t, 5), "out of range");
+}
+
+TEST(CheckDeathTest, BroadcastRankMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({3});
+  EXPECT_DEATH((void)BroadcastAdd(a, b), "rank mismatch");
+}
+
+TEST(CheckDeathTest, UndefinedTensorAccessAborts) {
+  Tensor t;
+  EXPECT_DEATH((void)t.shape(), "null tensor");
+}
+
+}  // namespace
+}  // namespace adaptraj

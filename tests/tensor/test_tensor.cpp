@@ -1,0 +1,178 @@
+// Unit tests for Tensor construction, introspection and autograd plumbing.
+
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace {
+
+TEST(TensorTest, DefaultConstructedIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ZerosHasCorrectShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.flat(i), 0.0f);
+}
+
+TEST(TensorTest, NegativeDimIndexCountsFromEnd) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-2), 3);
+  EXPECT_EQ(t.size(-3), 2);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.flat(i), 2.5f);
+}
+
+TEST(TensorTest, FromVectorAdoptsValuesRowMajor) {
+  Tensor t = Tensor::FromVector({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.flat(0), 1.0f);
+  EXPECT_EQ(t.flat(3), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor t = Tensor::Scalar(7.0f);
+  EXPECT_EQ(t.item(), 7.0f);
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(TensorTest, RandnIsDeterministicGivenSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  Tensor a = Tensor::Randn({8}, &rng1);
+  Tensor b = Tensor::Randn({8}, &rng2);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(a.flat(i), b.flat(i));
+}
+
+TEST(TensorTest, RandRespectsBounds) {
+  Rng rng(7);
+  Tensor t = Tensor::Rand({100}, &rng, -0.5f, 0.5f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.flat(i), -0.5f);
+    EXPECT_LT(t.flat(i), 0.5f);
+  }
+}
+
+TEST(TensorTest, RequiresGradDefaultsFalse) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_FALSE(t.requires_grad());
+  EXPECT_FALSE(t.needs_grad());
+  t.set_requires_grad(true);
+  EXPECT_TRUE(t.requires_grad());
+  EXPECT_TRUE(t.needs_grad());
+}
+
+TEST(TensorTest, GradStartsAsZeros) {
+  Tensor t = Tensor::Zeros({3}, /*requires_grad=*/true);
+  Tensor g = t.grad();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(g.flat(i), 0.0f);
+}
+
+TEST(TensorTest, BackwardOnScalarAccumulatesLeafGrad) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Tensor y = ops::Sum(x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().flat(1), 1.0f);
+}
+
+TEST(TensorTest, BackwardTwiceAccumulates) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  ops::Sum(x).Backward();
+  ops::Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 2.0f);
+}
+
+TEST(TensorTest, ZeroGradClearsAccumulation) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  ops::Sum(x).Backward();
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 0.0f);
+}
+
+TEST(TensorTest, DetachStopsGradientFlow) {
+  Tensor x = Tensor::FromVector({2}, {3.0f, 4.0f}, /*requires_grad=*/true);
+  Tensor d = ops::MulScalar(x, 2.0f).Detach();
+  EXPECT_FALSE(d.needs_grad());
+  EXPECT_FLOAT_EQ(d.flat(0), 6.0f);
+  Tensor y = ops::Sum(d);
+  EXPECT_FALSE(y.needs_grad());
+}
+
+TEST(TensorTest, DetachCopiesData) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor d = x.Detach();
+  d.data()[0] = 99.0f;
+  EXPECT_FLOAT_EQ(x.flat(0), 1.0f);
+}
+
+TEST(TensorTest, DiamondGraphAccumulatesBothPaths) {
+  // y = x*x + x  => dy/dx = 2x + 1.
+  Tensor x = Tensor::FromVector({1}, {3.0f}, /*requires_grad=*/true);
+  Tensor y = ops::Add(ops::Mul(x, x), x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 7.0f);
+}
+
+TEST(TensorTest, SharedSubexpressionBackpropagatesOnce) {
+  // z = (x + x) summed: dz/dx = 2 per element.
+  Tensor x = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f}, /*requires_grad=*/true);
+  Tensor s = ops::Add(x, x);
+  ops::Sum(s).Backward();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad().flat(i), 2.0f);
+}
+
+TEST(TensorTest, DeepChainBackward) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}, /*requires_grad=*/true);
+  Tensor y = x;
+  for (int i = 0; i < 50; ++i) y = ops::MulScalar(y, 1.1f);
+  y.Backward();
+  EXPECT_NEAR(x.grad().flat(0), std::pow(1.1f, 50.0f), 1e-2);
+}
+
+TEST(TensorTest, NoGradTrackingWhenNotRequired) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor y = ops::Add(x, x);
+  EXPECT_FALSE(y.needs_grad());
+}
+
+TEST(TensorTest, FlatIndexComputesRowMajor) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(FlatIndex(s, {0, 0, 0}), 0);
+  EXPECT_EQ(FlatIndex(s, {1, 2, 3}), 23);
+  EXPECT_EQ(FlatIndex(s, {0, 1, 2}), 6);
+}
+
+TEST(TensorTest, NumElementsOfEmptyShapeIsOne) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({0}), 0);
+  EXPECT_EQ(NumElements({2, 3}), 6);
+}
+
+TEST(TensorTest, ShapeToStringRendering) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, CloneIsIndependentCopy) {
+  Tensor x = Tensor::FromVector({2}, {5.0f, 6.0f});
+  Tensor c = x.Clone();
+  c.data()[1] = -1.0f;
+  EXPECT_FLOAT_EQ(x.flat(1), 6.0f);
+  EXPECT_FLOAT_EQ(c.flat(0), 5.0f);
+}
+
+}  // namespace
+}  // namespace adaptraj
