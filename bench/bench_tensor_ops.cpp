@@ -1,0 +1,242 @@
+// Tensor-engine microbenchmarks: MatMul forward/backward (legacy seed kernel
+// vs. the blocked/packed kernels.h path), the fused LSTM step vs. the
+// composed-op formulation it replaced, and Softmax at model shapes.
+//
+// The Legacy* fixtures replicate the pre-kernels ops.cpp loops exactly —
+// including the per-scalar zero-skip branches, the column-strided dA
+// accumulation, and the fresh zero-filled scratch per backward — so the
+// before/after ratio is measured inside one binary.
+//
+// Emit the perf trajectory with:
+//   bench_tensor_ops --benchmark_out=BENCH_tensor_ops.json \
+//                    --benchmark_out_format=json
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace adaptraj {
+namespace {
+
+std::vector<float> RandomVec(int64_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng->Normal(0.0f, 1.0f);
+  return v;
+}
+
+// --- Legacy seed kernels (verbatim algorithmics of the pre-change ops.cpp) ---
+
+void LegacyMatMulForward(const float* pa, const float* pb, float* po, int64_t m,
+                         int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m * n; ++i) po[i] = 0.0f;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = &pb[p * n];
+      float* orow = &po[i * n];
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void LegacyMatMulBackward(const float* pa, const float* pb, const float* gy,
+                          float* ga_out, float* gb_out, int64_t m, int64_t k,
+                          int64_t n) {
+  {
+    // dA[m,k] = sum_n dY[m,n] * B[k,n] — note the column-strided B access.
+    std::vector<float> ga(m * k, 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float g = gy[i * n + j];
+        if (g == 0.0f) continue;
+        const float* brow = &pb[0];
+        for (int64_t p = 0; p < k; ++p) ga[i * k + p] += g * brow[p * n + j];
+      }
+    }
+    for (int64_t i = 0; i < m * k; ++i) ga_out[i] += ga[i];
+  }
+  {
+    // dB[k,n] = sum_m A[m,k] * dY[m,n].
+    std::vector<float> gb(k * n, 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        float av = pa[i * k + p];
+        if (av == 0.0f) continue;
+        for (int64_t j = 0; j < n; ++j) gb[p * n + j] += av * gy[i * n + j];
+      }
+    }
+    for (int64_t i = 0; i < k * n; ++i) gb_out[i] += gb[i];
+  }
+}
+
+// --- MatMul forward+backward: legacy vs kernels::Gemm ------------------------
+
+void BM_MatMulFwdBwd_Legacy(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(42);
+  std::vector<float> a = RandomVec(m * k, &rng);
+  std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> gy = RandomVec(m * n, &rng);
+  std::vector<float> y(m * n), ga(m * k, 0.0f), gb(k * n, 0.0f);
+  for (auto _ : state) {
+    LegacyMatMulForward(a.data(), b.data(), y.data(), m, k, n);
+    LegacyMatMulBackward(a.data(), b.data(), gy.data(), ga.data(), gb.data(), m, k, n);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::DoNotOptimize(ga.data());
+    benchmark::DoNotOptimize(gb.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * 2 * m * n * k);
+}
+
+void BM_MatMulFwdBwd_Fast(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(42);
+  std::vector<float> a = RandomVec(m * k, &rng);
+  std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> gy = RandomVec(m * n, &rng);
+  std::vector<float> y(m * n), ga(m * k, 0.0f), gb(k * n, 0.0f);
+  for (auto _ : state) {
+    kernels::Gemm(false, false, m, n, k, a.data(), b.data(), y.data(), false);
+    kernels::Gemm(false, true, m, k, n, gy.data(), b.data(), ga.data(), true);
+    kernels::Gemm(true, false, k, n, m, a.data(), gy.data(), gb.data(), true);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::DoNotOptimize(ga.data());
+    benchmark::DoNotOptimize(gb.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * 2 * m * n * k);
+}
+
+// End-to-end autograd MatMul: graph build + forward + full Backward().
+void BM_OpsMatMulTrainStep(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(42);
+  Tensor a = Tensor::Randn({m, k}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({k, n}, &rng, 1.0f, /*requires_grad=*/true);
+  for (auto _ : state) {
+    Tensor loss = ops::Sum(ops::Square(ops::MatMul(a, b)));
+    loss.Backward();
+    a.ZeroGrad();
+    b.ZeroGrad();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+// --- LSTM step: composed ops (pre-fusion) vs fused ops -----------------------
+
+struct LstmFixture {
+  Tensor x, h0, c0, w_ih, w_hh, bias;
+  LstmFixture(int64_t batch, int64_t input, int64_t hidden) {
+    Rng rng(7);
+    x = Tensor::Randn({batch, input}, &rng, 0.5f, true);
+    h0 = Tensor::Randn({batch, hidden}, &rng, 0.5f);
+    c0 = Tensor::Randn({batch, hidden}, &rng, 0.5f);
+    w_ih = Tensor::Randn({input, 4 * hidden}, &rng, 0.3f, true);
+    w_hh = Tensor::Randn({hidden, 4 * hidden}, &rng, 0.3f, true);
+    bias = Tensor::Randn({1, 4 * hidden}, &rng, 0.1f, true);
+  }
+  void ZeroGrads() {
+    x.ZeroGrad();
+    w_ih.ZeroGrad();
+    w_hh.ZeroGrad();
+    bias.ZeroGrad();
+  }
+};
+
+void BM_LstmStepComposed(benchmark::State& state) {
+  const int64_t batch = 32, hidden = state.range(0);
+  LstmFixture f(batch, hidden, hidden);
+  using namespace ops;  // NOLINT(build/namespaces)
+  for (auto _ : state) {
+    Tensor gates =
+        BroadcastAdd(Add(MatMul(f.x, f.w_ih), MatMul(f.h0, f.w_hh)), f.bias);
+    Tensor i_gate = Sigmoid(Slice(gates, 1, 0, hidden));
+    Tensor f_gate = Sigmoid(Slice(gates, 1, hidden, 2 * hidden));
+    Tensor g_gate = Tanh(Slice(gates, 1, 2 * hidden, 3 * hidden));
+    Tensor o_gate = Sigmoid(Slice(gates, 1, 3 * hidden, 4 * hidden));
+    Tensor c_next = Add(Mul(f_gate, f.c0), Mul(i_gate, g_gate));
+    Tensor h_next = Mul(o_gate, Tanh(c_next));
+    Tensor loss = Sum(Square(h_next));
+    loss.Backward();
+    f.ZeroGrads();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+void BM_LstmStepFused(benchmark::State& state) {
+  const int64_t hidden = state.range(0);
+  LstmFixture f(32, hidden, hidden);
+  using namespace ops;  // NOLINT(build/namespaces)
+  for (auto _ : state) {
+    Tensor gates = LinearGates(f.x, f.w_ih, f.h0, f.w_hh, f.bias);
+    Tensor c_next = LstmCellC(gates, f.c0);
+    Tensor h_next = LstmCellH(gates, c_next);
+    Tensor loss = Sum(Square(h_next));
+    loss.Backward();
+    f.ZeroGrads();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+// --- Softmax -----------------------------------------------------------------
+
+void BM_SoftmaxFwdBwd(benchmark::State& state) {
+  const int64_t rows = 32, cols = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::Randn({rows, cols}, &rng, 1.0f, /*requires_grad=*/true);
+  for (auto _ : state) {
+    Tensor loss = ops::Sum(ops::Square(ops::Softmax(x)));
+    loss.Backward();
+    x.ZeroGrad();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+// Acceptance shape [128,64]x[64,128] plus the model shapes (B=32, h in
+// {32,64,128} with square-ish weight matrices).
+BENCHMARK(BM_MatMulFwdBwd_Legacy)
+    ->Args({128, 64, 128})
+    ->Args({32, 32, 32})
+    ->Args({32, 64, 64})
+    ->Args({32, 128, 128});
+BENCHMARK(BM_MatMulFwdBwd_Fast)
+    ->Args({128, 64, 128})
+    ->Args({32, 32, 32})
+    ->Args({32, 64, 64})
+    ->Args({32, 128, 128});
+BENCHMARK(BM_OpsMatMulTrainStep)->Args({128, 64, 128})->Args({32, 64, 64});
+BENCHMARK(BM_LstmStepComposed)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_LstmStepFused)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_SoftmaxFwdBwd)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace adaptraj
+
+// Custom main: ADAPTRAJ_BENCH_SCALE=fast (the repo-wide bench knob) shortens
+// each measurement unless the caller already passed --benchmark_min_time.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_min_time = false;
+  for (char* a : args) {
+    if (std::strncmp(a, "--benchmark_min_time", 20) == 0) has_min_time = true;
+  }
+  static char fast_min_time[] = "--benchmark_min_time=0.05";
+  const char* scale = std::getenv("ADAPTRAJ_BENCH_SCALE");
+  if (scale != nullptr && std::strcmp(scale, "fast") == 0 && !has_min_time) {
+    args.push_back(fast_min_time);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -63,14 +63,11 @@ LstmCell::State LstmCell::InitialState(int64_t batch) const {
 }
 
 LstmCell::State LstmCell::Forward(const Tensor& x, const State& state) const {
-  const int64_t h = hidden_size_;
-  Tensor gates = BroadcastAdd(Add(MatMul(x, w_ih_), MatMul(state.h, w_hh_)), bias_);
-  Tensor i_gate = Sigmoid(Slice(gates, 1, 0, h));
-  Tensor f_gate = Sigmoid(Slice(gates, 1, h, 2 * h));
-  Tensor g_gate = Tanh(Slice(gates, 1, 2 * h, 3 * h));
-  Tensor o_gate = Sigmoid(Slice(gates, 1, 3 * h, 4 * h));
-  Tensor c_next = Add(Mul(f_gate, state.c), Mul(i_gate, g_gate));
-  Tensor h_next = Mul(o_gate, Tanh(c_next));
+  // Three fused graph nodes per step: pre-activation gates in one GEMM pair,
+  // then the sigmoid/tanh gate chains for c and h in one kernel each.
+  Tensor gates = LinearGates(x, w_ih_, state.h, w_hh_, bias_);
+  Tensor c_next = LstmCellC(gates, state.c);
+  Tensor h_next = LstmCellH(gates, c_next);
   return {h_next, c_next};
 }
 

@@ -1,0 +1,85 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace adaptraj {
+namespace internal {
+
+namespace {
+
+// Caps keep a runaway workload from hoarding memory: at most kMaxEntries
+// cached vectors and kMaxPoolFloats total elements per thread.
+constexpr size_t kMaxEntries = 64;
+constexpr int64_t kMaxPoolFloats = int64_t{1} << 24;  // 64 MiB of float32
+
+struct ThreadPool {
+  std::vector<std::vector<float>> free_list;
+  int64_t cached_floats = 0;
+  BufferPoolStats stats;
+};
+
+ThreadPool& LocalPool() {
+  static thread_local ThreadPool pool;
+  return pool;
+}
+
+}  // namespace
+
+std::vector<float> AcquireBuffer(int64_t n) {
+  ThreadPool& pool = LocalPool();
+  ++pool.stats.acquires;
+  // Best fit: smallest cached capacity that still holds n. Exact-size hits
+  // are common (same shapes recur every step) and make resize() free.
+  size_t best = pool.free_list.size();
+  size_t best_cap = SIZE_MAX;
+  for (size_t i = 0; i < pool.free_list.size(); ++i) {
+    const size_t cap = pool.free_list[i].capacity();
+    if (cap >= static_cast<size_t>(n) && cap < best_cap) {
+      best = i;
+      best_cap = cap;
+      if (cap == static_cast<size_t>(n)) break;
+    }
+  }
+  if (best == pool.free_list.size()) {
+    return std::vector<float>(static_cast<size_t>(n));
+  }
+  std::vector<float> buf = std::move(pool.free_list[best]);
+  pool.free_list.erase(pool.free_list.begin() + static_cast<int64_t>(best));
+  pool.cached_floats -= static_cast<int64_t>(buf.capacity());
+  ++pool.stats.reuses;
+  buf.resize(static_cast<size_t>(n));
+  return buf;
+}
+
+std::vector<float> AcquireZeroedBuffer(int64_t n) {
+  std::vector<float> buf = AcquireBuffer(n);
+  std::fill(buf.begin(), buf.end(), 0.0f);
+  return buf;
+}
+
+void ReleaseBuffer(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  ThreadPool& pool = LocalPool();
+  // Account in capacity(), which is what the pool actually retains (a large
+  // buffer reused for a small tensor keeps its full allocation).
+  if (pool.free_list.size() >= kMaxEntries ||
+      pool.cached_floats + static_cast<int64_t>(buf.capacity()) > kMaxPoolFloats) {
+    return;  // buf frees on scope exit
+  }
+  pool.cached_floats += static_cast<int64_t>(buf.capacity());
+  ++pool.stats.releases;
+  pool.free_list.push_back(std::move(buf));
+}
+
+BufferPoolStats GetBufferPoolStats() { return LocalPool().stats; }
+
+void ClearBufferPool() {
+  ThreadPool& pool = LocalPool();
+  pool.free_list.clear();
+  pool.cached_floats = 0;
+  pool.stats = BufferPoolStats{};
+}
+
+}  // namespace internal
+}  // namespace adaptraj

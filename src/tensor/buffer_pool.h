@@ -1,0 +1,48 @@
+// Thread-local recycling pool for tensor storage and backward scratch.
+//
+// Every op output used to zero-fill a fresh std::vector<float>; with
+// thousands of small tensors per training step the allocator and the
+// redundant memset dominate. The pool keeps recently released buffers
+// (bucketed best-fit) so Acquire usually returns warmed capacity without
+// touching the allocator. Contents of an acquired buffer are UNSPECIFIED —
+// callers that rely on zeros must use AcquireZeroed.
+//
+// The pool is thread_local: tensors are created and destroyed on the main
+// thread (pool workers only write through raw pointers), so no locking is
+// needed and buffers never migrate between threads.
+
+#ifndef ADAPTRAJ_TENSOR_BUFFER_POOL_H_
+#define ADAPTRAJ_TENSOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adaptraj {
+namespace internal {
+
+/// Returns a buffer with size() == n and unspecified contents.
+std::vector<float> AcquireBuffer(int64_t n);
+
+/// Returns a zero-filled buffer with size() == n.
+std::vector<float> AcquireZeroedBuffer(int64_t n);
+
+/// Donates a buffer's capacity back to the calling thread's pool.
+void ReleaseBuffer(std::vector<float>&& buf);
+
+/// Cumulative counters for introspection and tests.
+struct BufferPoolStats {
+  int64_t acquires = 0;
+  int64_t reuses = 0;    // acquires served from the pool
+  int64_t releases = 0;  // buffers accepted back (not dropped)
+};
+
+/// Stats for the calling thread's pool.
+BufferPoolStats GetBufferPoolStats();
+
+/// Drops all cached buffers and zeroes the stats (tests).
+void ClearBufferPool();
+
+}  // namespace internal
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_BUFFER_POOL_H_

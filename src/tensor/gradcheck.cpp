@@ -37,6 +37,10 @@ GradCheckReport CheckGradients(
       const float abs_err = std::fabs(numeric - exact);
       const float denom = std::max({std::fabs(numeric), std::fabs(exact), 1e-6f});
       const float rel_err = abs_err / denom;
+      if (abs_err > report.max_abs_error) {
+        report.worst_input = static_cast<int>(which);
+        report.worst_index = i;
+      }
       report.max_abs_error = std::max(report.max_abs_error, abs_err);
       report.max_rel_error = std::max(report.max_rel_error, rel_err);
       if (abs_err > abs_tol && rel_err > rel_tol) report.ok = false;

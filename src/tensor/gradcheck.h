@@ -10,11 +10,16 @@
 
 namespace adaptraj {
 
-/// Result of a gradient check: worst absolute/relative deviation observed.
+/// Result of a gradient check: worst absolute/relative deviation observed,
+/// plus where it occurred (which input tensor and which flat coordinate) —
+/// with fused multi-slice ops like LinearGates this pinpoints the gate whose
+/// chain rule is wrong instead of just reporting a magnitude.
 struct GradCheckReport {
   float max_abs_error = 0.0f;
   float max_rel_error = 0.0f;
   bool ok = false;
+  int worst_input = -1;      // index into the inputs vector
+  int64_t worst_index = -1;  // flat coordinate within that input
 };
 
 /// Compares the analytic gradient of `fn` (a scalar-valued function of the

@@ -1,0 +1,272 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/buffer_pool.h"
+#include "tensor/parallel.h"
+
+namespace adaptraj {
+namespace kernels {
+
+namespace {
+
+// Micro-tile extents: MR C rows x NR C columns are held in registers across
+// the whole k loop (4 x 16 floats = one AVX-512 register per row, two AVX2
+// registers per row), so the inner loop is pure broadcast+FMA with a single
+// streaming read of the B tile. kRowGrain rows form one parallel chunk.
+constexpr int64_t kMR = 4;
+constexpr int64_t kNR = 16;
+constexpr int64_t kRowGrain = 32;
+
+/// Partial tile at the M/N edges: same accumulation structure as the full
+/// micro-kernel with runtime extents (also the portable fallback full tile).
+void MicroKernelEdge(int64_t mw, int64_t nw, int64_t k, const float* a,
+                     int64_t lda, const float* b, int64_t ldb, float* c,
+                     int64_t ldc, bool accumulate) {
+  float acc[kMR][kNR];
+  for (int64_t r = 0; r < mw; ++r) {
+    for (int64_t j = 0; j < nw; ++j) {
+      acc[r][j] = accumulate ? c[r * ldc + j] : 0.0f;
+    }
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const float* br = b + p * ldb;
+    for (int64_t r = 0; r < mw; ++r) {
+      const float av = a[r * lda + p];
+      for (int64_t j = 0; j < nw; ++j) acc[r][j] += av * br[j];
+    }
+  }
+  for (int64_t r = 0; r < mw; ++r) {
+    for (int64_t j = 0; j < nw; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+
+/// 16-lane float vector (lowers to one zmm, two ymm, or four xmm as the
+/// target allows). memcpy in/out compiles to unaligned vector moves.
+typedef float Vec16 __attribute__((vector_size(16 * sizeof(float))));
+
+inline Vec16 LoadVec16(const float* p) {
+  Vec16 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreVec16(float* p, Vec16 v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Full MR x NR register tile: C[i:i+MR, j0:j0+NR] (+)= A[i:i+MR, :] * B.
+/// Four explicit vector accumulators live in registers across the whole k
+/// loop: one streaming B load feeds four broadcast-FMA ops per iteration.
+/// The accumulator starts from C (accumulate) or zero, then adds a·b terms in
+/// ascending p order — the same per-element order as GemmNaive, so results
+/// are bit-identical to the reference.
+void MicroKernel(int64_t k, const float* a, int64_t lda, const float* b,
+                 int64_t ldb, float* c, int64_t ldc, bool accumulate) {
+  Vec16 acc0, acc1, acc2, acc3;
+  if (accumulate) {
+    acc0 = LoadVec16(c + 0 * ldc);
+    acc1 = LoadVec16(c + 1 * ldc);
+    acc2 = LoadVec16(c + 2 * ldc);
+    acc3 = LoadVec16(c + 3 * ldc);
+  } else {
+    acc0 = acc1 = acc2 = acc3 = Vec16{} * 0.0f;
+  }
+  const float* a0 = a + 0 * lda;
+  const float* a1 = a + 1 * lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  for (int64_t p = 0; p < k; ++p) {
+    const Vec16 bv = LoadVec16(b + p * ldb);
+    acc0 += a0[p] * bv;
+    acc1 += a1[p] * bv;
+    acc2 += a2[p] * bv;
+    acc3 += a3[p] * bv;
+  }
+  StoreVec16(c + 0 * ldc, acc0);
+  StoreVec16(c + 1 * ldc, acc1);
+  StoreVec16(c + 2 * ldc, acc2);
+  StoreVec16(c + 3 * ldc, acc3);
+}
+
+#else  // portable fallback
+
+void MicroKernel(int64_t k, const float* a, int64_t lda, const float* b,
+                 int64_t ldb, float* c, int64_t ldc, bool accumulate) {
+  MicroKernelEdge(kMR, kNR, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+#endif
+
+/// Serial row panel: C[i0:i1, :] (+)= A[i0:i1, :] * B with A, B packed
+/// row-major [M,K] / [K,N], tiled into register micro-kernels.
+void GemmPanel(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
+               const float* b, float* c, bool accumulate) {
+  for (int64_t j0 = 0; j0 < n; j0 += kNR) {
+    const int64_t nw = std::min(kNR, n - j0);
+    int64_t i = i0;
+    if (nw == kNR) {
+      for (; i + kMR <= i1; i += kMR) {
+        MicroKernel(k, a + i * k, k, b + j0, n, c + i * n + j0, n, accumulate);
+      }
+    }
+    for (; i < i1; i += kMR) {
+      const int64_t mw = std::min(kMR, i1 - i);
+      MicroKernelEdge(mw, nw, k, a + i * k, k, b + j0, n, c + i * n + j0, n,
+                      accumulate);
+    }
+  }
+}
+
+/// Packs src (stored [cols, rows] row-major) transposed into dst [rows, cols].
+void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst) {
+  // Tile the transpose so both access streams stay cache-resident.
+  constexpr int64_t kTile = 32;
+  for (int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const int64_t r1 = std::min(rows, r0 + kTile);
+    for (int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const int64_t c1 = std::min(cols, c0 + kTile);
+      for (int64_t r = r0; r < r1; ++r) {
+        for (int64_t c = c0; c < c1; ++c) dst[r * cols + c] = src[c * rows + r];
+      }
+    }
+  }
+}
+
+inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+    return;
+  }
+  // Pack transposed operands into unit-stride panels once, up front (on the
+  // calling thread: the buffer pool is thread-local).
+  std::vector<float> a_packed;
+  std::vector<float> b_packed;
+  if (trans_a) {
+    a_packed = internal::AcquireBuffer(m * k);
+    PackTranspose(a, m, k, a_packed.data());
+    a = a_packed.data();
+  }
+  if (trans_b) {
+    b_packed = internal::AcquireBuffer(k * n);
+    PackTranspose(b, k, n, b_packed.data());
+    b = b_packed.data();
+  }
+  parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    GemmPanel(i0, i1, n, k, a, b, c, accumulate);
+  });
+  if (!a_packed.empty()) internal::ReleaseBuffer(std::move(a_packed));
+  if (!b_packed.empty()) internal::ReleaseBuffer(std::move(b_packed));
+}
+
+void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               const float* a, const float* b, float* c, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += av * bv;
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void AddRowBias(float* y, const float* bias, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* yr = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) yr[c] += bias[c];
+  }
+}
+
+void AccumulateColumnSum(const float* y, int64_t rows, int64_t cols, float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) out[c] += yr[c];
+  }
+}
+
+void LstmCellForwardC(const float* gates, const float* c_prev, int64_t batch,
+                      int64_t hidden, float* c_next) {
+  for (int64_t r = 0; r < batch; ++r) {
+    const float* g = gates + r * 4 * hidden;
+    const float* cp = c_prev + r * hidden;
+    float* cn = c_next + r * hidden;
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float i_act = SigmoidF(g[j]);
+      const float f_act = SigmoidF(g[hidden + j]);
+      const float g_act = std::tanh(g[2 * hidden + j]);
+      cn[j] = f_act * cp[j] + i_act * g_act;
+    }
+  }
+}
+
+void LstmCellForwardH(const float* gates, const float* c_next, int64_t batch,
+                      int64_t hidden, float* h_next) {
+  for (int64_t r = 0; r < batch; ++r) {
+    const float* g = gates + r * 4 * hidden;
+    const float* cn = c_next + r * hidden;
+    float* hn = h_next + r * hidden;
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float o_act = SigmoidF(g[3 * hidden + j]);
+      hn[j] = o_act * std::tanh(cn[j]);
+    }
+  }
+}
+
+void LstmCellBackwardC(const float* gates, const float* c_prev, const float* dc,
+                       int64_t batch, int64_t hidden, float* d_gates,
+                       float* d_c_prev) {
+  for (int64_t r = 0; r < batch; ++r) {
+    const float* g = gates + r * 4 * hidden;
+    const float* cp = c_prev + r * hidden;
+    const float* d = dc + r * hidden;
+    float* dg = d_gates ? d_gates + r * 4 * hidden : nullptr;
+    float* dcp = d_c_prev ? d_c_prev + r * hidden : nullptr;
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float i_act = SigmoidF(g[j]);
+      const float f_act = SigmoidF(g[hidden + j]);
+      const float g_act = std::tanh(g[2 * hidden + j]);
+      const float dv = d[j];
+      if (dg != nullptr) {
+        dg[j] += dv * g_act * i_act * (1.0f - i_act);
+        dg[hidden + j] += dv * cp[j] * f_act * (1.0f - f_act);
+        dg[2 * hidden + j] += dv * i_act * (1.0f - g_act * g_act);
+      }
+      if (dcp != nullptr) dcp[j] += dv * f_act;
+    }
+  }
+}
+
+void LstmCellBackwardH(const float* gates, const float* c_next, const float* dh,
+                       int64_t batch, int64_t hidden, float* d_gates,
+                       float* d_c_next) {
+  for (int64_t r = 0; r < batch; ++r) {
+    const float* g = gates + r * 4 * hidden;
+    const float* cn = c_next + r * hidden;
+    const float* d = dh + r * hidden;
+    float* dg = d_gates ? d_gates + r * 4 * hidden : nullptr;
+    float* dcn = d_c_next ? d_c_next + r * hidden : nullptr;
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float o_act = SigmoidF(g[3 * hidden + j]);
+      const float t = std::tanh(cn[j]);
+      const float dv = d[j];
+      if (dg != nullptr) dg[3 * hidden + j] += dv * t * o_act * (1.0f - o_act);
+      if (dcn != nullptr) dcn[j] += dv * o_act * (1.0f - t * t);
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace adaptraj

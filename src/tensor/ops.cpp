@@ -4,6 +4,10 @@
 #include <cmath>
 #include <utility>
 
+#include "tensor/buffer_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/parallel.h"
+
 namespace adaptraj {
 namespace ops {
 
@@ -14,6 +18,10 @@ using internal::TensorImpl;
 
 using Impl = std::shared_ptr<TensorImpl>;
 
+/// Elementwise loops below this many elements run inline; larger ones are
+/// chunked across the thread pool (deterministically — see parallel.h).
+constexpr int64_t kElementwiseGrain = 1 << 14;
+
 bool TrackAny(std::initializer_list<const Tensor*> tensors) {
   for (const Tensor* t : tensors) {
     if (t->needs_grad()) return true;
@@ -21,12 +29,16 @@ bool TrackAny(std::initializer_list<const Tensor*> tensors) {
   return false;
 }
 
-/// Allocates the op output and, when track is set, attaches the GradNode.
+/// Allocates the op output from the buffer pool and, when track is set,
+/// attaches the GradNode. The returned buffer has UNSPECIFIED contents: every
+/// op's forward pass fully overwrites its output (MatMul and friends write
+/// through kernels::Gemm, which handles its own beta=0), so the zero-fill the
+/// old allocator paid per op is gone.
 Tensor MakeOutput(const Shape& shape, std::vector<Impl> inputs, const char* name,
                   std::function<void(TensorImpl&)> backward, bool track) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(NumElements(shape), 0.0f);
+  impl->data = internal::AcquireBuffer(NumElements(shape));
   if (track) {
     auto node = std::make_shared<GradNode>();
     node->inputs = std::move(inputs);
@@ -73,7 +85,8 @@ int NormalizeAxis(int axis, int rank) {
   return axis;
 }
 
-/// Generic elementwise binary op over equal shapes.
+/// Generic elementwise binary op over equal shapes. Backward accumulates
+/// straight into the inputs' gradient buffers — no scratch allocation.
 template <typename Fwd, typename Bwd>
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
                          Bwd bwd) {
@@ -85,24 +98,33 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name, Fwd
       a.shape(), {ia, ib}, name,
       [ia, ib, bwd](TensorImpl& o) {
         const int64_t n = o.size();
-        std::vector<float> ga(ia->requires_grad || ia->grad_fn ? n : 0);
-        std::vector<float> gb(ib->requires_grad || ib->grad_fn ? n : 0);
-        for (int64_t i = 0; i < n; ++i) {
-          float da = 0.0f;
-          float db = 0.0f;
-          bwd(ia->data[i], ib->data[i], o.grad[i], &da, &db);
-          if (!ga.empty()) ga[i] = da;
-          if (!gb.empty()) gb[i] = db;
-        }
-        if (!ga.empty()) ia->AccumulateGrad(ga.data(), n);
-        if (!gb.empty()) ib->AccumulateGrad(gb.data(), n);
+        const bool need_a = ia->requires_grad || ia->grad_fn != nullptr;
+        const bool need_b = ib->requires_grad || ib->grad_fn != nullptr;
+        if (need_a) ia->EnsureGrad();
+        if (need_b) ib->EnsureGrad();
+        float* ga = need_a ? ia->grad.data() : nullptr;
+        float* gb = need_b ? ib->grad.data() : nullptr;
+        const float* xa = ia->data.data();
+        const float* xb = ib->data.data();
+        const float* gy = o.grad.data();
+        parallel::ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            float da = 0.0f;
+            float db = 0.0f;
+            bwd(xa[i], xb[i], gy[i], &da, &db);
+            if (ga != nullptr) ga[i] += da;
+            if (gb != nullptr) gb[i] += db;
+          }
+        });
       },
       track);
   const int64_t n = out.size();
   float* po = out.data();
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i], pb[i]);
+  parallel::ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fwd(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -115,15 +137,22 @@ Tensor ElementwiseUnary(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
       a.shape(), {ia}, name,
       [ia, bwd](TensorImpl& o) {
         const int64_t n = o.size();
-        std::vector<float> ga(n);
-        for (int64_t i = 0; i < n; ++i) ga[i] = bwd(ia->data[i], o.data[i], o.grad[i]);
-        ia->AccumulateGrad(ga.data(), n);
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* x = ia->data.data();
+        const float* y = o.data.data();
+        const float* gy = o.grad.data();
+        parallel::ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += bwd(x[i], y[i], gy[i]);
+        });
       },
       track);
   const int64_t n = out.size();
   float* po = out.data();
   const float* pa = a.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
+  parallel::ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fwd(pa[i]);
+  });
   return out;
 }
 
@@ -181,15 +210,16 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, const char* name, Combi
         const int64_t n = o.size();
         const bool need_a = ia->requires_grad || ia->grad_fn != nullptr;
         const bool need_b = ib->requires_grad || ib->grad_fn != nullptr;
-        std::vector<float> ga(need_a ? n : 0);
-        std::vector<float> gb(need_b ? ib->size() : 0, 0.0f);
+        if (need_a) ia->EnsureGrad();
+        if (need_b) ib->EnsureGrad();
+        float* ga = need_a ? ia->grad.data() : nullptr;
+        float* gb = need_b ? ib->grad.data() : nullptr;
+        // Serial: gb is a scatter-accumulation across broadcast positions.
         for (int64_t i = 0; i < n; ++i) {
           int64_t j = BroadcastOffset(o.shape, b_shape, i);
-          if (need_a) ga[i] = bwd_a(ia->data[i], ib->data[j], o.grad[i]);
-          if (need_b) gb[j] += bwd_b(ia->data[i], ib->data[j], o.grad[i]);
+          if (ga != nullptr) ga[i] += bwd_a(ia->data[i], ib->data[j], o.grad[i]);
+          if (gb != nullptr) gb[j] += bwd_b(ia->data[i], ib->data[j], o.grad[i]);
         }
-        if (need_a) ia->AccumulateGrad(ga.data(), n);
-        if (need_b) ib->AccumulateGrad(gb.data(), ib->size());
       },
       track);
   const int64_t n = out.size();
@@ -249,45 +279,161 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       [ia, ib, m, k, n](TensorImpl& o) {
         const float* gy = o.grad.data();
         if (ia->requires_grad || ia->grad_fn) {
-          // dA[m,k] = sum_n dY[m,n] * B[k,n]
-          std::vector<float> ga(m * k, 0.0f);
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              float g = gy[i * n + j];
-              if (g == 0.0f) continue;
-              const float* brow = &ib->data[0];
-              for (int64_t p = 0; p < k; ++p) ga[i * k + p] += g * brow[p * n + j];
-            }
-          }
-          ia->AccumulateGrad(ga.data(), m * k);
+          // dA[m,k] += dY[m,n] · Bᵀ — straight into the gradient buffer.
+          ia->EnsureGrad();
+          kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, m, k, n, gy,
+                        ib->data.data(), ia->grad.data(), /*accumulate=*/true);
         }
         if (ib->requires_grad || ib->grad_fn) {
-          // dB[k,n] = sum_m A[m,k] * dY[m,n]
-          std::vector<float> gb(k * n, 0.0f);
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t p = 0; p < k; ++p) {
-              float av = ia->data[i * k + p];
-              if (av == 0.0f) continue;
-              for (int64_t j = 0; j < n; ++j) gb[p * n + j] += av * gy[i * n + j];
-            }
-          }
-          ib->AccumulateGrad(gb.data(), k * n);
+          // dB[k,n] += Aᵀ · dY[m,n].
+          ib->EnsureGrad();
+          kernels::Gemm(/*trans_a=*/true, /*trans_b=*/false, k, n, m,
+                        ia->data.data(), gy, ib->grad.data(), /*accumulate=*/true);
         }
       },
       track);
-  // Forward: ikj loop order for cache friendliness.
-  float* po = out.data();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = &pb[p * n];
-      float* orow = &po[i * n];
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
+  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/false, m, n, k, a.data(), b.data(),
+                out.data(), /*accumulate=*/false);
+  return out;
+}
+
+namespace {
+
+/// Shared core of AddMatMul / LinearGates: a·wa + b·wb (+ bias).
+Tensor FusedAddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
+                      const Tensor& wb, const Tensor* bias, const char* name) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == 2 && wa.dim() == 2 && b.dim() == 2 && wb.dim() == 2,
+                     name << " requires 2-D operands");
+  const int64_t rows = a.shape()[0];
+  const int64_t ka = a.shape()[1];
+  const int64_t kb = b.shape()[1];
+  const int64_t cols = wa.shape()[1];
+  ADAPTRAJ_CHECK_MSG(wa.shape()[0] == ka, name << ": a/wa inner dims differ: "
+                                               << ShapeToString(a.shape()) << " x "
+                                               << ShapeToString(wa.shape()));
+  ADAPTRAJ_CHECK_MSG(wb.shape()[0] == kb && wb.shape()[1] == cols,
+                     name << ": b/wb dims differ: " << ShapeToString(b.shape()) << " x "
+                          << ShapeToString(wb.shape()));
+  ADAPTRAJ_CHECK_MSG(b.shape()[0] == rows, name << ": row counts differ: "
+                                                << ShapeToString(a.shape()) << " vs "
+                                                << ShapeToString(b.shape()));
+  if (bias != nullptr) {
+    ADAPTRAJ_CHECK_MSG(bias->dim() == 2 && bias->shape()[0] == 1 &&
+                           bias->shape()[1] == cols,
+                       name << ": bias must be [1, " << cols << "]; got "
+                            << ShapeToString(bias->shape()));
   }
+
+  bool track = TrackAny({&a, &wa, &b, &wb}) || (bias != nullptr && bias->needs_grad());
+  Impl ia = a.impl();
+  Impl iwa = wa.impl();
+  Impl ib = b.impl();
+  Impl iwb = wb.impl();
+  Impl ibias = bias != nullptr ? bias->impl() : nullptr;
+  std::vector<Impl> inputs = {ia, iwa, ib, iwb};
+  if (ibias != nullptr) inputs.push_back(ibias);
+
+  Tensor out = MakeOutput(
+      {rows, cols}, std::move(inputs), name,
+      [ia, iwa, ib, iwb, ibias, rows, ka, kb, cols](TensorImpl& o) {
+        const float* gy = o.grad.data();
+        if (ia->requires_grad || ia->grad_fn) {
+          ia->EnsureGrad();
+          kernels::Gemm(false, true, rows, ka, cols, gy, iwa->data.data(),
+                        ia->grad.data(), true);
+        }
+        if (iwa->requires_grad || iwa->grad_fn) {
+          iwa->EnsureGrad();
+          kernels::Gemm(true, false, ka, cols, rows, ia->data.data(), gy,
+                        iwa->grad.data(), true);
+        }
+        if (ib->requires_grad || ib->grad_fn) {
+          ib->EnsureGrad();
+          kernels::Gemm(false, true, rows, kb, cols, gy, iwb->data.data(),
+                        ib->grad.data(), true);
+        }
+        if (iwb->requires_grad || iwb->grad_fn) {
+          iwb->EnsureGrad();
+          kernels::Gemm(true, false, kb, cols, rows, ib->data.data(), gy,
+                        iwb->grad.data(), true);
+        }
+        if (ibias != nullptr && (ibias->requires_grad || ibias->grad_fn)) {
+          ibias->EnsureGrad();
+          kernels::AccumulateColumnSum(gy, rows, cols, ibias->grad.data());
+        }
+      },
+      track);
+  kernels::Gemm(false, false, rows, cols, ka, a.data(), wa.data(), out.data(), false);
+  kernels::Gemm(false, false, rows, cols, kb, b.data(), wb.data(), out.data(), true);
+  if (bias != nullptr) kernels::AddRowBias(out.data(), bias->data(), rows, cols);
+  return out;
+}
+
+}  // namespace
+
+Tensor AddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
+                 const Tensor& wb) {
+  return FusedAddMatMul(a, wa, b, wb, /*bias=*/nullptr, "AddMatMul");
+}
+
+Tensor LinearGates(const Tensor& x, const Tensor& w_x, const Tensor& h,
+                   const Tensor& w_h, const Tensor& bias) {
+  return FusedAddMatMul(x, w_x, h, w_h, &bias, "LinearGates");
+}
+
+Tensor LstmCellC(const Tensor& gates, const Tensor& c_prev) {
+  ADAPTRAJ_CHECK_MSG(gates.dim() == 2 && c_prev.dim() == 2,
+                     "LstmCellC requires 2-D operands");
+  const int64_t batch = gates.shape()[0];
+  const int64_t hidden = c_prev.shape()[1];
+  ADAPTRAJ_CHECK_MSG(gates.shape()[1] == 4 * hidden && c_prev.shape()[0] == batch,
+                     "LstmCellC: gates " << ShapeToString(gates.shape())
+                                         << " vs c_prev " << ShapeToString(c_prev.shape()));
+  bool track = TrackAny({&gates, &c_prev});
+  Impl ig = gates.impl();
+  Impl ic = c_prev.impl();
+  Tensor out = MakeOutput(
+      {batch, hidden}, {ig, ic}, "LstmCellC",
+      [ig, ic, batch, hidden](TensorImpl& o) {
+        const bool need_g = ig->requires_grad || ig->grad_fn != nullptr;
+        const bool need_c = ic->requires_grad || ic->grad_fn != nullptr;
+        if (need_g) ig->EnsureGrad();
+        if (need_c) ic->EnsureGrad();
+        kernels::LstmCellBackwardC(ig->data.data(), ic->data.data(), o.grad.data(),
+                                   batch, hidden,
+                                   need_g ? ig->grad.data() : nullptr,
+                                   need_c ? ic->grad.data() : nullptr);
+      },
+      track);
+  kernels::LstmCellForwardC(gates.data(), c_prev.data(), batch, hidden, out.data());
+  return out;
+}
+
+Tensor LstmCellH(const Tensor& gates, const Tensor& c_next) {
+  ADAPTRAJ_CHECK_MSG(gates.dim() == 2 && c_next.dim() == 2,
+                     "LstmCellH requires 2-D operands");
+  const int64_t batch = gates.shape()[0];
+  const int64_t hidden = c_next.shape()[1];
+  ADAPTRAJ_CHECK_MSG(gates.shape()[1] == 4 * hidden && c_next.shape()[0] == batch,
+                     "LstmCellH: gates " << ShapeToString(gates.shape())
+                                         << " vs c_next " << ShapeToString(c_next.shape()));
+  bool track = TrackAny({&gates, &c_next});
+  Impl ig = gates.impl();
+  Impl ic = c_next.impl();
+  Tensor out = MakeOutput(
+      {batch, hidden}, {ig, ic}, "LstmCellH",
+      [ig, ic, batch, hidden](TensorImpl& o) {
+        const bool need_g = ig->requires_grad || ig->grad_fn != nullptr;
+        const bool need_c = ic->requires_grad || ic->grad_fn != nullptr;
+        if (need_g) ig->EnsureGrad();
+        if (need_c) ic->EnsureGrad();
+        kernels::LstmCellBackwardH(ig->data.data(), ic->data.data(), o.grad.data(),
+                                   batch, hidden,
+                                   need_g ? ig->grad.data() : nullptr,
+                                   need_c ? ic->grad.data() : nullptr);
+      },
+      track);
+  kernels::LstmCellForwardH(gates.data(), c_next.data(), batch, hidden, out.data());
   return out;
 }
 
@@ -300,11 +446,12 @@ Tensor Transpose(const Tensor& a) {
   Tensor out = MakeOutput(
       {n, m}, {ia}, "Transpose",
       [ia, m, n](TensorImpl& o) {
-        std::vector<float> ga(m * n);
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* gy = o.grad.data();
         for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < n; ++j) ga[i * n + j] = o.grad[j * m + i];
+          for (int64_t j = 0; j < n; ++j) ga[i * n + j] += gy[j * m + i];
         }
-        ia->AccumulateGrad(ga.data(), m * n);
       },
       track);
   float* po = out.data();
@@ -376,10 +523,14 @@ Tensor Sum(const Tensor& a) {
   Tensor out = MakeOutput(
       {1}, {ia}, "Sum",
       [ia](TensorImpl& o) {
-        std::vector<float> ga(ia->size(), o.grad[0]);
-        ia->AccumulateGrad(ga.data(), ia->size());
+        ia->EnsureGrad();
+        const float g = o.grad[0];
+        float* ga = ia->grad.data();
+        const int64_t n = ia->size();
+        for (int64_t i = 0; i < n; ++i) ga[i] += g;
       },
       track);
+  // Sequential double accumulation keeps the reduction deterministic.
   double acc = 0.0;
   const float* pa = a.data();
   for (int64_t i = 0; i < a.size(); ++i) acc += pa[i];
@@ -418,15 +569,16 @@ Tensor ReduceAxis(const Tensor& a, int axis, bool keepdim, bool mean, const char
   Tensor out = MakeOutput(
       out_shape, {ia}, name,
       [ia, outer, inner, extent, scale](TensorImpl& o) {
-        std::vector<float> ga(ia->size());
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* gy = o.grad.data();
         for (int64_t ou = 0; ou < outer; ++ou) {
           for (int64_t e = 0; e < extent; ++e) {
             for (int64_t iin = 0; iin < inner; ++iin) {
-              ga[(ou * extent + e) * inner + iin] = o.grad[ou * inner + iin] * scale;
+              ga[(ou * extent + e) * inner + iin] += gy[ou * inner + iin] * scale;
             }
           }
         }
-        ia->AccumulateGrad(ga.data(), ia->size());
       },
       track);
   float* po = out.data();
@@ -477,14 +629,15 @@ Tensor MaxAxis(const Tensor& a, int axis, bool keepdim) {
   Tensor out = MakeOutput(
       out_shape, {ia}, "MaxAxis",
       [ia, argmax, outer, inner, extent](TensorImpl& o) {
-        std::vector<float> ga(ia->size(), 0.0f);
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* gy = o.grad.data();
         for (int64_t ou = 0; ou < outer; ++ou) {
           for (int64_t iin = 0; iin < inner; ++iin) {
             const int64_t best = (*argmax)[ou * inner + iin];
-            ga[(ou * extent + best) * inner + iin] = o.grad[ou * inner + iin];
+            ga[(ou * extent + best) * inner + iin] += gy[ou * inner + iin];
           }
         }
-        ia->AccumulateGrad(ga.data(), ia->size());
       },
       track);
   float* po = out.data();
@@ -516,34 +669,41 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = MakeOutput(
       a.shape(), {ia}, "Softmax",
       [ia, rows, cols](TensorImpl& o) {
-        std::vector<float> ga(ia->size());
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* y = &o.data[r * cols];
-          const float* dy = &o.grad[r * cols];
-          double dot = 0.0;
-          for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(dy[c]) * y[c];
-          for (int64_t c = 0; c < cols; ++c) {
-            ga[r * cols + c] = y[c] * (dy[c] - static_cast<float>(dot));
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* yd = o.data.data();
+        const float* gyd = o.grad.data();
+        parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* y = yd + r * cols;
+            const float* dy = gyd + r * cols;
+            double dot = 0.0;
+            for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(dy[c]) * y[c];
+            float* g = ga + r * cols;
+            for (int64_t c = 0; c < cols; ++c) {
+              g[c] += y[c] * (dy[c] - static_cast<float>(dot));
+            }
           }
-        }
-        ia->AccumulateGrad(ga.data(), ia->size());
+        });
       },
       track);
   float* po = out.data();
   const float* pa = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = &pa[r * cols];
-    float* y = &po[r * cols];
-    float mx = x[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
-    double denom = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      y[c] = std::exp(x[c] - mx);
-      denom += y[c];
+  parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* x = &pa[r * cols];
+      float* y = &po[r * cols];
+      float mx = x[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+      double denom = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        y[c] = std::exp(x[c] - mx);
+        denom += y[c];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
-  }
+  });
   return out;
 }
 
@@ -556,31 +716,38 @@ Tensor LogSoftmax(const Tensor& a) {
   Tensor out = MakeOutput(
       a.shape(), {ia}, "LogSoftmax",
       [ia, rows, cols](TensorImpl& o) {
-        std::vector<float> ga(ia->size());
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* y = &o.data[r * cols];
-          const float* dy = &o.grad[r * cols];
-          double sum_dy = 0.0;
-          for (int64_t c = 0; c < cols; ++c) sum_dy += dy[c];
-          for (int64_t c = 0; c < cols; ++c) {
-            ga[r * cols + c] = dy[c] - std::exp(y[c]) * static_cast<float>(sum_dy);
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* yd = o.data.data();
+        const float* gyd = o.grad.data();
+        parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* y = yd + r * cols;
+            const float* dy = gyd + r * cols;
+            double sum_dy = 0.0;
+            for (int64_t c = 0; c < cols; ++c) sum_dy += dy[c];
+            float* g = ga + r * cols;
+            for (int64_t c = 0; c < cols; ++c) {
+              g[c] += dy[c] - std::exp(y[c]) * static_cast<float>(sum_dy);
+            }
           }
-        }
-        ia->AccumulateGrad(ga.data(), ia->size());
+        });
       },
       track);
   float* po = out.data();
   const float* pa = a.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = &pa[r * cols];
-    float* y = &po[r * cols];
-    float mx = x[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
-    double denom = 0.0;
-    for (int64_t c = 0; c < cols; ++c) denom += std::exp(x[c] - mx);
-    const float lse = mx + static_cast<float>(std::log(denom));
-    for (int64_t c = 0; c < cols; ++c) y[c] = x[c] - lse;
-  }
+  parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* x = &pa[r * cols];
+      float* y = &po[r * cols];
+      float mx = x[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+      double denom = 0.0;
+      for (int64_t c = 0; c < cols; ++c) denom += std::exp(x[c] - mx);
+      const float lse = mx + static_cast<float>(std::log(denom));
+      for (int64_t c = 0; c < cols; ++c) y[c] = x[c] - lse;
+    }
+  });
   return out;
 }
 
@@ -625,13 +792,14 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
         for (size_t p = 0; p < impls.size(); ++p) {
           const Impl& ip = impls[p];
           if (ip->requires_grad || ip->grad_fn) {
-            std::vector<float> g(ip->size());
+            ip->EnsureGrad();
+            float* g = ip->grad.data();
             for (int64_t ou = 0; ou < outer; ++ou) {
               const float* src = &o.grad[(ou * axis_total + offset) * inner];
               float* dst = &g[ou * extents[p] * inner];
-              std::copy(src, src + extents[p] * inner, dst);
+              const int64_t len = extents[p] * inner;
+              for (int64_t i = 0; i < len; ++i) dst[i] += src[i];
             }
-            ip->AccumulateGrad(g.data(), ip->size());
           }
           offset += extents[p];
         }
@@ -670,13 +838,13 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t end) {
   Tensor out = MakeOutput(
       out_shape, {ia}, "Slice",
       [ia, outer, inner, in_extent, out_extent, start](TensorImpl& o) {
-        std::vector<float> ga(ia->size(), 0.0f);
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
         for (int64_t ou = 0; ou < outer; ++ou) {
           const float* src = &o.grad[ou * out_extent * inner];
           float* dst = &ga[(ou * in_extent + start) * inner];
           for (int64_t i = 0; i < out_extent * inner; ++i) dst[i] += src[i];
         }
-        ia->AccumulateGrad(ga.data(), ia->size());
       },
       track);
   float* po = out.data();
@@ -744,9 +912,11 @@ Tensor GradReverse(const Tensor& a, float lambda) {
   Tensor out = MakeOutput(
       a.shape(), {ia}, "GradReverse",
       [ia, lambda](TensorImpl& o) {
-        std::vector<float> ga(o.size());
-        for (int64_t i = 0; i < o.size(); ++i) ga[i] = -lambda * o.grad[i];
-        ia->AccumulateGrad(ga.data(), o.size());
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* gy = o.grad.data();
+        const int64_t n = o.size();
+        for (int64_t i = 0; i < n; ++i) ga[i] += -lambda * gy[i];
       },
       track);
   std::copy(a.data(), a.data() + a.size(), out.data());
@@ -761,11 +931,14 @@ Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
   Tensor out = MakeOutput(
       a.shape(), {ia}, "MaskedFill",
       [ia, im](TensorImpl& o) {
-        std::vector<float> ga(o.size());
-        for (int64_t i = 0; i < o.size(); ++i) {
-          ga[i] = (im->data[i] != 0.0f) ? 0.0f : o.grad[i];
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
+        const float* gy = o.grad.data();
+        const float* pm = im->data.data();
+        const int64_t n = o.size();
+        for (int64_t i = 0; i < n; ++i) {
+          if (pm[i] == 0.0f) ga[i] += gy[i];
         }
-        ia->AccumulateGrad(ga.data(), o.size());
       },
       track);
   float* po = out.data();
@@ -789,12 +962,12 @@ Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& labels) {
   Tensor out = MakeOutput(
       {1}, {ia}, "NllLoss",
       [ia, labels_copy, batch, classes](TensorImpl& o) {
-        std::vector<float> ga(ia->size(), 0.0f);
+        ia->EnsureGrad();
+        float* ga = ia->grad.data();
         const float scale = o.grad[0] / static_cast<float>(batch);
         for (int64_t b = 0; b < batch; ++b) {
-          ga[b * classes + labels_copy[b]] = -scale;
+          ga[b * classes + labels_copy[b]] -= scale;
         }
-        ia->AccumulateGrad(ga.data(), ia->size());
       },
       track);
   double acc = 0.0;

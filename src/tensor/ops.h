@@ -50,6 +50,31 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// 2-D transpose [M,N] -> [N,M].
 Tensor Transpose(const Tensor& a);
 
+// --- Fused linear algebra ----------------------------------------------------
+//
+// These collapse common multi-op chains into one kernel + one GradNode each.
+// They are exactly equivalent to the composed ops (verified by gradcheck and
+// reference tests) but skip the intermediate tensors and graph nodes.
+
+/// a·wa + b·wb for a [B,Da], wa [Da,N], b [B,Db], wb [Db,N] -> [B,N].
+Tensor AddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
+                 const Tensor& wb);
+/// x·w_x + h·w_h + bias for bias [1,N] broadcast over rows -> [B,N].
+/// The pre-activation "gates" of recurrent cells in a single node.
+Tensor LinearGates(const Tensor& x, const Tensor& w_x, const Tensor& h,
+                   const Tensor& w_h, const Tensor& bias);
+
+// --- Fused LSTM cell ---------------------------------------------------------
+//
+// gates is the pre-activation buffer [B, 4H] in gate order i, f, g, o
+// (typically produced by LinearGates). Together these two ops replace the
+// slice/sigmoid/tanh/mul/add chain of a standard LSTM step.
+
+/// c_next = sigmoid(f)*c_prev + sigmoid(i)*tanh(g) -> [B, H].
+Tensor LstmCellC(const Tensor& gates, const Tensor& c_prev);
+/// h_next = sigmoid(o)*tanh(c_next) -> [B, H].
+Tensor LstmCellH(const Tensor& gates, const Tensor& c_next);
+
 // --- Unary -------------------------------------------------------------------
 
 /// max(a, 0).

@@ -1,0 +1,184 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace parallel {
+
+namespace {
+
+thread_local bool g_in_worker = false;
+
+/// Workers sleep on a condition variable between jobs; a job is a shared
+/// atomic chunk counter the main thread also drains (so one "extra" thread of
+/// useful work comes for free).
+///
+/// Each Run gets its own heap-allocated Job whose counters are never reset:
+/// a straggler worker that captured a finished job sees next >= total and
+/// exits without touching the (long gone) chunk function, and the shared_ptr
+/// keeps the counters alive for it. Completion is signalled while holding
+/// mu_, so the waiter in Run can never miss the final notification.
+class Pool {
+ public:
+  explicit Pool(int threads) : requested_threads_(threads) {
+    for (int i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Pool() { Shutdown(); }
+
+  int num_threads() const { return requested_threads_; }
+
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn) {
+    if (num_chunks <= 0) return;
+    if (workers_.empty() || num_chunks == 1) {
+      for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &chunk_fn;
+    job->total = num_chunks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      current_job_ = job;
+      ++job_id_;
+    }
+    cv_.notify_all();
+    // The calling thread participates in the drain.
+    DrainChunks(*job);
+    // Wait for stragglers still inside chunk_fn on worker threads. chunk_fn
+    // must stay alive until done == total, i.e. until this wait returns.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) >= job->total;
+    });
+    if (current_job_ == job) current_job_.reset();
+  }
+
+  void Shutdown() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutdown_ = true;
+      ++job_id_;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+  }
+
+ private:
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    int64_t total = 0;
+  };
+
+  void DrainChunks(Job& job) {
+    for (;;) {
+      int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.total) return;
+      (*job.fn)(c);
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 >= job.total) {
+        // Notify under the mutex: the waiter either hasn't evaluated its
+        // predicate yet (and will now see done == total), or is blocked in
+        // wait and receives this notification — no lost wakeup.
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    g_in_worker = true;
+    uint64_t seen_job = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this, seen_job] { return shutdown_ || job_id_ != seen_job; });
+        if (shutdown_) return;
+        seen_job = job_id_;
+        job = current_job_;
+      }
+      if (job != nullptr) DrainChunks(*job);
+    }
+  }
+
+  const int requested_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> current_job_;
+  uint64_t job_id_ = 0;
+  bool shutdown_ = false;
+};
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("ADAPTRAJ_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_pool_mu;
+Pool* g_pool = nullptr;
+
+Pool& GetPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) g_pool = new Pool(DefaultThreads());
+  return *g_pool;
+}
+
+}  // namespace
+
+int NumThreads() { return GetPool().num_threads(); }
+
+void Configure(int n) {
+  ADAPTRAJ_CHECK_MSG(n >= 1, "thread pool needs at least one thread; got " << n);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  delete g_pool;
+  g_pool = new Pool(n);
+}
+
+bool InWorkerThread() { return g_in_worker; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t range = end - begin;
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  // Inline when parallelism can't help or we're already on a worker.
+  if (num_chunks == 1 || InWorkerThread()) {
+    body(begin, end);
+    return;
+  }
+  Pool& pool = GetPool();
+  if (pool.num_threads() == 1) {
+    body(begin, end);
+    return;
+  }
+  pool.Run(num_chunks, [&](int64_t c) {
+    const int64_t lo = begin + c * grain;
+    const int64_t hi = std::min(end, lo + grain);
+    body(lo, hi);
+  });
+}
+
+}  // namespace parallel
+}  // namespace adaptraj

@@ -1,0 +1,47 @@
+// Persistent worker-thread pool and deterministic parallel-for.
+//
+// Kernels parallelize by splitting an index range into fixed-size contiguous
+// chunks; each chunk is executed by exactly one thread and writes a disjoint
+// slice of the output. Because chunk boundaries depend only on the range and
+// the grain (never on thread count or scheduling), every output element is
+// produced by the same sequence of floating-point operations regardless of
+// how many workers exist — results are bit-identical run to run and match
+// the serial execution. Reductions that would need cross-chunk combination
+// are NOT routed through this header; they stay sequential.
+//
+// Thread count resolution order: ADAPTRAJ_NUM_THREADS env var, then
+// std::thread::hardware_concurrency(). A value of 1 (or a single-core
+// machine) disables the workers entirely and ParallelFor runs inline.
+
+#ifndef ADAPTRAJ_TENSOR_PARALLEL_H_
+#define ADAPTRAJ_TENSOR_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace adaptraj {
+namespace parallel {
+
+/// Number of threads the pool uses (>= 1; 1 means fully inline execution).
+int NumThreads();
+
+/// Rebuilds the pool with `n` threads (n >= 1). Blocks until in-flight work
+/// drains. Intended for tests and benchmarks; normal code relies on the
+/// environment-derived default.
+void Configure(int n);
+
+/// Invokes body(chunk_begin, chunk_end) over [begin, end) split into chunks
+/// of at most `grain` indices. Chunks may run on any thread in any order, so
+/// `body` must only write state disjoint per chunk. Blocks until all chunks
+/// finish. Runs inline when the range is small or the pool has one thread.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+/// True while the calling thread is a pool worker (nested ParallelFor from a
+/// worker runs inline to avoid deadlock).
+bool InWorkerThread();
+
+}  // namespace parallel
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_PARALLEL_H_

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/buffer_pool.h"
+
 namespace adaptraj {
 
 int64_t NumElements(const Shape& shape) {
@@ -40,8 +42,13 @@ int64_t FlatIndex(const Shape& shape, const std::vector<int64_t>& index) {
 
 namespace internal {
 
+TensorImpl::~TensorImpl() {
+  ReleaseBuffer(std::move(data));
+  ReleaseBuffer(std::move(grad));
+}
+
 void TensorImpl::EnsureGrad() {
-  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  if (grad.empty()) grad = AcquireZeroedBuffer(size());
 }
 
 void TensorImpl::AccumulateGrad(const float* g, int64_t n) {
@@ -54,10 +61,14 @@ void TensorImpl::AccumulateGrad(const float* g, int64_t n) {
 
 namespace {
 
-std::shared_ptr<internal::TensorImpl> MakeImpl(const Shape& shape, bool requires_grad) {
+/// `zero` selects a zero-filled pool buffer; factories that overwrite every
+/// element pass false and skip the redundant fill.
+std::shared_ptr<internal::TensorImpl> MakeImpl(const Shape& shape, bool requires_grad,
+                                               bool zero) {
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(NumElements(shape), 0.0f);
+  impl->data = zero ? internal::AcquireZeroedBuffer(NumElements(shape))
+                    : internal::AcquireBuffer(NumElements(shape));
   impl->requires_grad = requires_grad;
   return impl;
 }
@@ -65,11 +76,11 @@ std::shared_ptr<internal::TensorImpl> MakeImpl(const Shape& shape, bool requires
 }  // namespace
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
-  return FromImpl(MakeImpl(shape, requires_grad));
+  return FromImpl(MakeImpl(shape, requires_grad, /*zero=*/true));
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  auto impl = MakeImpl(shape, requires_grad);
+  auto impl = MakeImpl(shape, requires_grad, /*zero=*/false);
   std::fill(impl->data.begin(), impl->data.end(), value);
   return FromImpl(std::move(impl));
 }
@@ -92,7 +103,7 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 
 Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev, bool requires_grad) {
   ADAPTRAJ_CHECK(rng != nullptr);
-  auto impl = MakeImpl(shape, requires_grad);
+  auto impl = MakeImpl(shape, requires_grad, /*zero=*/false);
   for (auto& v : impl->data) v = rng->Normal(0.0f, stddev);
   return FromImpl(std::move(impl));
 }
@@ -100,7 +111,7 @@ Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev, bool requires_g
 Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi,
                     bool requires_grad) {
   ADAPTRAJ_CHECK(rng != nullptr);
-  auto impl = MakeImpl(shape, requires_grad);
+  auto impl = MakeImpl(shape, requires_grad, /*zero=*/false);
   for (auto& v : impl->data) v = rng->Uniform(lo, hi);
   return FromImpl(std::move(impl));
 }

@@ -44,6 +44,12 @@ struct TensorImpl {
   bool requires_grad = false;
   std::shared_ptr<GradNode> grad_fn;  // null for leaves / pure-forward results
 
+  TensorImpl() = default;
+  /// Returns data/grad capacity to the thread-local buffer pool.
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   int64_t size() const { return static_cast<int64_t>(data.size()); }
   /// Allocates (zero-filled) gradient storage if not already present.
   void EnsureGrad();
