@@ -1,23 +1,31 @@
 // Tensor-engine microbenchmarks: MatMul forward/backward (legacy seed kernel
 // vs. the blocked/packed kernels.h path), the fused LSTM step vs. the
-// composed-op formulation it replaced, and Softmax at model shapes.
+// composed-op formulation it replaced (plus a scalar-libm-activation pin for
+// the SIMD transcendental ratio), attention forward+backward as the old
+// per-batch-slice loop vs. the batched 3-D GEMM path, raw BatchGemm vs a
+// Gemm-per-slice loop, transcendental kernel throughput, and Softmax at
+// model shapes.
 //
-// The Legacy* fixtures replicate the pre-kernels ops.cpp loops exactly —
-// including the per-scalar zero-skip branches, the column-strided dA
-// accumulation, and the fresh zero-filled scratch per backward — so the
-// before/after ratio is measured inside one binary.
+// The Legacy*/*Loop/*ScalarAct fixtures replicate the replaced formulations
+// exactly — including the per-scalar zero-skip branches, the column-strided
+// dA accumulation, the per-scene Slice/Transpose/Concat graph, and the
+// scalar std::exp/std::tanh gate loops — so every before/after ratio is
+// measured inside one binary.
 //
 // Emit the perf trajectory with:
 //   bench_tensor_ops --benchmark_out=BENCH_tensor_ops.json \
 //                    --benchmark_out_format=json
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
@@ -186,6 +194,157 @@ void BM_LstmStepFused(benchmark::State& state) {
   }
 }
 
+// The fused LSTM step with the gate activations pinned to scalar libm: the
+// in-binary baseline for the SIMD transcendental speedup (everything else —
+// GEMMs, graph, buffer pool — is identical to BM_LstmStepFused).
+void BM_LstmStepFusedScalarAct(benchmark::State& state) {
+  const int64_t hidden = state.range(0);
+  LstmFixture f(32, hidden, hidden);
+  using namespace ops;  // NOLINT(build/namespaces)
+  kernels::SetTranscendentalPath(kernels::TranscendentalPath::kScalar);
+  for (auto _ : state) {
+    Tensor gates = LinearGates(f.x, f.w_ih, f.h0, f.w_hh, f.bias);
+    Tensor c_next = LstmCellC(gates, f.c0);
+    Tensor h_next = LstmCellH(gates, c_next);
+    Tensor loss = Sum(Square(h_next));
+    loss.Backward();
+    f.ZeroGrads();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  kernels::SetTranscendentalPath(kernels::TranscendentalPath::kAuto);
+}
+
+// --- Raw transcendental throughput: SIMD vs scalar ---------------------------
+
+void BM_ExpKernel(benchmark::State& state) {
+  const bool simd = state.range(0) != 0;
+  const int64_t n = 32 * 256;
+  Rng rng(23);
+  std::vector<float> x = RandomVec(n, &rng);
+  std::vector<float> y(n);
+  kernels::SetTranscendentalPath(simd ? kernels::TranscendentalPath::kSimd
+                                      : kernels::TranscendentalPath::kScalar);
+  for (auto _ : state) {
+    kernels::ExpForward(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernels::SetTranscendentalPath(kernels::TranscendentalPath::kAuto);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_TanhKernel(benchmark::State& state) {
+  const bool simd = state.range(0) != 0;
+  const int64_t n = 32 * 256;
+  Rng rng(23);
+  std::vector<float> x = RandomVec(n, &rng);
+  std::vector<float> y(n);
+  kernels::SetTranscendentalPath(simd ? kernels::TranscendentalPath::kSimd
+                                      : kernels::TranscendentalPath::kScalar);
+  for (auto _ : state) {
+    kernels::TanhForward(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernels::SetTranscendentalPath(kernels::TranscendentalPath::kAuto);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// --- Attention: per-batch-slice loop (PR-1 path) vs batched 3-D GEMM ---------
+//
+// The Loop fixture replicates the pre-BatchMatMul TransformerBlock attention
+// exactly: B iterations of Slice/MatMul(Transpose)/Softmax/MatMul stitched
+// back together with Concat (~6 graph nodes per scene). The Batched fixture
+// is the current path: two BatchMatMul nodes and one 3-D softmax for the
+// whole batch.
+
+struct AttentionFixture {
+  Tensor q, k, v;  // [B*T, D] leaves, as produced by the q/k/v projections
+  int64_t b, t, d;
+  AttentionFixture(int64_t b_, int64_t t_, int64_t d_) : b(b_), t(t_), d(d_) {
+    Rng rng(17);
+    q = Tensor::Randn({b * t, d}, &rng, 0.5f, /*requires_grad=*/true);
+    k = Tensor::Randn({b * t, d}, &rng, 0.5f, /*requires_grad=*/true);
+    v = Tensor::Randn({b * t, d}, &rng, 0.5f, /*requires_grad=*/true);
+  }
+  void ZeroGrads() {
+    q.ZeroGrad();
+    k.ZeroGrad();
+    v.ZeroGrad();
+  }
+};
+
+void BM_AttentionFwdBwd_Loop(benchmark::State& state) {
+  AttentionFixture f(state.range(0), state.range(1), state.range(2));
+  using namespace ops;  // NOLINT(build/namespaces)
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(f.d));
+  for (auto _ : state) {
+    std::vector<Tensor> attended_rows;
+    attended_rows.reserve(f.b);
+    for (int64_t i = 0; i < f.b; ++i) {
+      Tensor q_b = Slice(f.q, 0, i * f.t, (i + 1) * f.t);  // [T, D]
+      Tensor k_b = Slice(f.k, 0, i * f.t, (i + 1) * f.t);
+      Tensor v_b = Slice(f.v, 0, i * f.t, (i + 1) * f.t);
+      Tensor scores = MulScalar(MatMul(q_b, Transpose(k_b)), inv_sqrt_d);
+      attended_rows.push_back(MatMul(Softmax(scores), v_b));
+    }
+    Tensor attended = Concat(attended_rows, 0);  // [B*T, D]
+    Tensor loss = Sum(Square(attended));
+    loss.Backward();
+    f.ZeroGrads();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+void BM_AttentionFwdBwd_Batched(benchmark::State& state) {
+  AttentionFixture f(state.range(0), state.range(1), state.range(2));
+  using namespace ops;  // NOLINT(build/namespaces)
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(f.d));
+  for (auto _ : state) {
+    Tensor q3 = Reshape(f.q, {f.b, f.t, f.d});
+    Tensor k3 = Reshape(f.k, {f.b, f.t, f.d});
+    Tensor v3 = Reshape(f.v, {f.b, f.t, f.d});
+    Tensor scores = MulScalar(BatchMatMul(q3, k3, false, true), inv_sqrt_d);
+    Tensor attended = BatchMatMul(Softmax(scores), v3);  // [B, T, D]
+    Tensor loss = Sum(Square(attended));
+    loss.Backward();
+    f.ZeroGrads();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+
+// --- Raw kernel: BatchGemm vs a loop of Gemm calls ---------------------------
+
+void BM_BatchGemmKernel(benchmark::State& state) {
+  const int64_t batch = state.range(0), m = state.range(1), k = state.range(2),
+                n = state.range(3);
+  Rng rng(19);
+  std::vector<float> a = RandomVec(batch * m * k, &rng);
+  std::vector<float> b = RandomVec(batch * k * n, &rng);
+  std::vector<float> c(batch * m * n);
+  for (auto _ : state) {
+    kernels::BatchGemm(false, true, batch, m, n, k, a.data(), b.data(), c.data(),
+                       false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * batch * m * n * k);
+}
+
+void BM_GemmSliceLoopKernel(benchmark::State& state) {
+  const int64_t batch = state.range(0), m = state.range(1), k = state.range(2),
+                n = state.range(3);
+  Rng rng(19);
+  std::vector<float> a = RandomVec(batch * m * k, &rng);
+  std::vector<float> b = RandomVec(batch * k * n, &rng);
+  std::vector<float> c(batch * m * n);
+  for (auto _ : state) {
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      kernels::Gemm(false, true, m, n, k, a.data() + bi * m * k,
+                    b.data() + bi * k * n, c.data() + bi * m * n, false);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * batch * m * n * k);
+}
+
 // --- Softmax -----------------------------------------------------------------
 
 void BM_SoftmaxFwdBwd(benchmark::State& state) {
@@ -215,7 +374,16 @@ BENCHMARK(BM_MatMulFwdBwd_Fast)
 BENCHMARK(BM_OpsMatMulTrainStep)->Args({128, 64, 128})->Args({32, 64, 64});
 BENCHMARK(BM_LstmStepComposed)->Arg(32)->Arg(64)->Arg(128);
 BENCHMARK(BM_LstmStepFused)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_LstmStepFusedScalarAct)->Arg(32)->Arg(64)->Arg(128);
 BENCHMARK(BM_SoftmaxFwdBwd)->Arg(32)->Arg(64)->Arg(128);
+// Attention at model shapes {B, T, D}: acceptance shape plus a larger scene.
+BENCHMARK(BM_AttentionFwdBwd_Loop)->Args({32, 8, 64})->Args({64, 12, 64});
+BENCHMARK(BM_AttentionFwdBwd_Batched)->Args({32, 8, 64})->Args({64, 12, 64});
+BENCHMARK(BM_BatchGemmKernel)->Args({32, 8, 64, 8})->Args({32, 8, 8, 64});
+BENCHMARK(BM_GemmSliceLoopKernel)->Args({32, 8, 64, 8})->Args({32, 8, 8, 64});
+// Transcendental throughput: Arg(1) = SIMD path, Arg(0) = scalar libm.
+BENCHMARK(BM_ExpKernel)->Arg(1)->Arg(0);
+BENCHMARK(BM_TanhKernel)->Arg(1)->Arg(0);
 
 }  // namespace
 }  // namespace adaptraj
@@ -237,6 +405,21 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  // Buffer-pool telemetry over the whole run: reuse rate is the fraction of
+  // op-output allocations served from recycled capacity (main thread; pool
+  // workers write through raw pointers and never allocate).
+  const auto stats = adaptraj::internal::GetBufferPoolStats();
+  const double rate = stats.acquires > 0
+                          ? 100.0 * static_cast<double>(stats.hits()) /
+                                static_cast<double>(stats.acquires)
+                          : 0.0;
+  std::fprintf(stderr,
+               "buffer-pool: hits=%lld misses=%lld releases=%lld "
+               "bytes_recycled=%lld reuse=%.1f%%\n",
+               static_cast<long long>(stats.hits()),
+               static_cast<long long>(stats.misses()),
+               static_cast<long long>(stats.releases),
+               static_cast<long long>(stats.bytes_recycled), rate);
   benchmark::Shutdown();
   return 0;
 }

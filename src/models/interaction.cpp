@@ -51,16 +51,21 @@ Tensor InteractionPooling::PoolAttention(const data::Batch& batch, const Tensor&
                                          const Tensor& h_focal) const {
   const int64_t b = batch.batch_size;
   const int64_t m = batch.max_neighbors;
-  // Dot-product attention scores against the focal state.
+  // Dot-product attention against the focal state: both the score pass and
+  // the weighted sum are batched matrix products ([B,M,H]·[B,H,1] and
+  // [B,1,M]·[B,M,H]), so each is one BatchMatMul node instead of a
+  // broadcast-multiply plus reduction materializing [B,M,H] intermediates.
   Tensor query = Reshape(h_focal, {b, 1, hidden_dim_});
-  Tensor scores = SumAxis(BroadcastMul(keys, query), 2);  // [B, M]
+  Tensor scores = Reshape(BatchMatMul(keys, query, /*trans_a=*/false,
+                                      /*trans_b=*/true),
+                          {b, m});  // [B, M]
   scores = MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(hidden_dim_)));
   // Mask padding: invalid slots get -1e9 before the softmax.
   Tensor invalid = AddScalar(MulScalar(batch.nbr_mask, -1.0f), 1.0f);  // 1 - mask
   scores = MaskedFill(scores, invalid, -1e9f);
   Tensor weights = Softmax(scores);  // [B, M]
-  Tensor weighted = BroadcastMul(keys, Reshape(weights, {b, m, 1}));
-  return SumAxis(weighted, 1);  // [B, hidden]
+  return Reshape(BatchMatMul(Reshape(weights, {b, 1, m}), keys),
+                 {b, hidden_dim_});  // [B, hidden]
 }
 
 Tensor InteractionPooling::PoolMean(const data::Batch& batch, const Tensor& keys) const {

@@ -58,30 +58,23 @@ Tensor TransformerBlock::Forward(const Tensor& x) const {
   // Pre-norm attention.
   Tensor h = norm_attn_.Forward(x);
   Tensor flat = Reshape(h, {b * t, d});
-  Tensor q = q_.Forward(flat);  // [B*T, D]
-  Tensor k = k_.Forward(flat);
-  Tensor v = v_.Forward(flat);
+  Tensor q = Reshape(q_.Forward(flat), {b, t, d});
+  Tensor k = Reshape(k_.Forward(flat), {b, t, d});
+  Tensor v = Reshape(v_.Forward(flat), {b, t, d});
 
-  // Per-batch GEMM attention: scores_b = q_b · k_bᵀ / sqrt(d), then
-  // attended_b = softmax(scores_b) · v_b. Compared to broadcasting both
-  // operands to a common [B, T, T, D] shape this never materializes the
-  // O(B·T²·D) intermediates and runs on the blocked MatMul kernel.
+  // Batched attention: scores = q · kᵀ / sqrt(d) for all B slices in one
+  // BatchMatMul launch (trans_b folds the key transpose into the kernel's
+  // packing — no Transpose node), last-axis softmax over the 3-D scores,
+  // then one more BatchMatMul against the values. Three graph nodes replace
+  // the former B-iteration Slice/MatMul/Transpose/Concat loop, and B == 0
+  // flows through natively (every op handles empty extents).
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
-  std::vector<Tensor> attended_rows;
-  attended_rows.reserve(b);
-  for (int64_t i = 0; i < b; ++i) {
-    Tensor q_b = Slice(q, 0, i * t, (i + 1) * t);  // [T, D]
-    Tensor k_b = Slice(k, 0, i * t, (i + 1) * t);
-    Tensor v_b = Slice(v, 0, i * t, (i + 1) * t);
-    Tensor scores = MulScalar(MatMul(q_b, Transpose(k_b)), inv_sqrt_d);  // [T, T]
-    Tensor weights = Softmax(scores);  // softmax over keys (last axis)
-    attended_rows.push_back(MatMul(weights, v_b));  // [T, D]
-  }
-  // Empty batch: Concat rejects zero parts; fall through with an empty
-  // [0, D] activation so B=0 behaves as it did pre-rewrite.
-  Tensor attended =
-      attended_rows.empty() ? Tensor::Zeros({0, d}) : Concat(attended_rows, 0);  // [B*T, D]
-  Tensor attn_out = Reshape(proj_.Forward(attended), {b, t, d});
+  Tensor scores = MulScalar(BatchMatMul(q, k, /*trans_a=*/false, /*trans_b=*/true),
+                            inv_sqrt_d);               // [B, T, T]
+  Tensor weights = Softmax(scores);                    // softmax over keys
+  Tensor attended = BatchMatMul(weights, v);           // [B, T, D]
+  Tensor attn_out =
+      Reshape(proj_.Forward(Reshape(attended, {b * t, d})), {b, t, d});
   Tensor res1 = Add(x, attn_out);
 
   // Pre-norm feed-forward.

@@ -48,6 +48,8 @@ std::vector<float> AcquireBuffer(int64_t n) {
   pool.free_list.erase(pool.free_list.begin() + static_cast<int64_t>(best));
   pool.cached_floats -= static_cast<int64_t>(buf.capacity());
   ++pool.stats.reuses;
+  pool.stats.bytes_recycled +=
+      static_cast<int64_t>(buf.capacity() * sizeof(float));
   buf.resize(static_cast<size_t>(n));
   return buf;
 }

@@ -29,11 +29,16 @@ std::vector<float> AcquireZeroedBuffer(int64_t n);
 /// Donates a buffer's capacity back to the calling thread's pool.
 void ReleaseBuffer(std::vector<float>&& buf);
 
-/// Cumulative counters for introspection and tests.
+/// Cumulative counters for introspection, tests, and the bench harness
+/// (bench_tensor_ops prints them so reuse rates are tracked per benchmark).
 struct BufferPoolStats {
   int64_t acquires = 0;
-  int64_t reuses = 0;    // acquires served from the pool
-  int64_t releases = 0;  // buffers accepted back (not dropped)
+  int64_t reuses = 0;          // acquires served from the pool (hits)
+  int64_t releases = 0;        // buffers accepted back (not dropped)
+  int64_t bytes_recycled = 0;  // cumulative capacity bytes served on reuse
+
+  int64_t hits() const { return reuses; }
+  int64_t misses() const { return acquires - reuses; }
 };
 
 /// Stats for the calling thread's pool.

@@ -1,7 +1,9 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -45,10 +47,12 @@ void MicroKernelEdge(int64_t mw, int64_t nw, int64_t k, const float* a,
 }
 
 #if defined(__GNUC__) || defined(__clang__)
+#define ADAPTRAJ_HAVE_VEC16 1
 
 /// 16-lane float vector (lowers to one zmm, two ymm, or four xmm as the
 /// target allows). memcpy in/out compiles to unaligned vector moves.
 typedef float Vec16 __attribute__((vector_size(16 * sizeof(float))));
+typedef int32_t IVec16 __attribute__((vector_size(16 * sizeof(int32_t))));
 
 inline Vec16 LoadVec16(const float* p) {
   Vec16 v;
@@ -57,6 +61,20 @@ inline Vec16 LoadVec16(const float* p) {
 }
 
 inline void StoreVec16(float* p, Vec16 v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Loads n <= 16 floats into a zero-padded vector.
+inline Vec16 LoadPartial16(const float* p, int64_t n) {
+  float tmp[16] = {0};
+  std::memcpy(tmp, p, static_cast<size_t>(n) * sizeof(float));
+  return LoadVec16(tmp);
+}
+
+/// Stores the first n <= 16 lanes.
+inline void StorePartial16(float* p, Vec16 v, int64_t n) {
+  float tmp[16];
+  StoreVec16(tmp, v);
+  std::memcpy(p, tmp, static_cast<size_t>(n) * sizeof(float));
+}
 
 /// Full MR x NR register tile: C[i:i+MR, j0:j0+NR] (+)= A[i:i+MR, :] * B.
 /// Four explicit vector accumulators live in registers across the whole k
@@ -101,28 +119,107 @@ void MicroKernel(int64_t k, const float* a, int64_t lda, const float* b,
 
 #endif
 
-/// Serial row panel: C[i0:i1, :] (+)= A[i0:i1, :] * B with A, B packed
-/// row-major [M,K] / [K,N], tiled into register micro-kernels.
+#if defined(__GNUC__) || defined(__clang__)
+
+/// Column-edge tile with vector accumulators: MW rows x nw (< NR) columns
+/// against a B panel whose columns nw..16 within the tile are zero (either a
+/// pre-padded packed panel or a per-panel scratch), so full-width loads are
+/// safe. Same ascending-p per-element order as the scalar edge; the padded
+/// lanes accumulate exact zeros and are never stored.
+template <int MW>
+void MicroKernelEdgeVecImpl(int64_t nw, int64_t k, const float* a, int64_t lda,
+                            const float* b_pad, int64_t ldb, float* c,
+                            int64_t ldc, bool accumulate) {
+  Vec16 acc[MW];
+  for (int r = 0; r < MW; ++r) {
+    acc[r] = accumulate ? LoadPartial16(c + r * ldc, nw) : Vec16{} * 0.0f;
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const Vec16 bv = LoadVec16(b_pad + p * ldb);
+    for (int r = 0; r < MW; ++r) acc[r] += a[r * lda + p] * bv;
+  }
+  for (int r = 0; r < MW; ++r) StorePartial16(c + r * ldc, acc[r], nw);
+}
+
+inline void MicroKernelEdgeVec(int64_t mw, int64_t nw, int64_t k, const float* a,
+                               int64_t lda, const float* b_pad, int64_t ldb,
+                               float* c, int64_t ldc, bool accumulate) {
+  switch (mw) {
+    case 1: MicroKernelEdgeVecImpl<1>(nw, k, a, lda, b_pad, ldb, c, ldc, accumulate); break;
+    case 2: MicroKernelEdgeVecImpl<2>(nw, k, a, lda, b_pad, ldb, c, ldc, accumulate); break;
+    case 3: MicroKernelEdgeVecImpl<3>(nw, k, a, lda, b_pad, ldb, c, ldc, accumulate); break;
+    default: MicroKernelEdgeVecImpl<4>(nw, k, a, lda, b_pad, ldb, c, ldc, accumulate); break;
+  }
+}
+
+#endif
+
+/// Rounds n up to the next micro-tile width multiple.
+inline int64_t RoundUpNR(int64_t n) { return (n + kNR - 1) / kNR * kNR; }
+
+/// Serial row panel: C[i0:i1, :] (+)= A[i0:i1, :] * B with A packed row-major
+/// [M,K] and B row-major [K,ldb] holding N valid columns. When `b_padded` is
+/// set, ldb is a kNR multiple and columns n..ldb are zero, so edge tiles can
+/// issue full-width vector loads (partial stores keep C intact). Otherwise
+/// `b_edge_pad` (when non-null) is the final partial column block zero-padded
+/// to [K, kNR] — built once by the caller so worker panels never allocate.
 void GemmPanel(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
-               const float* b, float* c, bool accumulate) {
+               const float* b, int64_t ldb, bool b_padded,
+               const float* b_edge_pad, float* c, bool accumulate) {
   for (int64_t j0 = 0; j0 < n; j0 += kNR) {
     const int64_t nw = std::min(kNR, n - j0);
     int64_t i = i0;
     if (nw == kNR) {
       for (; i + kMR <= i1; i += kMR) {
-        MicroKernel(k, a + i * k, k, b + j0, n, c + i * n + j0, n, accumulate);
+        MicroKernel(k, a + i * k, k, b + j0, ldb, c + i * n + j0, n, accumulate);
       }
     }
+#if defined(__GNUC__) || defined(__clang__)
+    else if (b_padded || b_edge_pad != nullptr) {
+      // Zero lanes beyond nw make full-width loads exact (attention's T = 8
+      // key dimension lives entirely on this path).
+      const float* be = b_padded ? b + j0 : b_edge_pad;
+      const int64_t lde = b_padded ? ldb : kNR;
+      for (; i < i1; i += kMR) {
+        const int64_t mw = std::min(kMR, i1 - i);
+        MicroKernelEdgeVec(mw, nw, k, a + i * k, k, be, lde, c + i * n + j0, n,
+                           accumulate);
+      }
+      continue;
+    }
+#endif
     for (; i < i1; i += kMR) {
       const int64_t mw = std::min(kMR, i1 - i);
-      MicroKernelEdge(mw, nw, k, a + i * k, k, b + j0, n, c + i * n + j0, n,
+      MicroKernelEdge(mw, nw, k, a + i * k, k, b + j0, ldb, c + i * n + j0, n,
                       accumulate);
     }
   }
 }
 
-/// Packs src (stored [cols, rows] row-major) transposed into dst [rows, cols].
-void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst) {
+#if defined(__GNUC__) || defined(__clang__)
+constexpr bool kHaveVecEdge = true;
+#else
+constexpr bool kHaveVecEdge = false;
+#endif
+
+/// Writes the zero-padded [k, kNR] copy of B's final partial column block
+/// (columns n - n%kNR .. n) into dst. Requires n % kNR != 0.
+void PackColumnEdge(const float* b, int64_t n, int64_t k, float* dst) {
+  const int64_t nw = n % kNR;
+  const int64_t j0 = n - nw;
+  std::memset(dst, 0, sizeof(float) * static_cast<size_t>(k * kNR));
+  for (int64_t p = 0; p < k; ++p) {
+    std::memcpy(dst + p * kNR, b + p * n + j0,
+                sizeof(float) * static_cast<size_t>(nw));
+  }
+}
+
+/// Packs src (stored [cols, rows] row-major) transposed into dst
+/// [rows, dst_stride], zero-filling columns cols..dst_stride. A dst_stride
+/// that is a kNR multiple makes the packed panel edge-safe for full-width
+/// vector loads.
+void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst,
+                   int64_t dst_stride) {
   // Tile the transpose so both access streams stay cache-resident.
   constexpr int64_t kTile = 32;
   for (int64_t r0 = 0; r0 < rows; r0 += kTile) {
@@ -130,13 +227,151 @@ void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst) {
     for (int64_t c0 = 0; c0 < cols; c0 += kTile) {
       const int64_t c1 = std::min(cols, c0 + kTile);
       for (int64_t r = r0; r < r1; ++r) {
-        for (int64_t c = c0; c < c1; ++c) dst[r * cols + c] = src[c * rows + r];
+        for (int64_t c = c0; c < c1; ++c) dst[r * dst_stride + c] = src[c * rows + r];
       }
+    }
+  }
+  if (dst_stride > cols) {
+    for (int64_t r = 0; r < rows; ++r) {
+      std::memset(dst + r * dst_stride + cols, 0,
+                  sizeof(float) * static_cast<size_t>(dst_stride - cols));
     }
   }
 }
 
 inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// --- Vectorized transcendentals ----------------------------------------------
+
+#ifdef ADAPTRAJ_HAVE_VEC16
+
+inline Vec16 Splat(float v) { return Vec16{} + v; }
+
+/// Largest-integer-not-greater: truncate, then subtract 1 where the
+/// truncation rounded toward zero from below. Comparison results are -1/0
+/// integer lanes, which convert to -1.0f/0.0f.
+inline Vec16 VecFloor(Vec16 x) {
+  Vec16 t = __builtin_convertvector(__builtin_convertvector(x, IVec16), Vec16);
+  return t + __builtin_convertvector(t > x, Vec16);
+}
+
+// Cephes expf constants: exp(x) = 2^n · exp(r) with n = round(x·log2e) and
+// the residual r evaluated by a degree-5 polynomial. Input is clamped to the
+// finite-float range so the 2^n exponent construction cannot overflow.
+constexpr float kExpHi = 88.3762626647950f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2E = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline Vec16 VecExp(Vec16 x) {
+  const Vec16 x_in = x;
+  x = (x < kExpHi) ? x : Splat(kExpHi);
+  x = (x > kExpLo) ? x : Splat(kExpLo);
+  Vec16 fx = VecFloor(x * kLog2E + 0.5f);
+  // The input clamp puts fx in [-126, 127] in exact arithmetic, but float
+  // rounding of x·log2e can land exactly on the boundary (kExpHi is
+  // 127.5·ln2) and push the exponent construction below into inf/zero.
+  fx = (fx < 127.0f) ? fx : Splat(127.0f);
+  fx = (fx > -126.0f) ? fx : Splat(-126.0f);
+  x -= fx * kLn2Hi;
+  x -= fx * kLn2Lo;
+  Vec16 y = Splat(kExpP0);
+  y = y * x + kExpP1;
+  y = y * x + kExpP2;
+  y = y * x + kExpP3;
+  y = y * x + kExpP4;
+  y = y * x + kExpP5;
+  y = y * (x * x) + x + 1.0f;
+  // 2^n via direct exponent-field construction.
+  const IVec16 pow2n = (__builtin_convertvector(fx, IVec16) + 127) << 23;
+  Vec16 scale;
+  std::memcpy(&scale, &pow2n, sizeof(scale));
+  y *= scale;
+  // NaN lanes fail both clamp comparisons above and would silently turn into
+  // exp(kExpHi); propagate them instead so diverged training still surfaces
+  // as NaN on the SIMD path, exactly like libm. (±inf saturates to the
+  // clamped finite range — exp(-inf) ~ 1e-38, exp(+inf) ~ 2e38 — which
+  // downstream tanh/sigmoid map to their correct ±1 / 0..1 limits.)
+  return (x_in == x_in) ? y : x_in;
+}
+
+/// tanh(x) = 1 - 2/(exp(2x)+1). The clamped exp keeps both extremes finite
+/// (saturating to ±1); absolute error stays under 1e-6 everywhere.
+inline Vec16 VecTanh(Vec16 x) {
+  const Vec16 e = VecExp(x * 2.0f);
+  return 1.0f - 2.0f / (e + 1.0f);
+}
+
+inline Vec16 VecSigmoid(Vec16 x) { return 1.0f / (1.0f + VecExp(-x)); }
+
+/// Applies a Vec16->Vec16 function elementwise over [0, n). The remainder
+/// runs through the same vector code on a zero-padded tile, so every element
+/// sees identical arithmetic no matter where chunk boundaries fall.
+template <typename F>
+inline void VecMap(const float* x, float* y, int64_t n, F f) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) StoreVec16(y + i, f(LoadVec16(x + i)));
+  if (i < n) StorePartial16(y + i, f(LoadPartial16(x + i, n - i)), n - i);
+}
+
+#endif  // ADAPTRAJ_HAVE_VEC16
+
+// --- Transcendental path resolution ------------------------------------------
+
+std::atomic<int> g_transcendental_override{static_cast<int>(TranscendentalPath::kAuto)};
+
+#ifdef ADAPTRAJ_HAVE_VEC16
+
+/// Accuracy gate: sweep the approximations against libm. Any regression
+/// (miscompiled vector code, exotic rounding mode) silently drops the
+/// process back to the scalar path instead of corrupting training.
+bool SimdAccuracyOk() {
+  constexpr int kSamples = 4096;
+  float max_exp_rel = 0.0f;
+  float max_tanh_abs = 0.0f;
+  float max_sig_abs = 0.0f;
+  for (int i = 0; i < kSamples; i += 16) {
+    float x_exp[16], x_act[16], y[16];
+    for (int j = 0; j < 16; ++j) {
+      const float t = static_cast<float>(i + j) / (kSamples - 1);
+      x_exp[j] = kExpLo + t * (kExpHi - kExpLo);
+      x_act[j] = -30.0f + t * 60.0f;
+    }
+    StoreVec16(y, VecExp(LoadVec16(x_exp)));
+    for (int j = 0; j < 16; ++j) {
+      const float ref = std::exp(x_exp[j]);
+      max_exp_rel = std::max(max_exp_rel, std::fabs(y[j] - ref) / ref);
+    }
+    StoreVec16(y, VecTanh(LoadVec16(x_act)));
+    for (int j = 0; j < 16; ++j) {
+      max_tanh_abs = std::max(max_tanh_abs, std::fabs(y[j] - std::tanh(x_act[j])));
+    }
+    StoreVec16(y, VecSigmoid(LoadVec16(x_act)));
+    for (int j = 0; j < 16; ++j) {
+      max_sig_abs = std::max(max_sig_abs, std::fabs(y[j] - SigmoidF(x_act[j])));
+    }
+  }
+  return max_exp_rel <= 1e-6f && max_tanh_abs <= 1e-6f && max_sig_abs <= 1e-6f;
+}
+
+bool ResolveSimdDefault() {
+  if (const char* env = std::getenv("ADAPTRAJ_SIMD")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "scalar") == 0) {
+      return false;
+    }
+  }
+  return SimdAccuracyOk();
+}
+
+#endif  // ADAPTRAJ_HAVE_VEC16
 
 }  // namespace
 
@@ -148,24 +383,38 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     return;
   }
   // Pack transposed operands into unit-stride panels once, up front (on the
-  // calling thread: the buffer pool is thread-local).
+  // calling thread: the buffer pool is thread-local). The B panel is padded
+  // to a 16-column multiple so edge tiles run full-width vector loads.
   std::vector<float> a_packed;
   std::vector<float> b_packed;
+  int64_t ldb = n;
+  bool b_padded = false;
   if (trans_a) {
     a_packed = internal::AcquireBuffer(m * k);
-    PackTranspose(a, m, k, a_packed.data());
+    PackTranspose(a, m, k, a_packed.data(), k);
     a = a_packed.data();
   }
   if (trans_b) {
-    b_packed = internal::AcquireBuffer(k * n);
-    PackTranspose(b, k, n, b_packed.data());
+    ldb = RoundUpNR(n);
+    b_packed = internal::AcquireBuffer(k * ldb);
+    PackTranspose(b, k, n, b_packed.data(), ldb);
     b = b_packed.data();
+    b_padded = true;
   }
+  // Plain-layout B with a ragged column count: pad the edge block once here
+  // (calling thread) so the row panels below stay allocation-free.
+  std::vector<float> b_edge;
+  if (kHaveVecEdge && !b_padded && (n % kNR) != 0) {
+    b_edge = internal::AcquireBuffer(k * kNR);
+    PackColumnEdge(b, n, k, b_edge.data());
+  }
+  const float* b_edge_ptr = b_edge.empty() ? nullptr : b_edge.data();
   parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
-    GemmPanel(i0, i1, n, k, a, b, c, accumulate);
+    GemmPanel(i0, i1, n, k, a, b, ldb, b_padded, b_edge_ptr, c, accumulate);
   });
   if (!a_packed.empty()) internal::ReleaseBuffer(std::move(a_packed));
   if (!b_packed.empty()) internal::ReleaseBuffer(std::move(b_packed));
+  if (!b_edge.empty()) internal::ReleaseBuffer(std::move(b_edge));
 }
 
 void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -183,6 +432,149 @@ void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
 }
 
+void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
+               int64_t k, const float* a, const float* b, float* c,
+               bool accumulate) {
+  if (batch == 0 || m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      std::memset(c, 0, sizeof(float) * static_cast<size_t>(batch * m * n));
+    }
+    return;
+  }
+  const int64_t a_stride = m * k;
+  int64_t b_stride = k * n;
+  const int64_t c_stride = m * n;
+  // Pack every transposed slice up front (calling thread — the buffer pool is
+  // thread-local), so the panel loop below reads unit-stride operands only.
+  // Like Gemm, transposed B panels pad to a 16-column multiple.
+  std::vector<float> a_packed;
+  std::vector<float> b_packed;
+  int64_t ldb = n;
+  bool b_padded = false;
+  if (trans_a) {
+    a_packed = internal::AcquireBuffer(batch * a_stride);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      PackTranspose(a + bi * a_stride, m, k, a_packed.data() + bi * a_stride, k);
+    }
+    a = a_packed.data();
+  }
+  if (trans_b) {
+    ldb = RoundUpNR(n);
+    const int64_t packed_stride = k * ldb;
+    b_packed = internal::AcquireBuffer(batch * packed_stride);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      PackTranspose(b + bi * b_stride, k, n, b_packed.data() + bi * packed_stride,
+                    ldb);
+    }
+    b = b_packed.data();
+    b_stride = packed_stride;
+    b_padded = true;
+  }
+  // Plain-layout B with a ragged column count: pad each slice's edge block
+  // once here (calling thread) so the panels below stay allocation-free.
+  std::vector<float> b_edge;
+  if (kHaveVecEdge && !b_padded && (n % kNR) != 0) {
+    b_edge = internal::AcquireBuffer(batch * k * kNR);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      PackColumnEdge(b + bi * b_stride, n, k, b_edge.data() + bi * k * kNR);
+    }
+  }
+  const float* b_edge_base = b_edge.empty() ? nullptr : b_edge.data();
+  // One work item per (slice, row-panel) pair. Panel boundaries depend only
+  // on m, so any thread count produces the same per-panel serial compute.
+  const int64_t panels = (m + kRowGrain - 1) / kRowGrain;
+  parallel::ParallelFor(0, batch * panels, 1, [&](int64_t w0, int64_t w1) {
+    for (int64_t w = w0; w < w1; ++w) {
+      const int64_t bi = w / panels;
+      const int64_t i0 = (w % panels) * kRowGrain;
+      const int64_t i1 = std::min(m, i0 + kRowGrain);
+      GemmPanel(i0, i1, n, k, a + bi * a_stride, b + bi * b_stride, ldb,
+                b_padded,
+                b_edge_base == nullptr ? nullptr : b_edge_base + bi * k * kNR,
+                c + bi * c_stride, accumulate);
+    }
+  });
+  if (!a_packed.empty()) internal::ReleaseBuffer(std::move(a_packed));
+  if (!b_packed.empty()) internal::ReleaseBuffer(std::move(b_packed));
+  if (!b_edge.empty()) internal::ReleaseBuffer(std::move(b_edge));
+}
+
+void BatchGemmNaive(bool trans_a, bool trans_b, int64_t batch, int64_t m,
+                    int64_t n, int64_t k, const float* a, const float* b,
+                    float* c, bool accumulate) {
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    GemmNaive(trans_a, trans_b, m, n, k, a + bi * m * k, b + bi * k * n,
+              c + bi * m * n, accumulate);
+  }
+}
+
+void SetTranscendentalPath(TranscendentalPath path) {
+  g_transcendental_override.store(static_cast<int>(path), std::memory_order_relaxed);
+}
+
+bool SimdTranscendentalsActive() {
+#ifdef ADAPTRAJ_HAVE_VEC16
+  const auto mode = static_cast<TranscendentalPath>(
+      g_transcendental_override.load(std::memory_order_relaxed));
+  if (mode == TranscendentalPath::kSimd) return true;
+  if (mode == TranscendentalPath::kScalar) return false;
+  static const bool simd_default = ResolveSimdDefault();
+  return simd_default;
+#else
+  return false;
+#endif
+}
+
+void ExpForward(const float* x, float* y, int64_t n) {
+#ifdef ADAPTRAJ_HAVE_VEC16
+  if (SimdTranscendentalsActive()) {
+    VecMap(x, y, n, [](Vec16 v) { return VecExp(v); });
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) y[i] = std::exp(x[i]);
+}
+
+void TanhForward(const float* x, float* y, int64_t n) {
+#ifdef ADAPTRAJ_HAVE_VEC16
+  if (SimdTranscendentalsActive()) {
+    VecMap(x, y, n, [](Vec16 v) { return VecTanh(v); });
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void SigmoidForward(const float* x, float* y, int64_t n) {
+#ifdef ADAPTRAJ_HAVE_VEC16
+  if (SimdTranscendentalsActive()) {
+    VecMap(x, y, n, [](Vec16 v) { return VecSigmoid(v); });
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) y[i] = SigmoidF(x[i]);
+}
+
+void SoftmaxRow(const float* x, float* y, int64_t n) {
+  if (n == 0) return;
+  float mx = x[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+#ifdef ADAPTRAJ_HAVE_VEC16
+  if (SimdTranscendentalsActive()) {
+    VecMap(x, y, n, [mx](Vec16 v) { return VecExp(v - mx); });
+  } else
+#endif
+  {
+    for (int64_t i = 0; i < n; ++i) y[i] = std::exp(x[i] - mx);
+  }
+  // Ascending double accumulation: the denominator depends only on the row.
+  double denom = 0.0;
+  for (int64_t i = 0; i < n; ++i) denom += y[i];
+  const float inv = static_cast<float>(1.0 / denom);
+  for (int64_t i = 0; i < n; ++i) y[i] *= inv;
+}
+
 void AddRowBias(float* y, const float* bias, int64_t rows, int64_t cols) {
   for (int64_t r = 0; r < rows; ++r) {
     float* yr = y + r * cols;
@@ -197,12 +589,42 @@ void AccumulateColumnSum(const float* y, int64_t rows, int64_t cols, float* out)
   }
 }
 
-void LstmCellForwardC(const float* gates, const float* c_prev, int64_t batch,
-                      int64_t hidden, float* c_next) {
-  for (int64_t r = 0; r < batch; ++r) {
+namespace {
+
+/// Chunk grain for splitting LSTM rows across the pool: a pure function of
+/// the extents, so chunk boundaries (and thus results) never depend on the
+/// thread count.
+inline int64_t LstmRowGrain(int64_t hidden) {
+  return std::max<int64_t>(1, 2048 / std::max<int64_t>(1, hidden));
+}
+
+void LstmForwardCRows(const float* gates, const float* c_prev, int64_t hidden,
+                      float* c_next, int64_t r0, int64_t r1, bool simd) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* g = gates + r * 4 * hidden;
     const float* cp = c_prev + r * hidden;
     float* cn = c_next + r * hidden;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    if (simd) {
+      int64_t j = 0;
+      for (; j + 16 <= hidden; j += 16) {
+        const Vec16 i_act = VecSigmoid(LoadVec16(g + j));
+        const Vec16 f_act = VecSigmoid(LoadVec16(g + hidden + j));
+        const Vec16 g_act = VecTanh(LoadVec16(g + 2 * hidden + j));
+        StoreVec16(cn + j, f_act * LoadVec16(cp + j) + i_act * g_act);
+      }
+      if (j < hidden) {
+        const int64_t w = hidden - j;
+        const Vec16 i_act = VecSigmoid(LoadPartial16(g + j, w));
+        const Vec16 f_act = VecSigmoid(LoadPartial16(g + hidden + j, w));
+        const Vec16 g_act = VecTanh(LoadPartial16(g + 2 * hidden + j, w));
+        StorePartial16(cn + j, f_act * LoadPartial16(cp + j, w) + i_act * g_act, w);
+      }
+      continue;
+    }
+#else
+    (void)simd;
+#endif
     for (int64_t j = 0; j < hidden; ++j) {
       const float i_act = SigmoidF(g[j]);
       const float f_act = SigmoidF(g[hidden + j]);
@@ -212,12 +634,29 @@ void LstmCellForwardC(const float* gates, const float* c_prev, int64_t batch,
   }
 }
 
-void LstmCellForwardH(const float* gates, const float* c_next, int64_t batch,
-                      int64_t hidden, float* h_next) {
-  for (int64_t r = 0; r < batch; ++r) {
+void LstmForwardHRows(const float* gates, const float* c_next, int64_t hidden,
+                      float* h_next, int64_t r0, int64_t r1, bool simd) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* g = gates + r * 4 * hidden;
     const float* cn = c_next + r * hidden;
     float* hn = h_next + r * hidden;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    if (simd) {
+      int64_t j = 0;
+      for (; j + 16 <= hidden; j += 16) {
+        const Vec16 o_act = VecSigmoid(LoadVec16(g + 3 * hidden + j));
+        StoreVec16(hn + j, o_act * VecTanh(LoadVec16(cn + j)));
+      }
+      if (j < hidden) {
+        const int64_t w = hidden - j;
+        const Vec16 o_act = VecSigmoid(LoadPartial16(g + 3 * hidden + j, w));
+        StorePartial16(hn + j, o_act * VecTanh(LoadPartial16(cn + j, w)), w);
+      }
+      continue;
+    }
+#else
+    (void)simd;
+#endif
     for (int64_t j = 0; j < hidden; ++j) {
       const float o_act = SigmoidF(g[3 * hidden + j]);
       hn[j] = o_act * std::tanh(cn[j]);
@@ -225,15 +664,61 @@ void LstmCellForwardH(const float* gates, const float* c_next, int64_t batch,
   }
 }
 
-void LstmCellBackwardC(const float* gates, const float* c_prev, const float* dc,
-                       int64_t batch, int64_t hidden, float* d_gates,
-                       float* d_c_prev) {
-  for (int64_t r = 0; r < batch; ++r) {
+#ifdef ADAPTRAJ_HAVE_VEC16
+/// dst[0:w] += v[0:w] (w <= 16).
+inline void AccumulatePartial(float* dst, Vec16 v, int64_t w) {
+  StorePartial16(dst, LoadPartial16(dst, w) + v, w);
+}
+
+inline void Accumulate16(float* dst, Vec16 v) {
+  StoreVec16(dst, LoadVec16(dst) + v);
+}
+#endif
+
+void LstmBackwardCRows(const float* gates, const float* c_prev, const float* dc,
+                       int64_t hidden, float* d_gates, float* d_c_prev,
+                       int64_t r0, int64_t r1, bool simd) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* g = gates + r * 4 * hidden;
     const float* cp = c_prev + r * hidden;
     const float* d = dc + r * hidden;
     float* dg = d_gates ? d_gates + r * 4 * hidden : nullptr;
     float* dcp = d_c_prev ? d_c_prev + r * hidden : nullptr;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    if (simd) {
+      int64_t j = 0;
+      for (; j + 16 <= hidden; j += 16) {
+        const Vec16 i_act = VecSigmoid(LoadVec16(g + j));
+        const Vec16 f_act = VecSigmoid(LoadVec16(g + hidden + j));
+        const Vec16 g_act = VecTanh(LoadVec16(g + 2 * hidden + j));
+        const Vec16 dv = LoadVec16(d + j);
+        if (dg != nullptr) {
+          const Vec16 cpv = LoadVec16(cp + j);
+          Accumulate16(dg + j, dv * g_act * i_act * (1.0f - i_act));
+          Accumulate16(dg + hidden + j, dv * cpv * f_act * (1.0f - f_act));
+          Accumulate16(dg + 2 * hidden + j, dv * i_act * (1.0f - g_act * g_act));
+        }
+        if (dcp != nullptr) Accumulate16(dcp + j, dv * f_act);
+      }
+      if (j < hidden) {
+        const int64_t w = hidden - j;
+        const Vec16 i_act = VecSigmoid(LoadPartial16(g + j, w));
+        const Vec16 f_act = VecSigmoid(LoadPartial16(g + hidden + j, w));
+        const Vec16 g_act = VecTanh(LoadPartial16(g + 2 * hidden + j, w));
+        const Vec16 dv = LoadPartial16(d + j, w);
+        if (dg != nullptr) {
+          const Vec16 cpv = LoadPartial16(cp + j, w);
+          AccumulatePartial(dg + j, dv * g_act * i_act * (1.0f - i_act), w);
+          AccumulatePartial(dg + hidden + j, dv * cpv * f_act * (1.0f - f_act), w);
+          AccumulatePartial(dg + 2 * hidden + j, dv * i_act * (1.0f - g_act * g_act), w);
+        }
+        if (dcp != nullptr) AccumulatePartial(dcp + j, dv * f_act, w);
+      }
+      continue;
+    }
+#else
+    (void)simd;
+#endif
     for (int64_t j = 0; j < hidden; ++j) {
       const float i_act = SigmoidF(g[j]);
       const float f_act = SigmoidF(g[hidden + j]);
@@ -249,15 +734,42 @@ void LstmCellBackwardC(const float* gates, const float* c_prev, const float* dc,
   }
 }
 
-void LstmCellBackwardH(const float* gates, const float* c_next, const float* dh,
-                       int64_t batch, int64_t hidden, float* d_gates,
-                       float* d_c_next) {
-  for (int64_t r = 0; r < batch; ++r) {
+void LstmBackwardHRows(const float* gates, const float* c_next, const float* dh,
+                       int64_t hidden, float* d_gates, float* d_c_next,
+                       int64_t r0, int64_t r1, bool simd) {
+  for (int64_t r = r0; r < r1; ++r) {
     const float* g = gates + r * 4 * hidden;
     const float* cn = c_next + r * hidden;
     const float* d = dh + r * hidden;
     float* dg = d_gates ? d_gates + r * 4 * hidden : nullptr;
     float* dcn = d_c_next ? d_c_next + r * hidden : nullptr;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    if (simd) {
+      int64_t j = 0;
+      for (; j + 16 <= hidden; j += 16) {
+        const Vec16 o_act = VecSigmoid(LoadVec16(g + 3 * hidden + j));
+        const Vec16 t = VecTanh(LoadVec16(cn + j));
+        const Vec16 dv = LoadVec16(d + j);
+        if (dg != nullptr) {
+          Accumulate16(dg + 3 * hidden + j, dv * t * o_act * (1.0f - o_act));
+        }
+        if (dcn != nullptr) Accumulate16(dcn + j, dv * o_act * (1.0f - t * t));
+      }
+      if (j < hidden) {
+        const int64_t w = hidden - j;
+        const Vec16 o_act = VecSigmoid(LoadPartial16(g + 3 * hidden + j, w));
+        const Vec16 t = VecTanh(LoadPartial16(cn + j, w));
+        const Vec16 dv = LoadPartial16(d + j, w);
+        if (dg != nullptr) {
+          AccumulatePartial(dg + 3 * hidden + j, dv * t * o_act * (1.0f - o_act), w);
+        }
+        if (dcn != nullptr) AccumulatePartial(dcn + j, dv * o_act * (1.0f - t * t), w);
+      }
+      continue;
+    }
+#else
+    (void)simd;
+#endif
     for (int64_t j = 0; j < hidden; ++j) {
       const float o_act = SigmoidF(g[3 * hidden + j]);
       const float t = std::tanh(cn[j]);
@@ -266,6 +778,42 @@ void LstmCellBackwardH(const float* gates, const float* c_next, const float* dh,
       if (dcn != nullptr) dcn[j] += dv * o_act * (1.0f - t * t);
     }
   }
+}
+
+}  // namespace
+
+void LstmCellForwardC(const float* gates, const float* c_prev, int64_t batch,
+                      int64_t hidden, float* c_next) {
+  const bool simd = SimdTranscendentalsActive();
+  parallel::ParallelFor(0, batch, LstmRowGrain(hidden), [&](int64_t r0, int64_t r1) {
+    LstmForwardCRows(gates, c_prev, hidden, c_next, r0, r1, simd);
+  });
+}
+
+void LstmCellForwardH(const float* gates, const float* c_next, int64_t batch,
+                      int64_t hidden, float* h_next) {
+  const bool simd = SimdTranscendentalsActive();
+  parallel::ParallelFor(0, batch, LstmRowGrain(hidden), [&](int64_t r0, int64_t r1) {
+    LstmForwardHRows(gates, c_next, hidden, h_next, r0, r1, simd);
+  });
+}
+
+void LstmCellBackwardC(const float* gates, const float* c_prev, const float* dc,
+                       int64_t batch, int64_t hidden, float* d_gates,
+                       float* d_c_prev) {
+  const bool simd = SimdTranscendentalsActive();
+  parallel::ParallelFor(0, batch, LstmRowGrain(hidden), [&](int64_t r0, int64_t r1) {
+    LstmBackwardCRows(gates, c_prev, dc, hidden, d_gates, d_c_prev, r0, r1, simd);
+  });
+}
+
+void LstmCellBackwardH(const float* gates, const float* c_next, const float* dh,
+                       int64_t batch, int64_t hidden, float* d_gates,
+                       float* d_c_next) {
+  const bool simd = SimdTranscendentalsActive();
+  parallel::ParallelFor(0, batch, LstmRowGrain(hidden), [&](int64_t r0, int64_t r1) {
+    LstmBackwardHRows(gates, c_next, dh, hidden, d_gates, d_c_next, r0, r1, simd);
+  });
 }
 
 }  // namespace kernels

@@ -14,6 +14,12 @@
 // their backward forms) into single passes over the [B, 4H] gate buffer,
 // replacing the slice + activation + elementwise op chains that used to cost
 // ~10 graph nodes per LSTM timestep.
+//
+// BatchGemm extends Gemm to B independent slices so a [B,M,K] x [B,K,N]
+// product is one kernel launch, and the SIMD transcendental block replaces
+// the scalar std::exp/std::tanh inner loops of the gate kernels and the
+// Softmax/Exp/Tanh/Sigmoid ops with vectorized approximations (scalar libm
+// fallback gated at compile and run time — see TranscendentalPath).
 
 #ifndef ADAPTRAJ_TENSOR_KERNELS_H_
 #define ADAPTRAJ_TENSOR_KERNELS_H_
@@ -34,6 +40,64 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                const float* a, const float* b, float* c, bool accumulate);
 
+/// Batched GEMM over `batch` independent slices: C[b] (+)= op(A[b])·op(B[b]).
+/// Slices are dense and contiguous (strides m·k / k·n / m·n), so a [B,M,K] x
+/// [B,K,N] tensor product is one call. Each slice runs the same packed 4x16
+/// micro-kernel as Gemm; work is split across the thread pool as
+/// (slice, row-panel) pairs with static chunk boundaries that depend only on
+/// the extents — results are bit-identical for any thread count, and equal to
+/// calling Gemm per slice. batch == 0 and k == 0 are handled natively.
+void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
+               int64_t k, const float* a, const float* b, float* c,
+               bool accumulate);
+
+/// Reference implementation of BatchGemm: GemmNaive per slice.
+void BatchGemmNaive(bool trans_a, bool trans_b, int64_t batch, int64_t m,
+                    int64_t n, int64_t k, const float* a, const float* b,
+                    float* c, bool accumulate);
+
+// --- SIMD transcendentals ----------------------------------------------------
+//
+// Vectorized exp-based approximations (Cephes-style range reduction plus a
+// degree-5 polynomial) for the transcendental inner loops: ~2 ulp relative
+// error vs std::exp on [-87.3, 88.7], and < 1e-6 absolute error for the
+// derived tanh/sigmoid. Remainder elements run through the same vector code
+// on a zero-padded tile, so results are independent of how a range is split
+// into chunks (and therefore of the thread count).
+//
+// The active path is resolved once per process: the compiler must support GCC
+// vector extensions, the ADAPTRAJ_SIMD environment variable must not disable
+// it ("0" / "off" / "scalar" force libm; unset or anything else leaves SIMD
+// on), and a startup accuracy sweep against libm must pass. Tests and
+// benchmarks can pin the path explicitly with SetTranscendentalPath.
+
+enum class TranscendentalPath {
+  kAuto = 0,    // env + accuracy-gated resolution (the default)
+  kSimd,        // force the vector approximations (if compiled in)
+  kScalar,      // force scalar libm
+};
+
+/// Overrides the path used by the kernels below. kAuto restores the
+/// environment/accuracy-gated default. Not thread-safe against in-flight
+/// kernels; call between steps (tests and benchmarks only).
+void SetTranscendentalPath(TranscendentalPath path);
+
+/// True when the vector approximations are the active path.
+bool SimdTranscendentalsActive();
+
+/// y[i] = exp(x[i]). In-place (y == x) is allowed.
+void ExpForward(const float* x, float* y, int64_t n);
+/// y[i] = tanh(x[i]). In-place is allowed.
+void TanhForward(const float* x, float* y, int64_t n);
+/// y[i] = sigmoid(x[i]). In-place is allowed.
+void SigmoidForward(const float* x, float* y, int64_t n);
+
+/// One numerically stable softmax row: y = exp(x - max(x)) / sum(...).
+/// The exponentials use the active transcendental path; the max and the
+/// denominator are accumulated serially in ascending order (double), so the
+/// result only depends on the row contents.
+void SoftmaxRow(const float* x, float* y, int64_t n);
+
 /// y[r, c] += bias[c] for every row.
 void AddRowBias(float* y, const float* bias, int64_t rows, int64_t cols);
 
@@ -43,7 +107,11 @@ void AccumulateColumnSum(const float* y, int64_t rows, int64_t cols, float* out)
 // --- Fused LSTM cell kernels -------------------------------------------------
 //
 // `gates` is the pre-activation buffer [B, 4H] in gate order i, f, g, o.
-// All backward kernels ACCUMULATE into their d_* outputs.
+// All backward kernels ACCUMULATE into their d_* outputs. The gate
+// activations run on the active transcendental path (SIMD when available,
+// scalar libm otherwise — see SetTranscendentalPath above); rows are split
+// across the thread pool with static chunking, so results are bit-identical
+// for any thread count.
 
 /// c_next = sigmoid(f) * c_prev + sigmoid(i) * tanh(g).
 void LstmCellForwardC(const float* gates, const float* c_prev, int64_t batch,

@@ -129,8 +129,12 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, const char* name, Fwd
 }
 
 /// Generic elementwise unary op; bwd receives (x, y, dy) and returns dx.
-template <typename Fwd, typename Bwd>
-Tensor ElementwiseUnary(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
+/// fwd_bulk computes a whole sub-range (pointer, pointer, count) — scalar ops
+/// wrap a per-element lambda via BulkFromScalar; transcendentals pass the
+/// SIMD kernels directly.
+template <typename FwdBulk, typename Bwd>
+Tensor ElementwiseUnaryBulk(const Tensor& a, const char* name, FwdBulk fwd_bulk,
+                            Bwd bwd) {
   bool track = a.needs_grad();
   Impl ia = a.impl();
   Tensor out = MakeOutput(
@@ -151,9 +155,21 @@ Tensor ElementwiseUnary(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
   float* po = out.data();
   const float* pa = a.data();
   parallel::ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = fwd(pa[i]);
+    fwd_bulk(pa + lo, po + lo, hi - lo);
   });
   return out;
+}
+
+template <typename Fwd>
+auto BulkFromScalar(Fwd fwd) {
+  return [fwd](const float* x, float* y, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) y[i] = fwd(x[i]);
+  };
+}
+
+template <typename Fwd, typename Bwd>
+Tensor ElementwiseUnary(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
+  return ElementwiseUnaryBulk(a, name, BulkFromScalar(fwd), bwd);
 }
 
 }  // namespace
@@ -294,6 +310,75 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       track);
   kernels::Gemm(/*trans_a=*/false, /*trans_b=*/false, m, n, k, a.data(), b.data(),
                 out.data(), /*accumulate=*/false);
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == 3 && b.dim() == 3,
+                     "BatchMatMul requires 3-D operands; got "
+                         << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape()));
+  const int64_t batch = a.shape()[0];
+  const int64_t m = trans_a ? a.shape()[2] : a.shape()[1];
+  const int64_t ka = trans_a ? a.shape()[1] : a.shape()[2];
+  const int64_t kb = trans_b ? b.shape()[2] : b.shape()[1];
+  const int64_t n = trans_b ? b.shape()[1] : b.shape()[2];
+  ADAPTRAJ_CHECK_MSG(b.shape()[0] == batch,
+                     "BatchMatMul batch extents differ: " << ShapeToString(a.shape())
+                                                          << " x " << ShapeToString(b.shape()));
+  ADAPTRAJ_CHECK_MSG(ka == kb, "BatchMatMul inner dims differ: "
+                                   << ShapeToString(a.shape()) << " x "
+                                   << ShapeToString(b.shape()) << " (trans_a=" << trans_a
+                                   << ", trans_b=" << trans_b << ")");
+  const int64_t k = ka;
+  bool track = TrackAny({&a, &b});
+  Impl ia = a.impl();
+  Impl ib = b.impl();
+  Tensor out = MakeOutput(
+      {batch, m, n}, {ia, ib}, "BatchMatMul",
+      [ia, ib, batch, m, k, n, trans_a, trans_b](TensorImpl& o) {
+        const float* gy = o.grad.data();
+        const float* pa = ia->data.data();
+        const float* pb = ib->data.data();
+        if (ia->requires_grad || ia->grad_fn) {
+          ia->EnsureGrad();
+          float* ga = ia->grad.data();
+          // dA per slice, accumulated straight into gradient storage. Shapes
+          // follow from Y = op(A)·op(B): e.g. for the plain case
+          // dA[m,k] += dY·Bᵀ; transposed layouts fold into BatchGemm flags.
+          if (!trans_a && !trans_b) {
+            kernels::BatchGemm(false, true, batch, m, k, n, gy, pb, ga, true);
+          } else if (!trans_a && trans_b) {
+            // A[m,k], B[n,k]: dA += dY·B.
+            kernels::BatchGemm(false, false, batch, m, k, n, gy, pb, ga, true);
+          } else if (trans_a && !trans_b) {
+            // A[k,m], B[k,n]: dA += B·dYᵀ.
+            kernels::BatchGemm(false, true, batch, k, m, n, pb, gy, ga, true);
+          } else {
+            // A[k,m], B[n,k]: dA += Bᵀ·dYᵀ.
+            kernels::BatchGemm(true, true, batch, k, m, n, pb, gy, ga, true);
+          }
+        }
+        if (ib->requires_grad || ib->grad_fn) {
+          ib->EnsureGrad();
+          float* gb = ib->grad.data();
+          if (!trans_a && !trans_b) {
+            // dB[k,n] += Aᵀ·dY.
+            kernels::BatchGemm(true, false, batch, k, n, m, pa, gy, gb, true);
+          } else if (!trans_a && trans_b) {
+            // B[n,k]: dB += dYᵀ·A.
+            kernels::BatchGemm(true, false, batch, n, k, m, gy, pa, gb, true);
+          } else if (trans_a && !trans_b) {
+            // A[k,m]: dB += A·dY.
+            kernels::BatchGemm(false, false, batch, k, n, m, pa, gy, gb, true);
+          } else {
+            // A[k,m], B[n,k]: dB += dYᵀ·Aᵀ.
+            kernels::BatchGemm(true, true, batch, n, k, m, gy, pa, gb, true);
+          }
+        }
+      },
+      track);
+  kernels::BatchGemm(trans_a, trans_b, batch, m, n, k, a.data(), b.data(), out.data(),
+                     /*accumulate=*/false);
   return out;
 }
 
@@ -468,21 +553,26 @@ Tensor Relu(const Tensor& a) {
       [](float x, float, float dy) { return x > 0.0f ? dy : 0.0f; });
 }
 
+// Tanh/Sigmoid/Exp forwards run through the kernels-layer transcendentals
+// (SIMD approximations with an accuracy-gated scalar fallback); the backward
+// forms only need the saved output y, so they stay scalar arithmetic.
+
 Tensor Tanh(const Tensor& a) {
-  return ElementwiseUnary(
-      a, "Tanh", [](float x) { return std::tanh(x); },
+  return ElementwiseUnaryBulk(
+      a, "Tanh", [](const float* x, float* y, int64_t n) { kernels::TanhForward(x, y, n); },
       [](float, float y, float dy) { return dy * (1.0f - y * y); });
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return ElementwiseUnary(
-      a, "Sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+  return ElementwiseUnaryBulk(
+      a, "Sigmoid",
+      [](const float* x, float* y, int64_t n) { kernels::SigmoidForward(x, y, n); },
       [](float, float y, float dy) { return dy * y * (1.0f - y); });
 }
 
 Tensor Exp(const Tensor& a) {
-  return ElementwiseUnary(
-      a, "Exp", [](float x) { return std::exp(x); },
+  return ElementwiseUnaryBulk(
+      a, "Exp", [](const float* x, float* y, int64_t n) { kernels::ExpForward(x, y, n); },
       [](float, float y, float dy) { return dy * y; });
 }
 
@@ -530,11 +620,21 @@ Tensor Sum(const Tensor& a) {
         for (int64_t i = 0; i < n; ++i) ga[i] += g;
       },
       track);
-  // Sequential double accumulation keeps the reduction deterministic.
-  double acc = 0.0;
+  // Eight independent accumulation chains combined in a fixed order: the
+  // striping depends only on the element count, so the reduction stays
+  // deterministic while breaking the add-latency dependency of a single
+  // serial chain (and vectorizing to packed double adds).
+  double acc[8] = {0.0};
   const float* pa = a.data();
-  for (int64_t i = 0; i < a.size(); ++i) acc += pa[i];
-  out.data()[0] = static_cast<float>(acc);
+  const int64_t size = a.size();
+  const int64_t main = size & ~int64_t{7};
+  for (int64_t i = 0; i < main; i += 8) {
+    for (int j = 0; j < 8; ++j) acc[j] += pa[i + j];
+  }
+  for (int64_t i = main; i < size; ++i) acc[i - main] += pa[i];
+  const double total = ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+                       ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+  out.data()[0] = static_cast<float>(total);
   return out;
 }
 
@@ -691,17 +791,7 @@ Tensor Softmax(const Tensor& a) {
   const float* pa = a.data();
   parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      const float* x = &pa[r * cols];
-      float* y = &po[r * cols];
-      float mx = x[0];
-      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
-      double denom = 0.0;
-      for (int64_t c = 0; c < cols; ++c) {
-        y[c] = std::exp(x[c] - mx);
-        denom += y[c];
-      }
-      const float inv = static_cast<float>(1.0 / denom);
-      for (int64_t c = 0; c < cols; ++c) y[c] *= inv;
+      kernels::SoftmaxRow(&pa[r * cols], &po[r * cols], cols);
     }
   });
   return out;

@@ -4,10 +4,10 @@
 // gradient flow the result carries a GradNode so Tensor::Backward() can
 // propagate through it; otherwise the op is pure forward computation.
 //
-// Shape conventions: MatMul/Transpose are 2-D; elementwise ops require equal
-// shapes; the Broadcast* variants accept a second operand whose extents are
-// equal to the first's or 1 (same rank); reductions and softmax document
-// their axis handling individually.
+// Shape conventions: MatMul/Transpose are 2-D and BatchMatMul is 3-D;
+// elementwise ops require equal shapes; the Broadcast* variants accept a
+// second operand whose extents are equal to the first's or 1 (same rank);
+// reductions and softmax document their axis handling individually.
 
 #ifndef ADAPTRAJ_TENSOR_OPS_H_
 #define ADAPTRAJ_TENSOR_OPS_H_
@@ -47,6 +47,14 @@ Tensor Neg(const Tensor& a);
 
 /// 2-D matrix product [M,K] x [K,N] -> [M,N].
 Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Batched 3-D matrix product [B,M,K] x [B,K,N] -> [B,M,N]: one graph node
+/// and one kernel launch for all B slices. The transpose flags interpret the
+/// per-slice operands like BLAS: trans_a means `a` is stored [B,K,M],
+/// trans_b means `b` is stored [B,N,K] — no Transpose op (and no copy) is
+/// needed for attention's q·kᵀ. B == 0 is handled natively (empty result,
+/// no-op backward).
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                   bool trans_b = false);
 /// 2-D transpose [M,N] -> [N,M].
 Tensor Transpose(const Tensor& a);
 
@@ -111,7 +119,9 @@ Tensor MaxAxis(const Tensor& a, int axis, bool keepdim = false);
 
 // --- Normalization -------------------------------------------------------------
 
-/// Numerically stable softmax along the last axis.
+/// Numerically stable softmax along the last axis. Works at any rank — a
+/// [B,T,T] attention-score tensor normalizes each key row independently, so
+/// batched attention needs no per-slice loop.
 Tensor Softmax(const Tensor& a);
 /// Numerically stable log-softmax along the last axis.
 Tensor LogSoftmax(const Tensor& a);

@@ -12,6 +12,19 @@
 // Thread count resolution order: ADAPTRAJ_NUM_THREADS env var, then
 // std::thread::hardware_concurrency(). A value of 1 (or a single-core
 // machine) disables the workers entirely and ParallelFor runs inline.
+//
+// Related runtime switches (kernel layer, documented here with the thread
+// knob so all env configuration lives in one place):
+//   ADAPTRAJ_SIMD        "0" / "off" / "scalar" force the transcendental
+//                        kernels (exp/tanh/sigmoid, softmax rows, LSTM gate
+//                        activations) onto scalar libm; unset or any other
+//                        value leaves the vectorized approximations on. The
+//                        SIMD path also requires compiler vector-extension
+//                        support and a startup accuracy sweep — see
+//                        kernels::TranscendentalPath in tensor/kernels.h for
+//                        the per-process override used by tests/benchmarks.
+// Both paths are deterministic: for a fixed input, a fixed binary, and a
+// fixed path selection, results are bit-identical for any thread count.
 
 #ifndef ADAPTRAJ_TENSOR_PARALLEL_H_
 #define ADAPTRAJ_TENSOR_PARALLEL_H_

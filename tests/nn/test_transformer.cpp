@@ -64,6 +64,26 @@ TEST(TransformerBlockTest, PreservesShape) {
   for (int64_t i = 0; i < y.size(); ++i) EXPECT_TRUE(std::isfinite(y.flat(i)));
 }
 
+TEST(TransformerBlockTest, EmptyBatchFlowsThroughNatively) {
+  // Regression for the removed attended_rows.empty() / Zeros({0, d}) special
+  // case: a B = 0 input must flow through the batched attention path
+  // (BatchMatMul + 3-D softmax) end to end, forward and backward.
+  Rng rng(21);
+  TransformerBlock block(8, 16, &rng);
+  Tensor x = Tensor::Zeros({0, 5, 8}, /*requires_grad=*/true);
+  Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{0, 5, 8}));
+  Tensor loss = ops::Sum(y);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+  loss.Backward();  // must not crash; parameter grads stay zero
+  for (const Tensor& p : block.Parameters()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i) {
+      ASSERT_EQ(g.flat(i), 0.0f) << "non-zero grad from an empty batch";
+    }
+  }
+}
+
 TEST(TransformerBlockTest, GradientsReachAllParameters) {
   Rng rng(4);
   TransformerBlock block(8, 16, &rng);

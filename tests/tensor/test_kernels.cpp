@@ -4,6 +4,9 @@
 // determinism, and buffer-pool reuse accounting.
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -228,6 +231,178 @@ TEST(KernelsTest, FusedLstmStepMatchesComposedFormulation) {
   }
   for (int64_t i = 0; i < g_c_f.size(); ++i) {
     EXPECT_NEAR(g_c_f.flat(i), g_c_r.flat(i), 1e-4f) << "cell grad " << i;
+  }
+}
+
+// --- SIMD transcendentals ----------------------------------------------------
+
+/// Bit-level ULP distance between two same-sign floats (monotone int map).
+int64_t UlpDiff(float a, float b) {
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) ia = static_cast<int32_t>(0x80000000u) - ia;
+  if (ib < 0) ib = static_cast<int32_t>(0x80000000u) - ib;
+  return std::llabs(static_cast<int64_t>(ia) - static_cast<int64_t>(ib));
+}
+
+/// Pins the path, restores kAuto on scope exit.
+struct ScopedTranscendentalPath {
+  explicit ScopedTranscendentalPath(kernels::TranscendentalPath p) {
+    kernels::SetTranscendentalPath(p);
+  }
+  ~ScopedTranscendentalPath() {
+    kernels::SetTranscendentalPath(kernels::TranscendentalPath::kAuto);
+  }
+};
+
+TEST(SimdTranscendentalsTest, ExpWithinUlpBoundOfLibm) {
+  ScopedTranscendentalPath simd(kernels::TranscendentalPath::kSimd);
+  if (!kernels::SimdTranscendentalsActive()) GTEST_SKIP() << "no SIMD support";
+  const int64_t n = 40001;
+  std::vector<float> x(n), y(n);
+  for (int64_t i = 0; i < n; ++i) {
+    x[i] = -87.0f + 175.0f * static_cast<float>(i) / static_cast<float>(n - 1);
+  }
+  kernels::ExpForward(x.data(), y.data(), n);
+  int64_t max_ulp = 0;
+  float max_rel = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float ref = std::exp(x[i]);
+    max_ulp = std::max(max_ulp, UlpDiff(y[i], ref));
+    max_rel = std::max(max_rel, std::fabs(y[i] - ref) / ref);
+  }
+  // Measured: 1 ulp / 1.2e-7 relative on this sweep; asserted with slack.
+  EXPECT_LE(max_ulp, 4) << "max_rel=" << max_rel;
+  EXPECT_LE(max_rel, 5e-7f);
+}
+
+TEST(SimdTranscendentalsTest, TanhAndSigmoidWithinAbsBounds) {
+  ScopedTranscendentalPath simd(kernels::TranscendentalPath::kSimd);
+  if (!kernels::SimdTranscendentalsActive()) GTEST_SKIP() << "no SIMD support";
+  const int64_t n = 40001;
+  std::vector<float> x(n), y(n);
+  for (int64_t i = 0; i < n; ++i) {
+    x[i] = -30.0f + 60.0f * static_cast<float>(i) / static_cast<float>(n - 1);
+  }
+  kernels::TanhForward(x.data(), y.data(), n);
+  float max_tanh = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    max_tanh = std::max(max_tanh, std::fabs(y[i] - std::tanh(x[i])));
+  }
+  // Measured: 1.8e-7 (tanh), 1.2e-7 (sigmoid); asserted with slack.
+  EXPECT_LE(max_tanh, 5e-7f);
+  kernels::SigmoidForward(x.data(), y.data(), n);
+  float max_sig = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float ref = 1.0f / (1.0f + std::exp(-x[i]));
+    max_sig = std::max(max_sig, std::fabs(y[i] - ref));
+  }
+  EXPECT_LE(max_sig, 5e-7f);
+  // Saturation must be exact and finite at the extremes.
+  float ext[4] = {-1e4f, 1e4f, -200.0f, 200.0f};
+  float out[4];
+  kernels::TanhForward(ext, out, 4);
+  EXPECT_FLOAT_EQ(out[0], -1.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+  kernels::SigmoidForward(ext, out, 4);
+  EXPECT_NEAR(out[0], 0.0f, 1e-30f);  // saturates to a denormal, not exact 0
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+}
+
+TEST(SimdTranscendentalsTest, NanPropagatesLikeLibm) {
+  ScopedTranscendentalPath simd(kernels::TranscendentalPath::kSimd);
+  // A diverged activation must stay NaN on the SIMD path so blown-up
+  // training surfaces identically under either path.
+  float x[3] = {std::nanf(""), 0.0f, 2.0f};
+  float y[3];
+  kernels::ExpForward(x, y, 3);
+  EXPECT_TRUE(std::isnan(y[0]));
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+  kernels::TanhForward(x, y, 3);
+  EXPECT_TRUE(std::isnan(y[0]));
+  kernels::SigmoidForward(x, y, 3);
+  EXPECT_TRUE(std::isnan(y[0]));
+}
+
+TEST(SimdTranscendentalsTest, RemainderElementsMatchFullVectorPath) {
+  ScopedTranscendentalPath simd(kernels::TranscendentalPath::kSimd);
+  if (!kernels::SimdTranscendentalsActive()) GTEST_SKIP() << "no SIMD support";
+  // The same element must produce the same bits whether it lands in a full
+  // 16-wide block or in the zero-padded tail — this is what makes results
+  // independent of how ranges are chunked.
+  Rng rng(31);
+  std::vector<float> x(45);
+  for (auto& v : x) v = rng.Normal(0.0f, 2.0f);
+  std::vector<float> full(45), split(45);
+  kernels::ExpForward(x.data(), full.data(), 45);
+  kernels::ExpForward(x.data(), split.data(), 7);          // all-tail call
+  kernels::ExpForward(x.data() + 7, split.data() + 7, 38);  // shifted blocks
+  for (int64_t i = 0; i < 45; ++i) {
+    ASSERT_EQ(full[i], split[i]) << "chunk-dependent bits at " << i;
+  }
+}
+
+TEST(SimdTranscendentalsTest, SoftmaxRowSimdCloseToScalarAndNormalized) {
+  Rng rng(32);
+  std::vector<float> x(37), y_simd(37), y_scalar(37);
+  for (auto& v : x) v = rng.Normal(0.0f, 3.0f);
+  {
+    ScopedTranscendentalPath simd(kernels::TranscendentalPath::kSimd);
+    if (!kernels::SimdTranscendentalsActive()) GTEST_SKIP() << "no SIMD support";
+    kernels::SoftmaxRow(x.data(), y_simd.data(), 37);
+  }
+  {
+    ScopedTranscendentalPath scalar(kernels::TranscendentalPath::kScalar);
+    kernels::SoftmaxRow(x.data(), y_scalar.data(), 37);
+  }
+  float sum = 0.0f;
+  for (int64_t i = 0; i < 37; ++i) {
+    EXPECT_NEAR(y_simd[i], y_scalar[i], 1e-6f) << "i=" << i;
+    sum += y_simd[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(SimdTranscendentalsTest, FusedLstmKernelsMatchScalarPath) {
+  Rng rng(33);
+  const int64_t batch = 5, hidden = 23;  // odd extent exercises the tail
+  std::vector<float> gates(batch * 4 * hidden), c_prev(batch * hidden),
+      dc(batch * hidden), dh(batch * hidden);
+  for (auto& v : gates) v = rng.Normal(0.0f, 1.5f);
+  for (auto& v : c_prev) v = rng.Normal(0.0f, 1.0f);
+  for (auto& v : dc) v = rng.Normal(0.0f, 1.0f);
+  for (auto& v : dh) v = rng.Normal(0.0f, 1.0f);
+
+  auto run = [&](kernels::TranscendentalPath path, std::vector<float>* c_next,
+                 std::vector<float>* h_next, std::vector<float>* d_gates,
+                 std::vector<float>* d_cprev) {
+    ScopedTranscendentalPath p(path);
+    c_next->assign(batch * hidden, 0.0f);
+    h_next->assign(batch * hidden, 0.0f);
+    d_gates->assign(batch * 4 * hidden, 0.0f);
+    d_cprev->assign(batch * hidden, 0.0f);
+    kernels::LstmCellForwardC(gates.data(), c_prev.data(), batch, hidden,
+                              c_next->data());
+    kernels::LstmCellForwardH(gates.data(), c_next->data(), batch, hidden,
+                              h_next->data());
+    kernels::LstmCellBackwardC(gates.data(), c_prev.data(), dc.data(), batch,
+                               hidden, d_gates->data(), d_cprev->data());
+    kernels::LstmCellBackwardH(gates.data(), c_next->data(), dh.data(), batch,
+                               hidden, d_gates->data(), d_cprev->data());
+  };
+  // On platforms without vector support the kSimd run falls back to scalar
+  // and the comparison is trivially exact.
+  std::vector<float> c_s, h_s, dg_s, dcp_s, c_v, h_v, dg_v, dcp_v;
+  run(kernels::TranscendentalPath::kScalar, &c_s, &h_s, &dg_s, &dcp_s);
+  run(kernels::TranscendentalPath::kSimd, &c_v, &h_v, &dg_v, &dcp_v);
+  for (int64_t i = 0; i < batch * hidden; ++i) {
+    EXPECT_NEAR(c_v[i], c_s[i], 2e-6f) << "c_next " << i;
+    EXPECT_NEAR(h_v[i], h_s[i], 2e-6f) << "h_next " << i;
+    EXPECT_NEAR(dcp_v[i], dcp_s[i], 2e-6f) << "d_c_prev " << i;
+  }
+  for (int64_t i = 0; i < batch * 4 * hidden; ++i) {
+    EXPECT_NEAR(dg_v[i], dg_s[i], 2e-6f) << "d_gates " << i;
   }
 }
 

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_tensor_ops JSON against the committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json NEW.json [--threshold 0.30]
+
+Compares cpu_time for the tracked kernel benchmarks and fails (exit 1) when
+any of them regresses by more than the threshold (default 30%). Because the
+committed baseline and the CI runner are different machines, raw nanoseconds
+are first normalized by the median new/baseline ratio across ALL shared
+benchmarks: a uniformly slower (or faster) machine shifts every benchmark by
+the same factor and cancels out, while a kernel that regressed relative to
+the rest of the suite sticks out. Benchmarks present in only one file are
+reported but never fail the check, so adding or retiring benchmarks does not
+break CI. Only the tracked fast-path kernels gate the build — the
+Legacy*/*Loop/*ScalarAct baselines exist to measure ratios, not to be fast.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Name prefixes of the kernels whose performance this repo guarantees.
+TRACKED_PREFIXES = (
+    "BM_MatMulFwdBwd_Fast",
+    "BM_AttentionFwdBwd_Batched",
+    "BM_BatchGemmKernel",
+    "BM_LstmStepFused/",  # trailing slash: excludes the ScalarAct baseline
+    "BM_SoftmaxFwdBwd",
+)
+
+
+def load_times(path):
+    """Maps benchmark name -> cpu_time ns. When a run used
+    --benchmark_repetitions, the median aggregate overrides the per-repetition
+    samples (that's the noise-robust value CI should gate on)."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") == "iteration":
+            times.setdefault(bench["name"], float(bench["cpu_time"]))
+    for bench in doc.get("benchmarks", []):
+        if (bench.get("run_type") == "aggregate"
+                and bench.get("aggregate_name") == "median"):
+            times[bench["run_name"]] = float(bench["cpu_time"])
+    return times
+
+
+def is_tracked(name):
+    return any(name.startswith(p) for p in TRACKED_PREFIXES)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional cpu_time regression (default 0.30)")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    new = load_times(args.new)
+
+    shared = [n for n in base if n in new and base[n] > 0]
+    if not shared:
+        print("No shared benchmarks between baseline and new run.", file=sys.stderr)
+        return 1
+    # Machine-speed normalization: the median ratio over the whole suite is
+    # the best single estimate of "how much faster/slower is this machine".
+    scale = statistics.median(new[n] / base[n] for n in shared)
+    print(f"machine-speed scale (median new/baseline over {len(shared)} "
+          f"benchmarks): {scale:.2f}x\n")
+
+    failures = []
+    for name in sorted(base):
+        if not is_tracked(name):
+            continue
+        if name not in new:
+            print(f"MISSING  {name}: in baseline only (not failing)")
+            continue
+        raw = new[name] / base[name] if base[name] > 0 else float("inf")
+        ratio = raw / scale
+        status = "OK"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSED"
+            failures.append((name, ratio))
+        print(f"{status:10s}{name}: {base[name]:.0f} -> {new[name]:.0f} ns "
+              f"({ratio:.2f}x baseline after scaling)")
+    for name in sorted(set(new) - set(base)):
+        if is_tracked(name):
+            print(f"NEW      {name}: {new[name]:.0f} ns (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} tracked benchmark(s) regressed by more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline cpu_time", file=sys.stderr)
+        return 1
+    print("\nAll tracked benchmarks within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
