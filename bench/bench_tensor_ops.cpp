@@ -25,9 +25,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/adaptraj_method.h"
+#include "core/baselines.h"
+#include "data/multi_domain.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
@@ -345,6 +349,125 @@ void BM_GemmSliceLoopKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * batch * m * n * k);
 }
 
+// --- Adam update: legacy scalar loop vs kernels::AdamUpdate ------------------
+
+/// Verbatim algorithmics of the pre-change Adam::Step inner loop.
+void LegacyAdamUpdate(float* param, const float* grad, float* m, float* v,
+                      int64_t n, float lr, float beta1, float beta2, float eps,
+                      float weight_decay, float bc1, float bc2) {
+  for (int64_t i = 0; i < n; ++i) {
+    float g = grad[i];
+    if (weight_decay != 0.0f) g += weight_decay * param[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+    const float m_hat = m[i] / bc1;
+    const float v_hat = v[i] / bc2;
+    param[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+struct AdamFixture {
+  std::vector<float> param, grad, m, v;
+  explicit AdamFixture(int64_t n) : m(n, 0.0f), v(n, 0.0f) {
+    Rng rng(3);
+    param = RandomVec(n, &rng);
+    grad = RandomVec(n, &rng);
+  }
+};
+
+void BM_AdamUpdate_Legacy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AdamFixture f(n);
+  for (auto _ : state) {
+    LegacyAdamUpdate(f.param.data(), f.grad.data(), f.m.data(), f.v.data(), n,
+                     1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f, 0.1f, 0.001f);
+    benchmark::DoNotOptimize(f.param.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_AdamUpdate_Fast(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AdamFixture f(n);
+  for (auto _ : state) {
+    kernels::AdamUpdate(f.param.data(), f.grad.data(), f.m.data(), f.v.data(), n,
+                        1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f, 0.1f, 0.001f);
+    benchmark::DoNotOptimize(f.param.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// --- Training epoch: scene-parallel driver at the table-4 workload -----------
+//
+// One iteration = one epoch of AdapTraj (and the vanilla baseline) training
+// at the table-4 shape (H=32, B=32, 3 source domains, 12 batches/epoch cap)
+// through core::ParallelTrainer with accum_steps=4. The Arg is the
+// ADAPTRAJ_TRAIN_WORKERS count: trained weights are bit-identical across
+// Args (the determinism suite asserts this); only wall-clock may differ.
+// Real time is the headline (cpu_time is whole-process CPU, i.e. total work
+// — flat across worker counts). Wall-clock speedup requires
+// >= `workers` physical cores; on a single-core host all Args coincide.
+
+const data::DomainGeneralizationData& TrainBenchData() {
+  static const data::DomainGeneralizationData* dgd = [] {
+    data::CorpusConfig cfg;
+    cfg.num_scenes = 2;
+    cfg.steps_per_scene = 45;
+    cfg.seed = 20240612;
+    auto* d = new data::DomainGeneralizationData(
+        data::BuildDomainGeneralizationData(
+            {sim::Domain::kEthUcy, sim::Domain::kLcas, sim::Domain::kSyi},
+            sim::Domain::kSdd, cfg));
+    return d;
+  }();
+  return *dgd;
+}
+
+core::TrainConfig TrainBenchConfig() {
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 32;
+  tc.max_batches_per_epoch = 12;
+  tc.lr = 3e-3f;
+  tc.accum_steps = 4;
+  tc.seed = 20240612 + 13;
+  return tc;
+}
+
+models::BackboneConfig TrainBenchBackbone() {
+  models::BackboneConfig bb;
+  bb.hidden_dim = 32;
+  bb.social_dim = 32;
+  bb.embed_dim = 16;
+  bb.latent_dim = 8;
+  return bb;
+}
+
+void BM_TrainEpoch_AdapTraj(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const auto& dgd = TrainBenchData();
+  core::AdapTrajConfig acfg;
+  acfg.num_source_domains = static_cast<int>(dgd.sources.size());
+  core::AdapTrajMethod method(models::BackboneKind::kSeq2Seq, TrainBenchBackbone(),
+                              acfg, 99);
+  parallel::ConfigureTrainWorkers(workers);
+  for (auto _ : state) {
+    method.Train(dgd, TrainBenchConfig());
+  }
+  parallel::ConfigureTrainWorkers(1);
+}
+
+void BM_TrainEpoch_Vanilla(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const auto& dgd = TrainBenchData();
+  core::VanillaMethod method(models::BackboneKind::kSeq2Seq, TrainBenchBackbone(), 99);
+  parallel::ConfigureTrainWorkers(workers);
+  for (auto _ : state) {
+    method.Train(dgd, TrainBenchConfig());
+  }
+  parallel::ConfigureTrainWorkers(1);
+}
+
 // --- Softmax -----------------------------------------------------------------
 
 void BM_SoftmaxFwdBwd(benchmark::State& state) {
@@ -384,6 +507,24 @@ BENCHMARK(BM_GemmSliceLoopKernel)->Args({32, 8, 64, 8})->Args({32, 8, 8, 64});
 // Transcendental throughput: Arg(1) = SIMD path, Arg(0) = scalar libm.
 BENCHMARK(BM_ExpKernel)->Arg(1)->Arg(0);
 BENCHMARK(BM_TanhKernel)->Arg(1)->Arg(0);
+// Optimizer update at model-stack parameter counts.
+BENCHMARK(BM_AdamUpdate_Legacy)->Arg(1 << 16);
+BENCHMARK(BM_AdamUpdate_Fast)->Arg(1 << 16);
+// Scene-parallel training epochs; Arg = ADAPTRAJ_TRAIN_WORKERS. real_time is
+// the wall-clock headline; cpu_time is whole-process CPU (total work).
+BENCHMARK(BM_TrainEpoch_AdapTraj)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainEpoch_Vanilla)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace adaptraj
@@ -406,8 +547,14 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   // Buffer-pool telemetry over the whole run: reuse rate is the fraction of
-  // op-output allocations served from recycled capacity (main thread; pool
-  // workers write through raw pointers and never allocate).
+  // op-output allocations served from recycled capacity. Stats are per
+  // thread and this reads the MAIN thread's pool only: kernel-pool workers
+  // write through raw pointers and never allocate, but training-pool
+  // workers (BM_TrainEpoch_* with Arg > 1) run whole micro-batch graphs and
+  // allocate from their own thread-local pools, which this summary excludes.
+  // Tune caps against single-worker runs (e.g. BM_TrainEpoch_AdapTraj/1),
+  // where every allocation is on the main thread — that is how the
+  // kMaxEntries sweep in buffer_pool.cpp was measured.
   const auto stats = adaptraj::internal::GetBufferPoolStats();
   const double rate = stats.acquires > 0
                           ? 100.0 * static_cast<double>(stats.hits()) /

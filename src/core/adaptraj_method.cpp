@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "core/parallel_trainer.h"
 #include "nn/optimizer.h"
 
 namespace adaptraj {
@@ -25,7 +27,12 @@ AdapTrajMethod::AdapTrajMethod(models::BackboneKind kind,
                                const AdapTrajConfig& model_config, uint64_t init_seed,
                                AdapTrajVariant variant,
                                const AdapTrajTrainConfig& schedule)
-    : variant_(variant), schedule_(schedule) {
+    : kind_(kind),
+      backbone_config_(backbone_config),
+      model_config_(model_config),
+      init_seed_(init_seed),
+      variant_(variant),
+      schedule_(schedule) {
   Rng rng(init_seed);
   model_ =
       std::make_unique<AdapTrajModel>(kind, backbone_config, model_config, &rng);
@@ -45,16 +52,14 @@ AdapTrajFeatures AdapTrajMethod::ApplyVariant(AdapTrajFeatures f) const {
   return f;
 }
 
-void AdapTrajMethod::TrainStep(const data::Batch& batch, const std::vector<int>& labels,
-                               float delta, nn::Optimizer* opt, Rng* rng) {
-  opt->ZeroGrad();
-  models::EncodeResult enc = model_->backbone().Encode(batch);
-  AdapTrajFeatures f = ApplyVariant(model_->ExtractFeatures(enc, labels));
-  Tensor base = model_->backbone().Loss(batch, enc, f.Extra(), rng);  // L_base
-  Tensor total = Add(base, MulScalar(model_->OursLoss(batch, f, labels), delta));
+void AdapTrajMethod::MicroBatchBackward(AdapTrajModel* model, const data::Batch& batch,
+                                        const std::vector<int>& labels, float delta,
+                                        Rng* rng) const {
+  models::EncodeResult enc = model->backbone().Encode(batch);
+  AdapTrajFeatures f = ApplyVariant(model->ExtractFeatures(enc, labels));
+  Tensor base = model->backbone().Loss(batch, enc, f.Extra(), rng);  // L_base
+  Tensor total = Add(base, MulScalar(model->OursLoss(batch, f, labels), delta));
   total.Backward();
-  nn::ClipGradNorm(model_->Parameters(), grad_clip_);
-  opt->Step();
 }
 
 void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
@@ -65,7 +70,31 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
   const int g_main = opt.AddGroup(model_->BackboneAndExtractorParams(), 1.0f);
   const int g_agg = opt.AddGroup(model_->AggregatorParams(), 0.0f);
 
-  Rng rng(config.seed);
+  // Scene-parallel driver: slot 0 is the live model, slots 1..A-1 are cached
+  // replicas built from the construction arguments (the trainer overwrites
+  // their weights with the master's before every group).
+  ReplicaTrainer<AdapTrajModel> rt = MakeReplicaTrainer(
+      model_.get(), &train_replicas_, &opt, config.accum_steps, config.grad_clip,
+      [this] {
+        Rng replica_rng(init_seed_);
+        return std::make_unique<AdapTrajModel>(kind_, backbone_config_,
+                                               model_config_, &replica_rng);
+      });
+  ParallelTrainer& trainer = *rt.trainer;
+
+  // The main-thread Rng drives the label-masking schedule; every micro-batch
+  // loss draws from its own TaskSeed stream (see parallel_trainer.h).
+  Rng mask_rng(config.seed);
+  uint64_t task_index = 0;
+  auto submit = [&](const data::Batch& batch, std::vector<int> labels, float delta) {
+    const uint64_t seed = TaskSeed(config.seed, task_index++);
+    trainer.Submit(
+        [this, &rt, batch, labels = std::move(labels), delta, seed](int slot) {
+          Rng rng(seed);
+          MicroBatchBackward(rt.models[slot], batch, labels, delta, &rng);
+        });
+  };
+
   data::SequenceConfig seq_cfg;
   const int e_start =
       std::max(1, static_cast<int>(std::round(config.epochs * schedule_.start_fraction)));
@@ -96,9 +125,10 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
             batches >= config.max_batches_per_epoch) {
           break;
         }
-        TrainStep(batch, batch.domain_labels, schedule_.delta, &opt, &rng);
+        submit(batch, batch.domain_labels, schedule_.delta);
         ++batches;
       }
+      trainer.Flush();  // the phase scales may change at the epoch boundary
       continue;
     }
 
@@ -116,14 +146,16 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
           break;
         }
         std::vector<int> labels = batch.domain_labels;
-        if (rng.Bernoulli(schedule_.sigma)) {
+        if (mask_rng.Bernoulli(schedule_.sigma)) {
           std::fill(labels.begin(), labels.end(), -1);  // D^k_S -> D^?_S
         }
-        TrainStep(batch, labels, schedule_.delta_prime, &opt, &rng);
+        submit(batch, std::move(labels), schedule_.delta_prime);
         ++batches;
       }
     }
+    trainer.Flush();
   }
+  trainer.Flush();
 }
 
 Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {

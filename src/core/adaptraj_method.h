@@ -59,14 +59,27 @@ class AdapTrajMethod : public Method {
   /// Applies the ablation variant to extracted features.
   AdapTrajFeatures ApplyVariant(AdapTrajFeatures f) const;
 
-  /// One optimization step on a batch with the given labels and delta.
-  void TrainStep(const data::Batch& batch, const std::vector<int>& labels, float delta,
-                 nn::Optimizer* opt, Rng* rng);
+  /// Builds the Alg.-1 step loss (L_base + delta * L_ours) for one batch on
+  /// the given model replica and backpropagates it. Thread-safe across
+  /// distinct replicas (the ParallelTrainer task body).
+  void MicroBatchBackward(AdapTrajModel* model, const data::Batch& batch,
+                          const std::vector<int>& labels, float delta,
+                          Rng* rng) const;
+
+  // Construction arguments, kept to build training replicas.
+  models::BackboneKind kind_;
+  models::BackboneConfig backbone_config_;
+  AdapTrajConfig model_config_;
+  uint64_t init_seed_;
 
   std::unique_ptr<AdapTrajModel> model_;
+  /// Replica models for the scene-parallel trainer, grown lazily to
+  /// accum_steps-1 and reused across Train() calls (their weights are
+  /// overwritten from model_ by the trainer's broadcast; caching skips the
+  /// dead re-initialization on repeated training runs).
+  std::vector<std::unique_ptr<AdapTrajModel>> train_replicas_;
   AdapTrajVariant variant_;
   AdapTrajTrainConfig schedule_;
-  float grad_clip_ = 5.0f;
 };
 
 }  // namespace core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "core/parallel_trainer.h"
 #include "nn/optimizer.h"
 
 namespace adaptraj {
@@ -23,32 +25,39 @@ data::Batch CounterfactualBatch(const data::Batch& batch) {
 
 namespace {
 
-/// Runs one optimization step on `loss` (a cheap handle, passed by value).
-void StepOptimizer(nn::Optimizer* opt, models::Backbone* backbone, Tensor loss,
-                   float grad_clip) {
-  loss.Backward();
-  nn::ClipGradNorm(backbone->Parameters(), grad_clip);
-  opt->Step();
+/// Baseline replica factory: a fresh backbone from the stored construction
+/// arguments (weights are overwritten by the trainer's broadcast).
+std::unique_ptr<models::Backbone> MakeReplica(models::BackboneKind kind,
+                                              const models::BackboneConfig& config,
+                                              uint64_t init_seed) {
+  Rng rng(init_seed);
+  return models::MakeBackbone(kind, config, &rng);
 }
 
 }  // namespace
 
 VanillaMethod::VanillaMethod(models::BackboneKind kind,
-                             const models::BackboneConfig& config, uint64_t init_seed) {
+                             const models::BackboneConfig& config, uint64_t init_seed)
+    : kind_(kind), config_(config), init_seed_(init_seed) {
   Rng rng(init_seed);
-  models::BackboneConfig cfg = config;
-  cfg.extra_dim = 0;
-  backbone_ = models::MakeBackbone(kind, cfg, &rng);
+  config_.extra_dim = 0;
+  backbone_ = models::MakeBackbone(kind, config_, &rng);
 }
 
 void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
                           const TrainConfig& config) {
   nn::Adam opt(config.lr);
   opt.AddGroup(backbone_->Parameters());
-  Rng rng(config.seed);
+  ReplicaTrainer<models::Backbone> rt = MakeReplicaTrainer(
+      backbone_.get(), &train_replicas_, &opt, config.accum_steps,
+      config.grad_clip,
+      [this] { return MakeReplica(kind_, config_, init_seed_); });
+  ParallelTrainer& trainer = *rt.trainer;
+
   data::SequenceConfig seq_cfg;
   data::BatchLoader loader(&dgd.pooled_train, config.batch_size, seq_cfg,
                            config.seed + 1, /*shuffle=*/true);
+  uint64_t task_index = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     loader.Reset();
     data::Batch batch;
@@ -57,13 +66,18 @@ void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
       if (config.max_batches_per_epoch > 0 && batches >= config.max_batches_per_epoch) {
         break;
       }
-      opt.ZeroGrad();
-      models::EncodeResult enc = backbone_->Encode(batch);
-      Tensor loss = backbone_->Loss(batch, enc, Tensor(), &rng);
-      StepOptimizer(&opt, backbone_.get(), loss, config.grad_clip);
+      const uint64_t seed = TaskSeed(config.seed, task_index++);
+      trainer.Submit([&rt, batch, seed](int slot) {
+        Rng rng(seed);
+        models::Backbone* bb = rt.models[slot];
+        models::EncodeResult enc = bb->Encode(batch);
+        bb->Loss(batch, enc, Tensor(), &rng).Backward();
+      });
       ++batches;
     }
+    trainer.Flush();
   }
+  trainer.Flush();
 }
 
 Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
@@ -72,21 +86,27 @@ Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) c
 }
 
 CounterMethod::CounterMethod(models::BackboneKind kind,
-                             const models::BackboneConfig& config, uint64_t init_seed) {
+                             const models::BackboneConfig& config, uint64_t init_seed)
+    : kind_(kind), config_(config), init_seed_(init_seed) {
   Rng rng(init_seed);
-  models::BackboneConfig cfg = config;
-  cfg.extra_dim = 0;
-  backbone_ = models::MakeBackbone(kind, cfg, &rng);
+  config_.extra_dim = 0;
+  backbone_ = models::MakeBackbone(kind, config_, &rng);
 }
 
 void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
                           const TrainConfig& config) {
   nn::Adam opt(config.lr);
   opt.AddGroup(backbone_->Parameters());
-  Rng rng(config.seed);
+  ReplicaTrainer<models::Backbone> rt = MakeReplicaTrainer(
+      backbone_.get(), &train_replicas_, &opt, config.accum_steps,
+      config.grad_clip,
+      [this] { return MakeReplica(kind_, config_, init_seed_); });
+  ParallelTrainer& trainer = *rt.trainer;
+
   data::SequenceConfig seq_cfg;
   data::BatchLoader loader(&dgd.pooled_train, config.batch_size, seq_cfg,
                            config.seed + 1, /*shuffle=*/true);
+  uint64_t task_index = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     loader.Reset();
     data::Batch batch;
@@ -95,15 +115,20 @@ void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
       if (config.max_batches_per_epoch > 0 && batches >= config.max_batches_per_epoch) {
         break;
       }
-      opt.ZeroGrad();
       // Counterfactual intervention: external factors removed everywhere.
       data::Batch cf = CounterfactualBatch(batch);
-      models::EncodeResult enc = backbone_->Encode(cf);
-      Tensor loss = backbone_->Loss(cf, enc, Tensor(), &rng);
-      StepOptimizer(&opt, backbone_.get(), loss, config.grad_clip);
+      const uint64_t seed = TaskSeed(config.seed, task_index++);
+      trainer.Submit([&rt, cf, seed](int slot) {
+        Rng rng(seed);
+        models::Backbone* bb = rt.models[slot];
+        models::EncodeResult enc = bb->Encode(cf);
+        bb->Loss(cf, enc, Tensor(), &rng).Backward();
+      });
       ++batches;
     }
+    trainer.Flush();
   }
+  trainer.Flush();
 }
 
 Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
@@ -115,22 +140,30 @@ Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) c
 CausalMotionMethod::CausalMotionMethod(models::BackboneKind kind,
                                        const models::BackboneConfig& config,
                                        uint64_t init_seed, float invariance_weight)
-    : invariance_weight_(invariance_weight) {
+    : kind_(kind),
+      config_(config),
+      init_seed_(init_seed),
+      invariance_weight_(invariance_weight) {
   Rng rng(init_seed);
-  models::BackboneConfig cfg = config;
-  cfg.extra_dim = 0;
-  backbone_ = models::MakeBackbone(kind, cfg, &rng);
+  config_.extra_dim = 0;
+  backbone_ = models::MakeBackbone(kind, config_, &rng);
 }
 
 void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
                                const TrainConfig& config) {
   nn::Adam opt(config.lr);
   opt.AddGroup(backbone_->Parameters());
-  Rng rng(config.seed);
+  ReplicaTrainer<models::Backbone> rt = MakeReplicaTrainer(
+      backbone_.get(), &train_replicas_, &opt, config.accum_steps,
+      config.grad_clip,
+      [this] { return MakeReplica(kind_, config_, init_seed_); });
+  ParallelTrainer& trainer = *rt.trainer;
+
   data::SequenceConfig seq_cfg;
 
   // One loader per source domain: the invariance penalty needs per-domain
-  // risks within each optimization step.
+  // risks within each micro-batch task, so a task carries one batch group
+  // (one batch per domain) and builds the coupled V-REx loss on its replica.
   std::vector<std::unique_ptr<data::BatchLoader>> loaders;
   for (const auto& source : dgd.sources) {
     loaders.push_back(std::make_unique<data::BatchLoader>(
@@ -138,6 +171,8 @@ void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
         /*shuffle=*/true));
   }
 
+  const float weight = invariance_weight_;
+  uint64_t task_index = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     for (auto& loader : loaders) loader->Reset();
     int batches = 0;
@@ -147,33 +182,41 @@ void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
         break;
       }
       any = false;
-      std::vector<Tensor> risks;
-      opt.ZeroGrad();
+      std::vector<data::Batch> group;
       for (auto& loader : loaders) {
         data::Batch batch;
         if (!loader->Next(&batch)) continue;
         any = true;
-        models::EncodeResult enc = backbone_->Encode(batch);
-        risks.push_back(backbone_->Loss(batch, enc, Tensor(), &rng));
+        group.push_back(batch);
       }
-      if (risks.empty()) break;
-      // Mean risk + V-REx variance penalty across domains.
-      Tensor mean_risk = risks[0];
-      for (size_t i = 1; i < risks.size(); ++i) mean_risk = Add(mean_risk, risks[i]);
-      mean_risk = MulScalar(mean_risk, 1.0f / static_cast<float>(risks.size()));
-      Tensor loss = mean_risk;
-      if (risks.size() > 1) {
-        Tensor var = Tensor::Scalar(0.0f);
-        for (const Tensor& r : risks) var = Add(var, Square(Sub(r, mean_risk)));
-        var = MulScalar(var, 1.0f / static_cast<float>(risks.size()));
-        loss = Add(loss, MulScalar(var, invariance_weight_));
-      }
-      loss.Backward();
-      nn::ClipGradNorm(backbone_->Parameters(), config.grad_clip);
-      opt.Step();
+      if (group.empty()) break;
+      const uint64_t seed = TaskSeed(config.seed, task_index++);
+      trainer.Submit([&rt, group = std::move(group), weight, seed](int slot) {
+        Rng rng(seed);
+        models::Backbone* bb = rt.models[slot];
+        std::vector<Tensor> risks;
+        for (const data::Batch& batch : group) {
+          models::EncodeResult enc = bb->Encode(batch);
+          risks.push_back(bb->Loss(batch, enc, Tensor(), &rng));
+        }
+        // Mean risk + V-REx variance penalty across domains.
+        Tensor mean_risk = risks[0];
+        for (size_t i = 1; i < risks.size(); ++i) mean_risk = Add(mean_risk, risks[i]);
+        mean_risk = MulScalar(mean_risk, 1.0f / static_cast<float>(risks.size()));
+        Tensor loss = mean_risk;
+        if (risks.size() > 1) {
+          Tensor var = Tensor::Scalar(0.0f);
+          for (const Tensor& r : risks) var = Add(var, Square(Sub(r, mean_risk)));
+          var = MulScalar(var, 1.0f / static_cast<float>(risks.size()));
+          loss = Add(loss, MulScalar(var, weight));
+        }
+        loss.Backward();
+      });
       ++batches;
     }
+    trainer.Flush();
   }
+  trainer.Flush();
 }
 
 Tensor CausalMotionMethod::Predict(const data::Batch& batch, Rng* rng,

@@ -10,6 +10,7 @@
 #define ADAPTRAJ_CORE_BASELINES_H_
 
 #include <memory>
+#include <vector>
 
 #include "core/method.h"
 #include "models/backbone.h"
@@ -35,7 +36,12 @@ class VanillaMethod : public Method {
   models::Backbone& backbone() { return *backbone_; }
 
  private:
+  models::BackboneKind kind_;
+  models::BackboneConfig config_;
+  uint64_t init_seed_;
   std::unique_ptr<models::Backbone> backbone_;
+  /// Cached scene-parallel training replicas (see MakeBackboneSlots).
+  std::vector<std::unique_ptr<models::Backbone>> train_replicas_;
 };
 
 /// Counterfactual baseline: both training and inference replace the scene
@@ -54,7 +60,12 @@ class CounterMethod : public Method {
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
 
  private:
+  models::BackboneKind kind_;
+  models::BackboneConfig config_;
+  uint64_t init_seed_;
   std::unique_ptr<models::Backbone> backbone_;
+  /// Cached scene-parallel training replicas (see MakeBackboneSlots).
+  std::vector<std::unique_ptr<models::Backbone>> train_replicas_;
 };
 
 /// Invariance-loss baseline: per-domain empirical risks plus a strong
@@ -72,7 +83,12 @@ class CausalMotionMethod : public Method {
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
 
  private:
+  models::BackboneKind kind_;
+  models::BackboneConfig config_;
+  uint64_t init_seed_;
   std::unique_ptr<models::Backbone> backbone_;
+  /// Cached scene-parallel training replicas (see MakeBackboneSlots).
+  std::vector<std::unique_ptr<models::Backbone>> train_replicas_;
   float invariance_weight_;
 };
 

@@ -21,6 +21,13 @@ struct TrainConfig {
   int max_batches_per_epoch = 0;
   float grad_clip = 5.0f;
   uint64_t seed = 7;
+  /// Micro-batches whose gradients are summed (in fixed micro-batch order)
+  /// into one optimizer step by core::ParallelTrainer. This is the scene-
+  /// level parallelism width: up to ADAPTRAJ_TRAIN_WORKERS of these
+  /// micro-batches run concurrently, but the trained weights depend only on
+  /// this value — never on the worker count. 1 reproduces the serial
+  /// step-per-batch schedule.
+  int accum_steps = 4;
 };
 
 /// A trained trajectory predictor. Implementations wrap a backbone and the

@@ -1,0 +1,106 @@
+#include "core/parallel_trainer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nn/module.h"
+#include "tensor/kernels.h"
+#include "tensor/parallel.h"
+
+namespace adaptraj {
+namespace core {
+
+ParallelTrainer::ParallelTrainer(nn::Optimizer* opt,
+                                 std::vector<std::vector<Tensor>> slot_params,
+                                 const Options& options)
+    : opt_(opt), slots_(std::move(slot_params)), options_(options) {
+  ADAPTRAJ_CHECK_MSG(opt_ != nullptr, "ParallelTrainer needs an optimizer");
+  ADAPTRAJ_CHECK_MSG(!slots_.empty(), "ParallelTrainer needs at least one slot");
+  ADAPTRAJ_CHECK_MSG(static_cast<int>(slots_.size()) == std::max(1, options_.accum_steps),
+                     "slot count " << slots_.size() << " != accum_steps "
+                                   << options_.accum_steps);
+  const std::vector<Tensor>& master = slots_[0];
+  for (size_t s = 1; s < slots_.size(); ++s) {
+    ADAPTRAJ_CHECK_MSG(slots_[s].size() == master.size(),
+                       "replica " << s << " parameter count mismatch");
+    for (size_t p = 0; p < master.size(); ++p) {
+      ADAPTRAJ_CHECK_MSG(slots_[s][p].shape() == master[p].shape(),
+                         "replica " << s << " shape mismatch at parameter " << p);
+      // Replicas must be distinct storage; aliasing the master would turn
+      // the read-only parameter guarantee into a data race.
+      ADAPTRAJ_CHECK_MSG(slots_[s][p].impl() != master[p].impl(),
+                         "replica " << s << " aliases master parameter " << p);
+    }
+  }
+  pending_.reserve(slots_.size());
+  Broadcast();
+}
+
+void ParallelTrainer::Submit(std::function<void(int slot)> task) {
+  pending_.push_back(std::move(task));
+  if (pending_.size() == slots_.size()) RunGroup();
+}
+
+void ParallelTrainer::Flush() { RunGroup(); }
+
+void ParallelTrainer::RunGroup() {
+  const int group = static_cast<int>(pending_.size());
+  if (group == 0) return;
+
+  // Fresh gradient buffers on every participating slot.
+  for (int s = 0; s < group; ++s) {
+    for (Tensor& p : slots_[s]) p.ZeroGrad();
+  }
+
+  // Forward + backward of every micro-batch, concurrently. Task i always
+  // owns slot i, so writes are disjoint; RunTaskGroup's completion barrier
+  // publishes them to this thread.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(group);
+  for (int i = 0; i < group; ++i) {
+    tasks.push_back([this, i] { pending_[i](i); });
+  }
+  parallel::RunTaskGroup(tasks);
+
+  // Deterministic reduction into the master: ascending slot order, averaged
+  // over the group. A parameter left untouched by every task (empty grad
+  // everywhere) stays empty so the optimizer keeps skipping it, exactly as
+  // in the serial loop.
+  const float scale = 1.0f / static_cast<float>(group);
+  std::vector<const float*> srcs;
+  for (size_t p = 0; p < slots_[0].size(); ++p) {
+    srcs.clear();
+    bool master_has = !slots_[0][p].impl()->grad.empty();
+    bool any = master_has;
+    for (int s = 1; s < group; ++s) any = any || !slots_[s][p].impl()->grad.empty();
+    if (!any) continue;
+    auto& master_impl = *slots_[0][p].impl();
+    master_impl.EnsureGrad();
+    srcs.push_back(master_impl.grad.data());
+    for (int s = 1; s < group; ++s) {
+      auto& impl = *slots_[s][p].impl();
+      if (!impl.grad.empty()) srcs.push_back(impl.grad.data());
+    }
+    // Skipping an empty (all-zero) source changes nothing: x + 0.0f == x.
+    // A single source at scale 1 (group of one) is already the answer.
+    if (srcs.size() > 1 || scale != 1.0f) {
+      kernels::ReduceGradSum(srcs.data(), static_cast<int>(srcs.size()), scale,
+                             master_impl.grad.data(), master_impl.size());
+    }
+  }
+
+  nn::ClipGradNorm(slots_[0], options_.grad_clip);
+  opt_->Step();
+  ++steps_;
+  pending_.clear();
+  Broadcast();
+}
+
+void ParallelTrainer::Broadcast() {
+  for (size_t s = 1; s < slots_.size(); ++s) {
+    nn::CopyParameterValues(slots_[0], slots_[s]);
+  }
+}
+
+}  // namespace core
+}  // namespace adaptraj

@@ -1,6 +1,8 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 namespace adaptraj {
 namespace eval {
@@ -79,11 +81,22 @@ double MeasureInferenceSeconds(const core::Method& method, const data::Batch& ba
   Rng rng(seed);
   // Warm-up run excluded from timing.
   (void)method.Predict(batch, &rng, /*sample=*/true);
-  const auto t0 = Clock::now();
+  // Median over per-call timings rather than the mean: the first timed calls
+  // can still be growing the thread-local buffer pool (and first-touch pages),
+  // and a mean lets that warm-up tail inflate bench_table8. The median of the
+  // sorted samples is robust to those one-sided outliers.
+  std::vector<double> samples;
+  samples.reserve(iterations);
   for (int i = 0; i < iterations; ++i) {
+    const auto t0 = Clock::now();
     (void)method.Predict(batch, &rng, /*sample=*/true);
+    samples.push_back(Seconds(t0, Clock::now()));
   }
-  return Seconds(t0, Clock::now()) / iterations;
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
 }
 
 }  // namespace eval

@@ -40,7 +40,7 @@ struct ExperimentConfig {
 struct ExperimentResult {
   Metrics target;                 // best-of-K on the unseen target test split
   double train_seconds = 0.0;
-  double inference_seconds = 0.0;  // mean wall-clock per Predict call
+  double inference_seconds = 0.0;  // median wall-clock per Predict call
 };
 
 /// Instantiates an untrained method for the given configuration.
@@ -51,7 +51,8 @@ std::unique_ptr<core::Method> MakeMethod(const ExperimentConfig& config,
 ExperimentResult RunExperiment(const data::DomainGeneralizationData& dgd,
                                const ExperimentConfig& config);
 
-/// Mean wall-clock seconds of one Predict call on a representative batch.
+/// Median wall-clock seconds of one Predict call on a representative batch
+/// (robust to first-call buffer-pool warm-up).
 double MeasureInferenceSeconds(const core::Method& method, const data::Batch& batch,
                                int iterations, uint64_t seed);
 

@@ -1,5 +1,6 @@
 #include "nn/module.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace adaptraj {
@@ -36,6 +37,19 @@ int64_t Module::NumParams() const {
   return n;
 }
 
+void Module::CopyParametersFrom(const Module& other) {
+  CopyParameterValues(other.Parameters(), Parameters());
+}
+
+std::vector<float> Module::ParameterSnapshot() const {
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(NumParams()));
+  for (const Tensor& t : Parameters()) {
+    out.insert(out.end(), t.data(), t.data() + t.size());
+  }
+  return out;
+}
+
 Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
   ADAPTRAJ_CHECK_MSG(t.defined(), "registering null parameter " << name);
   t.set_requires_grad(true);
@@ -51,6 +65,19 @@ void Module::RegisterModule(const std::string& name, Module* child) {
 Tensor XavierMatrix(int64_t fan_in, int64_t fan_out, Rng* rng) {
   const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
   return Tensor::Rand({fan_in, fan_out}, rng, -limit, limit);
+}
+
+void CopyParameterValues(const std::vector<Tensor>& src,
+                         const std::vector<Tensor>& dst) {
+  ADAPTRAJ_CHECK_MSG(src.size() == dst.size(),
+                     "CopyParameterValues: parameter count mismatch ("
+                         << src.size() << " vs " << dst.size() << ")");
+  for (size_t i = 0; i < src.size(); ++i) {
+    ADAPTRAJ_CHECK_MSG(src[i].shape() == dst[i].shape(),
+                       "CopyParameterValues: shape mismatch at parameter " << i);
+    std::copy(src[i].data(), src[i].data() + src[i].size(),
+              dst[i].impl()->data.data());
+  }
 }
 
 }  // namespace nn

@@ -33,6 +33,16 @@ class Module {
   /// Total scalar parameter count.
   int64_t NumParams() const;
 
+  /// Overwrites every parameter with the values of `other`'s parameters.
+  /// Both modules must have identical structure (same Parameters() order and
+  /// shapes) — e.g. a training replica built from the same configuration.
+  /// Gradients and autograd state are untouched.
+  void CopyParametersFrom(const Module& other);
+
+  /// All parameter values flattened into one vector in Parameters() order.
+  /// The byte-exact fingerprint used by the training-determinism tests.
+  std::vector<float> ParameterSnapshot() const;
+
  protected:
   Module() = default;
 
@@ -49,6 +59,12 @@ class Module {
 
 /// Xavier/Glorot-uniform initialized matrix of shape [fan_in, fan_out].
 Tensor XavierMatrix(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Copies the values of `src[i]` into `dst[i]` for parallel parameter lists
+/// (same length, matching shapes). The primitive under
+/// Module::CopyParametersFrom and ParallelTrainer's replica broadcast.
+void CopyParameterValues(const std::vector<Tensor>& src,
+                         const std::vector<Tensor>& dst);
 
 }  // namespace nn
 }  // namespace adaptraj

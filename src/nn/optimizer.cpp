@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace adaptraj {
 namespace nn {
 
@@ -39,14 +41,8 @@ void Sgd::Step() {
       if (impl.grad.empty()) continue;
       auto& vel = velocity_[gi][pi];
       if (momentum_ != 0.0f && vel.empty()) vel.assign(impl.data.size(), 0.0f);
-      for (size_t i = 0; i < impl.data.size(); ++i) {
-        float g = impl.grad[i];
-        if (momentum_ != 0.0f) {
-          vel[i] = momentum_ * vel[i] + g;
-          g = vel[i];
-        }
-        impl.data[i] -= lr * g;
-      }
+      kernels::SgdUpdate(impl.data.data(), impl.grad.data(), vel.data(),
+                         static_cast<int64_t>(impl.data.size()), lr, momentum_);
     }
   }
 }
@@ -74,15 +70,9 @@ void Adam::Step() {
       auto& v = v_[gi][pi];
       if (m.empty()) m.assign(impl.data.size(), 0.0f);
       if (v.empty()) v.assign(impl.data.size(), 0.0f);
-      for (size_t i = 0; i < impl.data.size(); ++i) {
-        float g = impl.grad[i];
-        if (weight_decay_ != 0.0f) g += weight_decay_ * impl.data[i];
-        m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
-        v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
-        const float m_hat = m[i] / bc1;
-        const float v_hat = v[i] / bc2;
-        impl.data[i] -= lr * m_hat / (std::sqrt(v_hat) + eps_);
-      }
+      kernels::AdamUpdate(impl.data.data(), impl.grad.data(), m.data(), v.data(),
+                          static_cast<int64_t>(impl.data.size()), lr, beta1_,
+                          beta2_, eps_, weight_decay_, bc1, bc2);
     }
   }
 }

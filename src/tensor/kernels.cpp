@@ -7,6 +7,10 @@
 #include <cstring>
 #include <vector>
 
+#if defined(__AVX__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
 #include "tensor/buffer_pool.h"
 #include "tensor/parallel.h"
 
@@ -554,6 +558,132 @@ void SigmoidForward(const float* x, float* y, int64_t n) {
   }
 #endif
   for (int64_t i = 0; i < n; ++i) y[i] = SigmoidF(x[i]);
+}
+
+// --- Optimizer and gradient-reduction kernels --------------------------------
+
+namespace {
+
+/// Elements per parallel chunk for the memory-bound optimizer loops.
+constexpr int64_t kUpdateGrain = 1 << 15;
+
+#ifdef ADAPTRAJ_HAVE_VEC16
+
+/// Lane-wise IEEE sqrt. Hardware sqrt instructions are correctly rounded,
+/// so every variant below is bit-identical to std::sqrt per lane (inputs are
+/// never negative here). The intrinsic paths exist because GCC will not
+/// auto-vectorize std::sqrt loops under errno semantics.
+inline Vec16 VecSqrt(Vec16 x) {
+#if defined(__AVX512F__)
+  // __m512 is itself a 16-lane float vector type, so this is a value
+  // conversion. The all-lanes maskz variant sidesteps the
+  // _mm512_undefined_ps() operand inside plain _mm512_sqrt_ps that trips
+  // GCC 12's -Wmaybe-uninitialized.
+  return Vec16(_mm512_maskz_sqrt_ps(static_cast<__mmask16>(0xffff), __m512(x)));
+#elif defined(__AVX__)
+  typedef float Vec8 __attribute__((vector_size(8 * sizeof(float))));
+  union Halves {
+    Vec16 v16;
+    Vec8 v8[2];
+  } u;
+  u.v16 = x;
+  u.v8[0] = Vec8(_mm256_sqrt_ps(__m256(u.v8[0])));
+  u.v8[1] = Vec8(_mm256_sqrt_ps(__m256(u.v8[1])));
+  return u.v16;
+#else
+  float tmp[16];
+  StoreVec16(tmp, x);
+  for (int j = 0; j < 16; ++j) tmp[j] = std::sqrt(tmp[j]);
+  return LoadVec16(tmp);
+#endif
+}
+
+#endif  // ADAPTRAJ_HAVE_VEC16
+
+}  // namespace
+
+void ReduceGradSum(const float* const* srcs, int num_srcs, float scale,
+                   float* dst, int64_t n) {
+  if (n == 0 || num_srcs <= 0) return;
+  parallel::ParallelFor(0, n, kUpdateGrain, [&](int64_t lo, int64_t hi) {
+    int64_t i = lo;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    const Vec16 vscale = Splat(scale);
+    for (; i + 16 <= hi; i += 16) {
+      Vec16 acc = LoadVec16(srcs[0] + i);
+      for (int s = 1; s < num_srcs; ++s) acc = acc + LoadVec16(srcs[s] + i);
+      StoreVec16(dst + i, acc * vscale);
+    }
+#endif
+    for (; i < hi; ++i) {
+      float acc = srcs[0][i];
+      for (int s = 1; s < num_srcs; ++s) acc += srcs[s][i];
+      dst[i] = acc * scale;
+    }
+  });
+}
+
+void AdamUpdate(float* param, const float* grad, float* m, float* v, int64_t n,
+                float lr, float beta1, float beta2, float eps,
+                float weight_decay, float bc1, float bc2) {
+  parallel::ParallelFor(0, n, kUpdateGrain, [&](int64_t lo, int64_t hi) {
+    int64_t i = lo;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    const Vec16 vb1 = Splat(beta1), vcb1 = Splat(1.0f - beta1);
+    const Vec16 vb2 = Splat(beta2), vcb2 = Splat(1.0f - beta2);
+    const Vec16 vwd = Splat(weight_decay), vlr = Splat(lr);
+    const Vec16 vbc1 = Splat(bc1), vbc2 = Splat(bc2), veps = Splat(eps);
+    for (; i + 16 <= hi; i += 16) {
+      Vec16 p = LoadVec16(param + i);
+      Vec16 g = LoadVec16(grad + i);
+      if (weight_decay != 0.0f) g = g + vwd * p;
+      const Vec16 mv = vb1 * LoadVec16(m + i) + vcb1 * g;
+      const Vec16 vv = vb2 * LoadVec16(v + i) + vcb2 * (g * g);
+      StoreVec16(m + i, mv);
+      StoreVec16(v + i, vv);
+      p = p - vlr * (mv / vbc1) / (VecSqrt(vv / vbc2) + veps);
+      StoreVec16(param + i, p);
+    }
+#endif
+    for (; i < hi; ++i) {
+      float g = grad[i];
+      if (weight_decay != 0.0f) g += weight_decay * param[i];
+      m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+      v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      param[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  });
+}
+
+void SgdUpdate(float* param, const float* grad, float* velocity, int64_t n,
+               float lr, float momentum) {
+  parallel::ParallelFor(0, n, kUpdateGrain, [&](int64_t lo, int64_t hi) {
+    int64_t i = lo;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    const Vec16 vlr = Splat(lr), vmom = Splat(momentum);
+    if (momentum != 0.0f) {
+      for (; i + 16 <= hi; i += 16) {
+        const Vec16 vel = vmom * LoadVec16(velocity + i) + LoadVec16(grad + i);
+        StoreVec16(velocity + i, vel);
+        StoreVec16(param + i, LoadVec16(param + i) - vlr * vel);
+      }
+    } else {
+      for (; i + 16 <= hi; i += 16) {
+        StoreVec16(param + i, LoadVec16(param + i) - vlr * LoadVec16(grad + i));
+      }
+    }
+#endif
+    for (; i < hi; ++i) {
+      float g = grad[i];
+      if (momentum != 0.0f) {
+        velocity[i] = momentum * velocity[i] + g;
+        g = velocity[i];
+      }
+      param[i] -= lr * g;
+    }
+  });
 }
 
 void SoftmaxRow(const float* x, float* y, int64_t n) {

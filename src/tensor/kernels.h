@@ -104,6 +104,37 @@ void AddRowBias(float* y, const float* bias, int64_t rows, int64_t cols);
 /// out[c] += sum_r y[r, c] (bias gradient of a row-broadcast add).
 void AccumulateColumnSum(const float* y, int64_t rows, int64_t cols, float* out);
 
+// --- Optimizer and gradient-reduction kernels --------------------------------
+//
+// These back the data-parallel training path (core/parallel_trainer.h) and
+// the vectorized nn::Sgd / nn::Adam steps. All of them are deterministic:
+// per-element arithmetic has a fixed order that does not depend on chunk
+// boundaries or thread count.
+
+/// dst[i] = (srcs[0][i] + srcs[1][i] + ... + srcs[num_srcs-1][i]) * scale.
+/// Sources are added in ascending index order per element — the fixed-order
+/// reduction discipline of ops::Sum applied across gradient buffers — so the
+/// result is bit-identical however the element range is chunked across
+/// threads. dst may alias srcs[0] (the in-place master-gradient case).
+void ReduceGradSum(const float* const* srcs, int num_srcs, float scale,
+                   float* dst, int64_t n);
+
+/// Vectorized Adam update for one parameter buffer:
+///   g     = grad[i] + weight_decay * param[i]
+///   m[i]  = beta1 * m[i] + (1 - beta1) * g
+///   v[i]  = beta2 * v[i] + (1 - beta2) * g * g
+///   param[i] -= lr * (m[i] / bc1) / (sqrt(v[i] / bc2) + eps)
+/// bc1/bc2 are the bias corrections 1 - beta^t computed by the caller.
+void AdamUpdate(float* param, const float* grad, float* m, float* v, int64_t n,
+                float lr, float beta1, float beta2, float eps,
+                float weight_decay, float bc1, float bc2);
+
+/// Vectorized SGD update. With momentum != 0, `velocity` must be non-null:
+///   velocity[i] = momentum * velocity[i] + grad[i]
+///   param[i]   -= lr * (momentum != 0 ? velocity[i] : grad[i])
+void SgdUpdate(float* param, const float* grad, float* velocity, int64_t n,
+               float lr, float momentum);
+
 // --- Fused LSTM cell kernels -------------------------------------------------
 //
 // `gates` is the pre-activation buffer [B, 4H] in gate order i, f, g, o.

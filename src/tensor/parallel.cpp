@@ -126,14 +126,16 @@ class Pool {
   bool shutdown_ = false;
 };
 
-int DefaultThreads() {
-  if (const char* env = std::getenv("ADAPTRAJ_NUM_THREADS")) {
+int EnvThreads(const char* name) {
+  if (const char* env = std::getenv(name)) {
     int n = std::atoi(env);
     if (n >= 1) return n;
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
+
+int DefaultThreads() { return EnvThreads("ADAPTRAJ_NUM_THREADS"); }
 
 std::mutex g_pool_mu;
 Pool* g_pool = nullptr;
@@ -142,6 +144,37 @@ Pool& GetPool() {
   std::lock_guard<std::mutex> lock(g_pool_mu);
   if (g_pool == nullptr) g_pool = new Pool(DefaultThreads());
   return *g_pool;
+}
+
+// The training pool is a second Pool instance: same dynamic chunk claiming,
+// but a "chunk" is a whole micro-batch task. Kept separate from the kernel
+// pool so a task group can run while kernels stay available to a
+// single-worker caller. The no-env default is capped: a task group carries
+// at most TrainConfig::accum_steps (default 4) tasks, so on a many-core
+// host uncapped hardware concurrency would only buy idle threads woken by
+// every group's notify_all. An explicit ADAPTRAJ_TRAIN_WORKERS value is
+// taken as-is.
+constexpr int kDefaultTrainWorkerCap = 8;
+
+std::mutex g_train_pool_mu;
+Pool* g_train_pool = nullptr;
+
+Pool& GetTrainPool() {
+  std::lock_guard<std::mutex> lock(g_train_pool_mu);
+  if (g_train_pool == nullptr) {
+    // Only a valid explicit count (>= 1) escapes the cap; unset, zero, or
+    // garbage values all take the capped hardware default.
+    int n = 0;
+    if (const char* env = std::getenv("ADAPTRAJ_TRAIN_WORKERS")) {
+      n = std::atoi(env);
+    }
+    if (n < 1) {
+      unsigned hw = std::thread::hardware_concurrency();
+      n = hw == 0 ? 1 : std::min(static_cast<int>(hw), kDefaultTrainWorkerCap);
+    }
+    g_train_pool = new Pool(n);
+  }
+  return *g_train_pool;
 }
 
 }  // namespace
@@ -156,6 +189,36 @@ void Configure(int n) {
 }
 
 bool InWorkerThread() { return g_in_worker; }
+
+int NumTrainWorkers() { return GetTrainPool().num_threads(); }
+
+void ConfigureTrainWorkers(int n) {
+  ADAPTRAJ_CHECK_MSG(n >= 1, "training pool needs at least one worker; got " << n);
+  std::lock_guard<std::mutex> lock(g_train_pool_mu);
+  delete g_train_pool;
+  g_train_pool = new Pool(n);
+}
+
+void RunTaskGroup(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  // Nested groups (a task spawning a group) and single-task groups run
+  // inline; so does the whole group when the pool is serial, which leaves
+  // the kernel pool fully available to the one training thread.
+  Pool& pool = GetTrainPool();
+  if (InWorkerThread() || pool.num_threads() == 1 || tasks.size() == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  pool.Run(static_cast<int64_t>(tasks.size()), [&tasks](int64_t i) {
+    // Tasks claimed by the calling thread must also run their kernels
+    // inline, like the pool workers do, so the worker x kernel-thread
+    // product stays bounded by the configured worker count.
+    const bool saved = g_in_worker;
+    g_in_worker = true;
+    tasks[static_cast<size_t>(i)]();
+    g_in_worker = saved;
+  });
+}
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body) {

@@ -13,8 +13,33 @@
 // std::thread::hardware_concurrency(). A value of 1 (or a single-core
 // machine) disables the workers entirely and ParallelFor runs inline.
 //
+// A second, independent pool drives scene-level data-parallel training (see
+// core/parallel_trainer.h): RunTaskGroup executes a fixed list of
+// coarse-grained tasks (one micro-batch forward+backward each) across
+// ADAPTRAJ_TRAIN_WORKERS threads.
+//
+// Worker x kernel-thread budget: the two knobs compose multiplicatively, so
+// the task-group layer keeps the product bounded. With
+// ADAPTRAJ_TRAIN_WORKERS <= 1 training is serial and every kernel inside it
+// may still fan out across all ADAPTRAJ_NUM_THREADS pool threads (the PR-1
+// behaviour). With ADAPTRAJ_TRAIN_WORKERS > 1 each training task runs its
+// kernels inline (single-threaded), exactly as if it were already on a
+// kernel-pool worker: parallelism moves from inside each GEMM to across
+// scenes, and the process never oversubscribes cores with
+// workers x kernel-threads software threads. Because every kernel is
+// bit-deterministic for any thread count (including inline execution), moving
+// a micro-batch from the kernel-parallel to the inline regime cannot change
+// its result — which is what makes trained weights bit-identical for any
+// ADAPTRAJ_TRAIN_WORKERS value.
+//
 // Related runtime switches (kernel layer, documented here with the thread
 // knob so all env configuration lives in one place):
+//   ADAPTRAJ_TRAIN_WORKERS  number of data-parallel training workers used by
+//                        RunTaskGroup / core::ParallelTrainer. Default:
+//                        hardware concurrency, capped at 8 (groups carry at
+//                        most accum_steps tasks). 1 = serial training loop.
+//                        Results are bit-identical for any value; only
+//                        wall-clock changes.
 //   ADAPTRAJ_SIMD        "0" / "off" / "scalar" force the transcendental
 //                        kernels (exp/tanh/sigmoid, softmax rows, LSTM gate
 //                        activations) onto scalar libm; unset or any other
@@ -31,6 +56,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace adaptraj {
 namespace parallel {
@@ -53,6 +79,33 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 /// True while the calling thread is a pool worker (nested ParallelFor from a
 /// worker runs inline to avoid deadlock).
 bool InWorkerThread();
+
+// --- Scene-level training workers -------------------------------------------
+
+/// Number of data-parallel training workers (>= 1). Resolution order:
+/// ADAPTRAJ_TRAIN_WORKERS env var (taken as-is), then hardware concurrency
+/// capped at 8 (task groups rarely exceed TrainConfig::accum_steps tasks,
+/// so more default workers would only idle). 1 means RunTaskGroup executes
+/// its tasks inline on the calling thread.
+int NumTrainWorkers();
+
+/// Rebuilds the training-worker pool with `n` workers (n >= 1). Must not be
+/// called while another thread is inside RunTaskGroup (the old pool is
+/// destroyed; in-flight chunks finish, but the caller's job handle dies with
+/// it). Intended for tests and benchmarks, which own the only training
+/// thread; normal code relies on the environment-derived default.
+void ConfigureTrainWorkers(int n);
+
+/// Executes every task in `tasks` exactly once and blocks until all finish.
+/// Tasks may run on any training worker in any order, so they must only
+/// write state disjoint per task; any cross-task reduction happens after
+/// this returns (with full memory visibility into what the tasks wrote).
+///
+/// When the training pool has more than one worker, each task body runs with
+/// kernel-level ParallelFor forced inline (see the worker x kernel-thread
+/// budget note above). With one worker, tasks run inline on the caller and
+/// kernels keep their usual pool — the serial PR-1 behaviour.
+void RunTaskGroup(const std::vector<std::function<void()>>& tasks);
 
 }  // namespace parallel
 }  // namespace adaptraj

@@ -3,11 +3,13 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "nn/layers.h"
 #include "nn/losses.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace adaptraj {
@@ -139,6 +141,77 @@ TEST(ClipGradNormTest, RescalesLargeGradients) {
   Tensor g = x.grad();
   float norm = std::sqrt(g.flat(0) * g.flat(0) + g.flat(1) * g.flat(1));
   EXPECT_NEAR(norm, 1.0f, 1e-4);
+}
+
+// --- Vectorized update kernels ----------------------------------------------
+//
+// The Sgd/Adam Step() loops now run through kernels::SgdUpdate/AdamUpdate
+// (Vec16 with a zero-padded tail). These tests pin them against the scalar
+// reference recurrence.
+
+TEST(AdamUpdateKernelTest, MatchesScalarReference) {
+  const int64_t n = 67;  // not a multiple of 16: exercises the tail
+  Rng rng(12);
+  std::vector<float> param(n), grad(n), m(n, 0.0f), v(n, 0.0f);
+  for (auto& x : param) x = rng.Normal(0.0f, 1.0f);
+  for (auto& x : grad) x = rng.Normal(0.0f, 3.0f);
+  std::vector<float> p_ref = param, m_ref = m, v_ref = v;
+  const float lr = 0.01f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f, wd = 0.1f;
+  for (int t = 1; t <= 3; ++t) {
+    const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t));
+    const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t));
+    kernels::AdamUpdate(param.data(), grad.data(), m.data(), v.data(), n, lr, b1,
+                        b2, eps, wd, bc1, bc2);
+    for (int64_t i = 0; i < n; ++i) {
+      float g = grad[i] + wd * p_ref[i];
+      m_ref[i] = b1 * m_ref[i] + (1.0f - b1) * g;
+      v_ref[i] = b2 * v_ref[i] + (1.0f - b2) * g * g;
+      p_ref[i] -= lr * (m_ref[i] / bc1) / (std::sqrt(v_ref[i] / bc2) + eps);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(param[i], p_ref[i], 1e-6f) << "step " << t << " element " << i;
+      ASSERT_NEAR(m[i], m_ref[i], 1e-6f);
+      ASSERT_NEAR(v[i], v_ref[i], 1e-6f);
+    }
+  }
+}
+
+TEST(AdamUpdateKernelTest, DeterministicAcrossRuns) {
+  const int64_t n = 123;
+  Rng rng(9);
+  std::vector<float> grad(n);
+  for (auto& x : grad) x = rng.Normal(0.0f, 1.0f);
+  auto run = [&grad, n]() {
+    std::vector<float> p(n, 0.5f), m(n, 0.0f), v(n, 0.0f);
+    for (int t = 1; t <= 5; ++t) {
+      kernels::AdamUpdate(p.data(), grad.data(), m.data(), v.data(), n, 0.02f,
+                          0.9f, 0.999f, 1e-8f, 0.0f, 0.1f, 0.01f);
+    }
+    return p;
+  };
+  const std::vector<float> a = run();
+  const std::vector<float> b = run();
+  for (int64_t i = 0; i < n; ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(SgdUpdateKernelTest, MatchesScalarReference) {
+  const int64_t n = 37;
+  Rng rng(4);
+  std::vector<float> param(n), grad(n), vel(n, 0.0f);
+  for (auto& x : param) x = rng.Normal(0.0f, 1.0f);
+  for (auto& x : grad) x = rng.Normal(0.0f, 1.0f);
+  std::vector<float> p_ref = param, v_ref = vel;
+  for (int t = 0; t < 3; ++t) {
+    kernels::SgdUpdate(param.data(), grad.data(), vel.data(), n, 0.1f, 0.9f);
+    for (int64_t i = 0; i < n; ++i) {
+      v_ref[i] = 0.9f * v_ref[i] + grad[i];
+      p_ref[i] -= 0.1f * v_ref[i];
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(param[i], p_ref[i], 1e-6f) << "element " << i;
+      ASSERT_NEAR(vel[i], v_ref[i], 1e-6f);
+    }
+  }
 }
 
 TEST(OptimizerIntegrationTest, MlpRegressionConverges) {

@@ -28,6 +28,13 @@ TRACKED_PREFIXES = (
     "BM_BatchGemmKernel",
     "BM_LstmStepFused/",  # trailing slash: excludes the ScalarAct baseline
     "BM_SoftmaxFwdBwd",
+    "BM_AdamUpdate_Fast",
+    # Scene-parallel training epochs. cpu_time here is whole-process CPU
+    # (MeasureProcessCPUTime), i.e. total work per epoch — the right gate:
+    # it is stable across worker counts and core counts, while real_time
+    # (the wall-clock speedup headline) depends on how many physical cores
+    # the runner has.
+    "BM_TrainEpoch_",
 )
 
 
