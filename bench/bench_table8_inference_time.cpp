@@ -4,9 +4,13 @@
 // (1) LBEBM slower than PECNet (latent energy sampling), and (2) AdapTraj
 // adding only a small overhead over its vanilla backbone.
 
+#include <future>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "serve/inference_engine.h"
 
 namespace adaptraj {
 namespace bench {
@@ -49,6 +53,39 @@ void BM_Inference(benchmark::State& state) {
   state.SetLabel(models::BackboneKindName(backbone) + "-" + eval::MethodKindName(method));
 }
 
+// Serving throughput: scenes/sec through the batched InferenceEngine at the
+// coalescing widths of the serving ladder (batch in {1, 8, 32}). items/sec
+// in the report is the headline number.
+void BM_EngineThroughput(benchmark::State& state) {
+  const auto backbone = static_cast<models::BackboneKind>(state.range(0));
+  const auto method = static_cast<eval::MethodKind>(state.range(1));
+  const int batch_size = static_cast<int>(state.range(2));
+  TimingSetup setup = MakeSetup(backbone, method);
+
+  BenchScales scales = GetScales();
+  scales.num_scenes = 2;
+  scales.steps_per_scene = 45;
+  auto dgd = data::BuildDomainGeneralizationData(SourcesExcluding(sim::Domain::kSdd),
+                                                 sim::Domain::kSdd,
+                                                 MakeCorpusConfig(scales));
+  const int64_t scenes = std::min<int64_t>(32, dgd.target.test.size());
+  serve::InferenceEngineOptions options;
+  options.batch_size = batch_size;
+  options.seed = 1;
+  for (auto _ : state) {
+    serve::InferenceEngine engine(setup.method.get(), options);
+    std::vector<std::future<Tensor>> futures;
+    for (int64_t i = 0; i < scenes; ++i) {
+      futures.push_back(engine.Submit(dgd.target.test.sequences[i]));
+    }
+    engine.Drain();
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().data());
+  }
+  state.SetItemsProcessed(state.iterations() * scenes);
+  state.SetLabel(models::BackboneKindName(backbone) + "-" +
+                 eval::MethodKindName(method) + "-b" + std::to_string(batch_size));
+}
+
 void RegisterAll() {
   for (auto backbone : {models::BackboneKind::kPecnet, models::BackboneKind::kLbebm}) {
     for (auto method :
@@ -58,6 +95,14 @@ void RegisterAll() {
           ->Args({static_cast<int64_t>(backbone), static_cast<int64_t>(method)})
           ->Unit(benchmark::kMillisecond);
     }
+  }
+  // The serving sweep only needs one method per backbone family: AdapTraj on
+  // PECNet (the paper's headline pairing) at the three coalescing widths.
+  for (int64_t batch : {1, 8, 32}) {
+    benchmark::RegisterBenchmark("BM_EngineThroughput", BM_EngineThroughput)
+        ->Args({static_cast<int64_t>(models::BackboneKind::kPecnet),
+                static_cast<int64_t>(eval::MethodKind::kAdapTraj), batch})
+        ->Unit(benchmark::kMillisecond);
   }
 }
 

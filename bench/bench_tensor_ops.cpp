@@ -28,6 +28,7 @@
 #include "core/adaptraj_method.h"
 #include "core/baselines.h"
 #include "data/multi_domain.h"
+#include "serve/inference_engine.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
@@ -468,6 +469,102 @@ void BM_TrainEpoch_Vanilla(benchmark::State& state) {
   parallel::ConfigureTrainWorkers(1);
 }
 
+// --- Inference: grad-mode vs no-grad Predict, and the serving engine ---------
+//
+// Method::Predict runs forward-only (NoGradGuard in its body); the GradMode
+// fixture forces tape recording so the EXECUTION-MODE delta is measured
+// inside one binary at the table-8 batch shape (the 32-scene probe batch).
+// Note what this pair does and does not measure: both fixtures run on the
+// PR's optimized substrate (fused Affine, bucketed pool, template
+// ParallelFor), where Predict is ~92% kernel time — so the mode delta alone
+// is ~1.2-1.35x CPU (load-dependent). The full Predict improvement of the
+// inference-runtime work vs the pre-change grad path was 1.40 -> 0.62-0.66
+// ms CPU (~2.1x) at this shape; the substrate share of that also speeds
+// training (see BM_TrainEpoch_*). Each fixture reports the buffer-pool
+// reuse rate over its own loop; the structural eager-release advantage of
+// no-grad is sharpest from a cold pool (see
+// tests/tensor/test_nograd.cpp:EagerReleaseRaisesPoolReuse).
+
+struct PredictFixture {
+  core::AdapTrajMethod method;
+  data::Batch batch;
+  PredictFixture()
+      : method(models::BackboneKind::kSeq2Seq, TrainBenchBackbone(),
+               [] {
+                 core::AdapTrajConfig acfg;
+                 acfg.num_source_domains =
+                     static_cast<int>(TrainBenchData().sources.size());
+                 return acfg;
+               }(),
+               99) {
+    const auto& dgd = TrainBenchData();
+    data::SequenceConfig seq_cfg;
+    const int64_t probe = std::min<int64_t>(32, dgd.target.test.size());
+    std::vector<const data::TrajectorySequence*> seqs;
+    for (int64_t i = 0; i < probe; ++i) {
+      seqs.push_back(&dgd.target.test.sequences[i]);
+    }
+    batch = data::MakeBatch(seqs, seq_cfg);
+  }
+};
+
+void ReportPoolReuse(benchmark::State& state,
+                     const internal::BufferPoolStats& before) {
+  const auto after = internal::GetBufferPoolStats();
+  const int64_t acquires = after.acquires - before.acquires;
+  const int64_t hits = after.hits() - before.hits();
+  state.counters["pool_reuse_pct"] =
+      acquires > 0 ? 100.0 * static_cast<double>(hits) /
+                         static_cast<double>(acquires)
+                   : 0.0;
+}
+
+void BM_PredictGradMode(benchmark::State& state) {
+  PredictFixture f;
+  Rng rng(1);
+  ForcedGradModeGuard forced;  // legacy path: record (and discard) the tape
+  const auto before = internal::GetBufferPoolStats();
+  for (auto _ : state) {
+    Tensor pred = f.method.Predict(f.batch, &rng, /*sample=*/true);
+    benchmark::DoNotOptimize(pred.data());
+  }
+  ReportPoolReuse(state, before);
+}
+
+void BM_PredictNoGrad(benchmark::State& state) {
+  PredictFixture f;
+  Rng rng(1);
+  const auto before = internal::GetBufferPoolStats();
+  for (auto _ : state) {
+    Tensor pred = f.method.Predict(f.batch, &rng, /*sample=*/true);
+    benchmark::DoNotOptimize(pred.data());
+  }
+  ReportPoolReuse(state, before);
+}
+
+// Serving path: 32 scenes per iteration submitted to an InferenceEngine that
+// coalesces Arg(0)-scene batches. items/sec is scenes/sec — the throughput
+// metric at batch in {1, 8, 32}.
+void BM_InferenceEngine(benchmark::State& state) {
+  PredictFixture f;
+  const auto& dgd = TrainBenchData();
+  const int64_t scenes = std::min<int64_t>(32, dgd.target.test.size());
+  serve::InferenceEngineOptions options;
+  options.batch_size = static_cast<int>(state.range(0));
+  options.seed = 1;
+  for (auto _ : state) {
+    serve::InferenceEngine engine(&f.method, options);
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(static_cast<size_t>(scenes));
+    for (int64_t i = 0; i < scenes; ++i) {
+      futures.push_back(engine.Submit(dgd.target.test.sequences[i]));
+    }
+    engine.Drain();
+    for (auto& fut : futures) benchmark::DoNotOptimize(fut.get().data());
+  }
+  state.SetItemsProcessed(state.iterations() * scenes);
+}
+
 // --- Softmax -----------------------------------------------------------------
 
 void BM_SoftmaxFwdBwd(benchmark::State& state) {
@@ -510,6 +607,13 @@ BENCHMARK(BM_TanhKernel)->Arg(1)->Arg(0);
 // Optimizer update at model-stack parameter counts.
 BENCHMARK(BM_AdamUpdate_Legacy)->Arg(1 << 16);
 BENCHMARK(BM_AdamUpdate_Fast)->Arg(1 << 16);
+// Forward-only inference at the table-8 batch shape: the GradMode fixture is
+// the in-binary baseline for the no-grad speedup; pool_reuse_pct shows the
+// eager-release delta. BM_InferenceEngine is scenes/sec through the serving
+// path at batch in {1, 8, 32}.
+BENCHMARK(BM_PredictGradMode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictNoGrad)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InferenceEngine)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 // Scene-parallel training epochs; Arg = ADAPTRAJ_TRAIN_WORKERS. real_time is
 // the wall-clock headline; cpu_time is whole-process CPU (total work).
 BENCHMARK(BM_TrainEpoch_AdapTraj)

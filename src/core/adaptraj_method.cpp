@@ -36,6 +36,9 @@ AdapTrajMethod::AdapTrajMethod(models::BackboneKind kind,
   Rng rng(init_seed);
   model_ =
       std::make_unique<AdapTrajModel>(kind, backbone_config, model_config, &rng);
+  // Methods serve in inference mode unless a Train() is in flight — also
+  // for models restored via LoadParameters, which never pass through Train().
+  model_->eval();
 }
 
 AdapTrajFeatures AdapTrajMethod::ApplyVariant(AdapTrajFeatures f) const {
@@ -81,6 +84,7 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
                                                model_config_, &replica_rng);
       });
   ParallelTrainer& trainer = *rt.trainer;
+  for (AdapTrajModel* m : rt.models) m->train();
 
   // The main-thread Rng drives the label-masking schedule; every micro-batch
   // loss draws from its own TaskSeed stream (see parallel_trainer.h).
@@ -156,9 +160,11 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
     trainer.Flush();
   }
   trainer.Flush();
+  for (AdapTrajModel* m : rt.models) m->eval();
 }
 
 Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
+  NoGradGuard no_grad;
   // Unseen domain: every sequence routes through the aggregator (label -1).
   std::vector<int> labels(batch.batch_size, -1);
   models::EncodeResult enc = model_->backbone().Encode(batch);

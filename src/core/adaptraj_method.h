@@ -51,6 +51,9 @@ class AdapTrajMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  bool reentrant_predict() const override {
+    return model_->backbone().reentrant_predict();
+  }
 
   AdapTrajModel& model() { return *model_; }
   const AdapTrajTrainConfig& schedule() const { return schedule_; }

@@ -42,6 +42,9 @@ VanillaMethod::VanillaMethod(models::BackboneKind kind,
   Rng rng(init_seed);
   config_.extra_dim = 0;
   backbone_ = models::MakeBackbone(kind, config_, &rng);
+  // Methods serve in inference mode unless a Train() is in flight — also
+  // for models restored via LoadParameters, which never pass through Train().
+  backbone_->eval();
 }
 
 void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
@@ -53,6 +56,7 @@ void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
       config.grad_clip,
       [this] { return MakeReplica(kind_, config_, init_seed_); });
   ParallelTrainer& trainer = *rt.trainer;
+  for (models::Backbone* m : rt.models) m->train();
 
   data::SequenceConfig seq_cfg;
   data::BatchLoader loader(&dgd.pooled_train, config.batch_size, seq_cfg,
@@ -78,9 +82,11 @@ void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
     trainer.Flush();
   }
   trainer.Flush();
+  for (models::Backbone* m : rt.models) m->eval();
 }
 
 Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
+  NoGradGuard no_grad;
   models::EncodeResult enc = backbone_->Encode(batch);
   return backbone_->Predict(batch, enc, Tensor(), rng, sample);
 }
@@ -91,6 +97,7 @@ CounterMethod::CounterMethod(models::BackboneKind kind,
   Rng rng(init_seed);
   config_.extra_dim = 0;
   backbone_ = models::MakeBackbone(kind, config_, &rng);
+  backbone_->eval();  // see VanillaMethod: serve in inference mode by default
 }
 
 void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
@@ -102,6 +109,7 @@ void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
       config.grad_clip,
       [this] { return MakeReplica(kind_, config_, init_seed_); });
   ParallelTrainer& trainer = *rt.trainer;
+  for (models::Backbone* m : rt.models) m->train();
 
   data::SequenceConfig seq_cfg;
   data::BatchLoader loader(&dgd.pooled_train, config.batch_size, seq_cfg,
@@ -129,9 +137,11 @@ void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
     trainer.Flush();
   }
   trainer.Flush();
+  for (models::Backbone* m : rt.models) m->eval();
 }
 
 Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
+  NoGradGuard no_grad;
   data::Batch cf = CounterfactualBatch(batch);
   models::EncodeResult enc = backbone_->Encode(cf);
   return backbone_->Predict(cf, enc, Tensor(), rng, sample);
@@ -147,6 +157,7 @@ CausalMotionMethod::CausalMotionMethod(models::BackboneKind kind,
   Rng rng(init_seed);
   config_.extra_dim = 0;
   backbone_ = models::MakeBackbone(kind, config_, &rng);
+  backbone_->eval();  // see VanillaMethod: serve in inference mode by default
 }
 
 void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
@@ -158,6 +169,7 @@ void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
       config.grad_clip,
       [this] { return MakeReplica(kind_, config_, init_seed_); });
   ParallelTrainer& trainer = *rt.trainer;
+  for (models::Backbone* m : rt.models) m->train();
 
   data::SequenceConfig seq_cfg;
 
@@ -217,10 +229,12 @@ void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
     trainer.Flush();
   }
   trainer.Flush();
+  for (models::Backbone* m : rt.models) m->eval();
 }
 
 Tensor CausalMotionMethod::Predict(const data::Batch& batch, Rng* rng,
                                    bool sample) const {
+  NoGradGuard no_grad;
   models::EncodeResult enc = backbone_->Encode(batch);
   return backbone_->Predict(batch, enc, Tensor(), rng, sample);
 }

@@ -32,6 +32,7 @@ class VanillaMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
 
   models::Backbone& backbone() { return *backbone_; }
 
@@ -58,6 +59,7 @@ class CounterMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
 
  private:
   models::BackboneKind kind_;
@@ -81,6 +83,7 @@ class CausalMotionMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
 
  private:
   models::BackboneKind kind_;

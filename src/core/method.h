@@ -47,7 +47,16 @@ class Method {
 
   /// Predicts future displacements [B, pred_len*2] for an arbitrary batch.
   /// With `sample` set, draws one of the multi-modal futures.
+  ///
+  /// Inference contract: the body runs under NoGradGuard — no autograd graph
+  /// is recorded and the outputs are bit-identical to a grad-mode forward
+  /// pass (asserted by tests/core/test_inference_mode.cpp).
   virtual Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const = 0;
+
+  /// True when concurrent Predict() calls on this instance are safe (see
+  /// models::Backbone::reentrant_predict). serve::InferenceEngine serializes
+  /// batch execution when this is false.
+  virtual bool reentrant_predict() const { return true; }
 };
 
 }  // namespace core

@@ -8,7 +8,9 @@ namespace data {
 
 Batch MakeBatch(const std::vector<const TrajectorySequence*>& sequences,
                 const SequenceConfig& config) {
-  ADAPTRAJ_CHECK_MSG(!sequences.empty(), "MakeBatch on empty sequence list");
+  // An empty list is valid and yields a well-formed B = 0 batch (every
+  // tensor keeps its documented rank with a zero batch extent): empty tail
+  // batches and an idle serving engine produce these.
   const int64_t batch = static_cast<int64_t>(sequences.size());
   const int obs_len = config.obs_len;
   const int pred_len = config.pred_len;

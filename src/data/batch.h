@@ -49,7 +49,7 @@ struct Batch {
 };
 
 /// Assembles a batch from sequence pointers (all must share the config's
-/// window lengths).
+/// window lengths). An empty list yields a well-formed B = 0 batch.
 Batch MakeBatch(const std::vector<const TrajectorySequence*>& sequences,
                 const SequenceConfig& config);
 

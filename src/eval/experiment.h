@@ -41,6 +41,9 @@ struct ExperimentResult {
   Metrics target;                 // best-of-K on the unseen target test split
   double train_seconds = 0.0;
   double inference_seconds = 0.0;  // median wall-clock per Predict call
+  /// Serving throughput (scenes/sec) through an InferenceEngine coalescing
+  /// eval_batch_size-scene batches over the target test split.
+  double engine_scenes_per_sec = 0.0;
 };
 
 /// Instantiates an untrained method for the given configuration.
@@ -52,9 +55,19 @@ ExperimentResult RunExperiment(const data::DomainGeneralizationData& dgd,
                                const ExperimentConfig& config);
 
 /// Median wall-clock seconds of one Predict call on a representative batch
-/// (robust to first-call buffer-pool warm-up).
+/// (robust to first-call buffer-pool warm-up). Predict runs forward-only
+/// (NoGradGuard inside the method), so this is the serving-path cost.
 double MeasureInferenceSeconds(const core::Method& method, const data::Batch& batch,
                                int iterations, uint64_t seed);
+
+/// Serving throughput in scenes/sec through a serve::InferenceEngine that
+/// coalesces `batch_size`-scene batches: submits up to `num_scenes` test
+/// sequences per pass and drains, repeating `repeats` times (median pass
+/// time after one warm-up pass). The table-8 shape at batch_size in
+/// {1, 8, 32} is the tracked serving metric.
+double MeasureEngineThroughput(const core::Method& method, const data::Dataset& dataset,
+                               const data::SequenceConfig& config, int batch_size,
+                               int num_scenes, int repeats, uint64_t seed);
 
 }  // namespace eval
 }  // namespace adaptraj

@@ -45,6 +45,10 @@ struct BackboneConfig {
   /// Width of the external conditioning vector provided by a learning
   /// framework (AdapTraj's [H^i ; H^s]); 0 for vanilla training.
   int64_t extra_dim = 0;
+  /// Decoder dropout rate (Seq2Seq: on the decoder state ahead of the
+  /// output head). Active only in training mode (Module::train()); under
+  /// Method::Predict() — which serves in eval mode — it is the identity.
+  float dropout = 0.0f;
   /// Aggregation mechanism of the neighbor interaction layer (Eq. 3).
   InteractionKind interaction = InteractionKind::kAttention;
   /// Sequential encoder of the individual mobility layer (Eq. 2).
@@ -89,6 +93,13 @@ class Backbone : public nn::Module {
 
   /// Human-readable kind.
   virtual BackboneKind kind() const = 0;
+
+  /// True when concurrent Predict() calls on one instance are safe (forward
+  /// passes only read parameters and allocate from thread-local pools).
+  /// LBEBM returns false: its Langevin sampler backpropagates through the
+  /// shared energy network's gradient buffers. serve::InferenceEngine
+  /// consults this to serialize batch execution for such backbones.
+  virtual bool reentrant_predict() const { return true; }
 
  protected:
   /// Returns `extra` when defined, otherwise zeros of [batch, extra_dim];

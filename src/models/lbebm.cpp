@@ -56,6 +56,10 @@ Tensor LbebmBackbone::Energy(const Tensor& z, const Tensor& context) const {
 }
 
 Tensor LbebmBackbone::SampleLangevin(const Tensor& context, Rng* rng) const {
+  // Gradient island: Langevin dynamics differentiates the energy w.r.t. z,
+  // so the tape must be recorded here even when the surrounding Predict()
+  // runs under NoGradGuard.
+  EnableGradGuard grad_island;
   const int64_t b = context.shape()[0];
   Tensor ctx = context.Detach();
   Tensor z = Tensor::Randn({b, config_.latent_dim}, rng);

@@ -26,6 +26,9 @@ class LbebmBackbone : public Backbone {
   Tensor Loss(const data::Batch& batch, const EncodeResult& enc, const Tensor& extra,
               Rng* rng) const override;
   BackboneKind kind() const override { return BackboneKind::kLbebm; }
+  /// Langevin sampling writes (then wipes) shared parameter gradients, so
+  /// concurrent Predict() calls on one instance would race.
+  bool reentrant_predict() const override { return false; }
 
   /// Energy of latent plans z [B, latent] under context [B, ctx]: returns
   /// [B, 1]. Exposed for tests.

@@ -19,6 +19,7 @@ Seq2SeqBackbone::Seq2SeqBackbone(const BackboneConfig& config, Rng* rng)
                      config.hidden_dim},
                     rng, nn::Activation::kRelu, nn::Activation::kTanh),
       decoder_cell_(config.embed_dim + config.social_dim, config.hidden_dim, rng),
+      head_drop_(config.dropout),
       head_({config.hidden_dim, config.hidden_dim, 2}, rng, nn::Activation::kRelu,
             nn::Activation::kNone) {
   RegisterModule("step_embed", &step_embed_);
@@ -32,6 +33,7 @@ Seq2SeqBackbone::Seq2SeqBackbone(const BackboneConfig& config, Rng* rng)
   RegisterModule("interaction", &interaction_);
   RegisterModule("decoder_init", &decoder_init_);
   RegisterModule("decoder_cell", &decoder_cell_);
+  RegisterModule("head_drop", &head_drop_);
   RegisterModule("head", &head_);
 }
 
@@ -71,7 +73,8 @@ Tensor Seq2SeqBackbone::Predict(const data::Batch& batch, const EncodeResult& en
   for (int t = 0; t < config_.pred_len; ++t) {
     Tensor cell_in = Concat({step_embed_.Forward(prev), enc.pooled}, 1);
     state = decoder_cell_.Forward(cell_in, state);
-    Tensor disp = head_.Forward(state.h);  // [B, 2]
+    // Training-mode regularization; identity (no rng draw) in eval mode.
+    Tensor disp = head_.Forward(head_drop_.Forward(state.h, rng));  // [B, 2]
     outputs.push_back(disp);
     prev = disp;
   }

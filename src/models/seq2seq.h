@@ -38,6 +38,7 @@ class Seq2SeqBackbone : public Backbone {
   InteractionPooling interaction_;  // phi of Eq. 3
   nn::Mlp decoder_init_;          // gamma of Eq. 4
   nn::LstmCell decoder_cell_;     // psi of Eq. 6
+  nn::Dropout head_drop_;         // regularizes the decoder state (train only)
   nn::Mlp head_;                  // mu of Eq. 7: hidden -> displacement
 };
 

@@ -25,7 +25,8 @@ Tensor Linear::Forward(const Tensor& x) const {
   ADAPTRAJ_CHECK_MSG(x.dim() == 2 && x.shape()[1] == in_features(),
                      "Linear expects [B, " << in_features() << "]; got "
                                            << ShapeToString(x.shape()));
-  return BroadcastAdd(MatMul(x, weight_), bias_);
+  // One fused node (values bit-identical to BroadcastAdd(MatMul(x, w), b)).
+  return Affine(x, weight_, bias_);
 }
 
 Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, Activation hidden, Activation output)
@@ -47,6 +48,22 @@ Tensor Mlp::Forward(const Tensor& x) const {
 }
 
 int64_t Mlp::out_features() const { return layers_.back()->out_features(); }
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  ADAPTRAJ_CHECK_MSG(rate >= 0.0f && rate < 1.0f,
+                     "Dropout rate must be in [0, 1); got " << rate);
+}
+
+Tensor Dropout::Forward(const Tensor& x, Rng* rng) const {
+  if (!is_training() || rate_ == 0.0f) return x;
+  ADAPTRAJ_CHECK_MSG(rng != nullptr, "Dropout in training mode needs an rng");
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  std::vector<float> mask(static_cast<size_t>(x.size()));
+  for (auto& m : mask) m = rng->Bernoulli(keep) ? scale : 0.0f;
+  // The mask is a constant: gradients flow into x only.
+  return Mul(x, Tensor::FromVector(x.shape(), std::move(mask)));
+}
 
 LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
     : hidden_size_(hidden_size) {

@@ -1,4 +1,4 @@
-// Core trainable layers: Linear, Mlp, LstmCell, Lstm.
+// Core trainable layers: Linear, Mlp, Dropout, LstmCell, Lstm.
 
 #ifndef ADAPTRAJ_NN_LAYERS_H_
 #define ADAPTRAJ_NN_LAYERS_H_
@@ -52,6 +52,26 @@ class Mlp : public Module {
   std::vector<std::unique_ptr<Linear>> layers_;
   Activation hidden_;
   Activation output_;
+};
+
+/// Inverted dropout, gated by the Module training mode (module.h): in
+/// training mode each element is zeroed with probability `rate` and the
+/// survivors are scaled by 1/(1-rate); in inference mode (after eval()) the
+/// layer is the identity, so no rng draw is consumed and eval outputs are
+/// deterministic. The expectation of the output matches the input either way.
+class Dropout : public Module {
+ public:
+  /// `rate` is the drop probability in [0, 1).
+  explicit Dropout(float rate);
+
+  /// Applies dropout to x; `rng` is only consumed in training mode with a
+  /// positive rate.
+  Tensor Forward(const Tensor& x, Rng* rng) const;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
 };
 
 /// Single LSTM step (standard gates, forget-gate bias initialized to 1).

@@ -50,6 +50,11 @@ std::vector<float> Module::ParameterSnapshot() const {
   return out;
 }
 
+void Module::train(bool on) {
+  training_ = on;
+  for (const auto& [name, child] : children_) child->train(on);
+}
+
 Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
   ADAPTRAJ_CHECK_MSG(t.defined(), "registering null parameter " << name);
   t.set_requires_grad(true);

@@ -43,6 +43,25 @@ class Module {
   /// The byte-exact fingerprint used by the training-determinism tests.
   std::vector<float> ParameterSnapshot() const;
 
+  // --- Training / inference mode ---------------------------------------------
+  //
+  // Mode-dependent layers (Dropout) consult is_training(); everything else is
+  // unaffected. Raw modules start in training mode (the PyTorch convention),
+  // but every core::Method puts its model tree in eval mode at construction
+  // and Train() flips train() on entry / eval() on exit — so a method serves
+  // in inference mode whether its weights were trained in-process or
+  // restored via LoadParameters. The mode is plain state, not
+  // synchronization: set it before sharing a module across serving threads,
+  // not concurrently with them.
+
+  /// Puts this module and every registered submodule in training mode
+  /// (`on == false` selects inference mode).
+  void train(bool on = true);
+  /// Shorthand for train(false).
+  void eval() { train(false); }
+  /// True while in training mode.
+  bool is_training() const { return training_; }
+
  protected:
   Module() = default;
 
@@ -55,6 +74,7 @@ class Module {
  private:
   std::vector<std::pair<std::string, Tensor>> params_;
   std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
 };
 
 /// Xavier/Glorot-uniform initialized matrix of shape [fan_in, fan_out].

@@ -10,15 +10,22 @@ namespace nn {
 
 namespace {
 
-constexpr char kMagic[] = "ATRJ1\n";
-constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+constexpr char kMagic[4] = {'A', 'T', 'R', 'J'};
+constexpr uint32_t kEndianTag = 0x01020304u;
+// The pre-versioning layout started "ATRJ1\n": after the 4 magic bytes its
+// next two bytes are '1' '\n', which land in the low half of the would-be
+// version field on a little-endian reader. Detect it for a better error.
+constexpr uint32_t kLegacyVersionMark = 0x0A31u;  // '\n' << 8 | '1'
 
 }  // namespace
 
 Status SaveParameters(const Module& module, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(kMagic, kMagicLen);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kCheckpointVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&kEndianTag), sizeof(kEndianTag));
   auto named = module.NamedParameters();
   const uint64_t count = named.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
@@ -42,10 +49,37 @@ Status LoadParameters(Module* module, const std::string& path) {
   ADAPTRAJ_CHECK(module != nullptr);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
-  char magic[kMagicLen];
-  in.read(magic, kMagicLen);
-  if (!in || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Invalid(path + " is not an AdapTraj checkpoint");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) return Status::IOError("truncated checkpoint header in " + path);
+  // Legacy layout first: v1 files have no endianness tag, so reading one
+  // would misreport them as corrupt instead of naming the real problem.
+  if ((version & 0xFFFFu) == kLegacyVersionMark) {
+    return Status::Invalid(path + " is a legacy un-versioned (v1) checkpoint; "
+                                  "re-save it with this build to upgrade");
+  }
+  uint32_t endian = 0;
+  in.read(reinterpret_cast<char*>(&endian), sizeof(endian));
+  if (!in) return Status::IOError("truncated checkpoint header in " + path);
+  // Endianness before the version compare: on a byte-swapped file the
+  // version field itself parses as garbage, and the byte-order diagnostic is
+  // the one that names the actual problem.
+  if (endian != kEndianTag) {
+    if (endian == 0x04030201u) {
+      return Status::Invalid(path + " was written on a machine with opposite "
+                                    "byte order (endianness mismatch)");
+    }
+    return Status::Invalid(path + " has a corrupt endianness tag");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::Invalid(path + " has checkpoint format version " +
+                           std::to_string(version) + "; this build reads version " +
+                           std::to_string(kCheckpointVersion));
   }
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));

@@ -11,14 +11,23 @@
 namespace adaptraj {
 namespace nn {
 
+/// Checkpoint format version written by this build (see SaveParameters).
+constexpr uint32_t kCheckpointVersion = 2;
+
 /// Writes every named parameter of `module` to `path`.
 ///
-/// Format: magic "ATRJ1\n", uint64 count, then per parameter: uint32 name
-/// length, name bytes, uint32 rank, int64 dims, float32 data.
+/// Format v2 header: 4-byte magic "ATRJ", uint32 format version, uint32
+/// endianness tag 0x01020304 (written in native byte order, so a reader on a
+/// byte-swapped machine sees 0x04030201 and rejects the file instead of
+/// silently loading garbage). Body: uint64 count, then per parameter: uint32
+/// name length, name bytes, uint32 rank, int64 dims, float32 data.
 Status SaveParameters(const Module& module, const std::string& path);
 
 /// Restores parameters saved by SaveParameters. Names and shapes must match
-/// the module exactly; extra or missing entries are errors.
+/// the module exactly; extra or missing entries are errors. Rejects files
+/// with a foreign magic, a different format version (including the
+/// un-versioned legacy "ATRJ1\n" layout, which is called out explicitly), or
+/// a mismatched endianness tag — each with a distinct message.
 Status LoadParameters(Module* module, const std::string& path);
 
 }  // namespace nn

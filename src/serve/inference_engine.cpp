@@ -1,0 +1,170 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/parallel_trainer.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace adaptraj {
+namespace serve {
+
+namespace {
+
+void ValidateOptions(const InferenceEngineOptions& options) {
+  ADAPTRAJ_CHECK_MSG(options.batch_size >= 1,
+                     "InferenceEngine batch_size must be >= 1; got "
+                         << options.batch_size);
+  ADAPTRAJ_CHECK_MSG(options.max_buffered_batches >= 0,
+                     "InferenceEngine max_buffered_batches must be >= 0");
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const core::Method* method,
+                                 const InferenceEngineOptions& options)
+    : method_(method), options_(options) {
+  ADAPTRAJ_CHECK_MSG(method != nullptr, "InferenceEngine over null method");
+  ValidateOptions(options_);
+}
+
+InferenceEngine::InferenceEngine(std::unique_ptr<core::Method> method,
+                                 const InferenceEngineOptions& options)
+    : method_(method.get()), owned_method_(std::move(method)), options_(options) {
+  ADAPTRAJ_CHECK_MSG(method_ != nullptr, "InferenceEngine over null method");
+  ValidateOptions(options_);
+}
+
+std::future<Tensor> InferenceEngine::Submit(const data::TrajectorySequence& scene) {
+  return Submit(next_auto_id_, scene);
+}
+
+std::future<Tensor> InferenceEngine::Submit(uint64_t request_id,
+                                            const data::TrajectorySequence& scene) {
+  const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
+  ADAPTRAJ_CHECK_MSG(request_id >= next_batch_ * batch_size,
+                     "request id " << request_id << " belongs to batch "
+                                   << request_id / batch_size
+                                   << ", which already executed");
+  ADAPTRAJ_CHECK_MSG(pending_.find(request_id) == pending_.end(),
+                     "duplicate request id " << request_id);
+  PendingRequest req;
+  req.scene = scene;
+  std::future<Tensor> future = req.promise.get_future();
+  pending_.emplace(request_id, std::move(req));
+  next_auto_id_ = std::max(next_auto_id_, request_id + 1);
+  ++stats_.requests;
+  RunReadyBatches(/*include_partial_tail=*/false);
+  return future;
+}
+
+void InferenceEngine::Drain() {
+  if (!pending_.empty()) {
+    // Out-of-order streams must be complete before the tail can be padded:
+    // a hole would silently shift every later request one slot.
+    const uint64_t first = next_batch_ * static_cast<uint64_t>(options_.batch_size);
+    const uint64_t last = pending_.rbegin()->first;
+    ADAPTRAJ_CHECK_MSG(pending_.size() == last - first + 1,
+                       "Drain with missing request ids: have "
+                           << pending_.size() << " pending in slot range ["
+                           << first << ", " << last << "]");
+  }
+  RunReadyBatches(/*include_partial_tail=*/true);
+}
+
+void InferenceEngine::RunReadyBatches(bool include_partial_tail) {
+  const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
+  const uint64_t max_buffered = static_cast<uint64_t>(
+      options_.max_buffered_batches > 0 ? options_.max_buffered_batches
+                                        : parallel::NumTrainWorkers());
+
+  // Length of the contiguous run of pending slots starting at the next
+  // unexecuted batch boundary (out-of-order arrivals beyond a hole wait).
+  const uint64_t first_slot = next_batch_ * batch_size;
+  uint64_t run = 0;
+  for (auto it = pending_.lower_bound(first_slot);
+       it != pending_.end() && it->first == first_slot + run; ++it) {
+    ++run;
+  }
+  const uint64_t ready_full = run / batch_size;
+  const uint64_t tail_rows = include_partial_tail ? run % batch_size : 0;
+  if (ready_full + (tail_rows > 0 ? 1 : 0) == 0) return;
+  // Submit path: buffer until a group's worth of batches is ready so the
+  // worker pool gets cross-batch parallelism; Drain flushes unconditionally.
+  if (!include_partial_tail && ready_full < max_buffered) return;
+
+  // One executable batch: its index, its real scenes in slot order, and the
+  // per-request promises to fulfil afterwards.
+  struct ReadyBatch {
+    uint64_t index = 0;
+    std::vector<const data::TrajectorySequence*> scenes;  // real rows only
+    std::vector<std::promise<Tensor>> promises;
+    std::vector<Tensor> results;  // filled by the task, one per real row
+  };
+  std::vector<ReadyBatch> group;
+  uint64_t slot = first_slot;
+  const uint64_t total_batches = ready_full + (tail_rows > 0 ? 1 : 0);
+  for (uint64_t b = 0; b < total_batches; ++b) {
+    const uint64_t rows = b < ready_full ? batch_size : tail_rows;
+    ReadyBatch rb;
+    rb.index = next_batch_;
+    for (uint64_t r = 0; r < rows; ++r, ++slot) {
+      auto it = pending_.find(slot);
+      rb.scenes.push_back(&it->second.scene);
+      rb.promises.push_back(std::move(it->second.promise));
+    }
+    group.push_back(std::move(rb));
+    ++next_batch_;
+  }
+  // A padded tail consumes its whole batch of the slot space: implicit
+  // submissions after a Drain continue at the next batch boundary.
+  next_auto_id_ = std::max(next_auto_id_, next_batch_ * batch_size);
+
+  // Execute the group. Each task is self-contained: it tensorizes its
+  // scenes (padding by cycling them up to the fixed width), runs the
+  // forward-only Predict with the batch's private noise stream, and slices
+  // the per-request rows out on its own thread. Non-reentrant methods
+  // (LBEBM) run one batch at a time instead of a concurrent group.
+  auto run_one = [this, batch_size](ReadyBatch* rb) {
+    NoGradGuard no_grad;
+    const int64_t real = static_cast<int64_t>(rb->scenes.size());
+    std::vector<const data::TrajectorySequence*> slots = rb->scenes;
+    while (slots.size() < batch_size) {
+      slots.push_back(rb->scenes[slots.size() % rb->scenes.size()]);
+    }
+    data::Batch batch = data::MakeBatch(slots, options_.sequence);
+    Rng rng(core::TaskSeed(options_.seed, rb->index));
+    Tensor pred = method_->Predict(batch, &rng, options_.sample);
+    for (int64_t r = 0; r < real; ++r) {
+      rb->results.push_back(ops::Slice(pred, 0, r, r + 1));
+    }
+  };
+
+  if (method_->reentrant_predict()) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(group.size());
+    for (ReadyBatch& rb : group) {
+      tasks.push_back([&run_one, &rb] { run_one(&rb); });
+    }
+    parallel::RunTaskGroup(tasks);
+  } else {
+    for (ReadyBatch& rb : group) run_one(&rb);
+  }
+
+  // Fulfil promises in slot order on the dispatch thread and retire the
+  // requests.
+  for (ReadyBatch& rb : group) {
+    const uint64_t first = rb.index * batch_size;
+    for (size_t r = 0; r < rb.results.size(); ++r) {
+      rb.promises[r].set_value(std::move(rb.results[r]));
+      pending_.erase(first + static_cast<uint64_t>(r));
+    }
+    ++stats_.batches;
+    stats_.padded_rows +=
+        options_.batch_size - static_cast<int64_t>(rb.results.size());
+  }
+}
+
+}  // namespace serve
+}  // namespace adaptraj

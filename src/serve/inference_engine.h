@@ -1,0 +1,134 @@
+// Batched inference engine: the query-path counterpart of ParallelTrainer.
+//
+// A serving deployment receives one scene per request, but the backbones are
+// far more efficient on coalesced batches (one graph, batched GEMMs). The
+// engine accepts per-scene requests, coalesces them into fixed-size batches,
+// runs the owned Method's Predict (which executes forward-only under
+// NoGradGuard) on the training-worker pool, and delivers each request's
+// prediction through a future.
+//
+// Determinism model (mirrors the ParallelTrainer contract):
+//   - Every request occupies a SLOT in a global sequence: slot r belongs to
+//     batch r / batch_size at row r % batch_size. Slots are assigned by
+//     submission order, or explicitly by the caller (Submit with request_id)
+//     for streams that arrive out of order — the engine buffers a batch
+//     until all of its slots are present, so delivery order over the wire
+//     never changes what is computed.
+//   - Batch b draws its sampling noise from an Rng seeded
+//     core::TaskSeed(options.seed, b): a private stream per batch,
+//     independent of execution interleaving.
+//   - A partial final batch (Drain with fewer than batch_size pending slots)
+//     is padded to the fixed width by cycling its real scenes; padded rows
+//     are computed and discarded.
+//   - Ready batches execute concurrently via parallel::RunTaskGroup unless
+//     the method reports reentrant_predict() == false (LBEBM's Langevin
+//     sampler writes shared gradient buffers), in which case they run one at
+//     a time. Either way, results are byte-identical for any worker count,
+//     any dispatch buffering, and any wire arrival order at a fixed seed:
+//     each batch's inputs, slot order, and noise stream are fixed by the
+//     slot assignment and the Drain points alone (a Drain that pads a
+//     partial tail is part of the schedule — it decides that batch's
+//     composition), and every kernel is bit-deterministic for any thread
+//     count (see tensor/parallel.h).
+//
+// Threading: the engine itself is driven from one dispatch thread (Submit
+// and Drain are not thread-safe against each other); the parallelism is
+// inside, across batches. Submit may block while a group of ready batches
+// executes.
+
+#ifndef ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
+#define ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/method.h"
+
+namespace adaptraj {
+namespace serve {
+
+/// Configuration of one engine instance.
+struct InferenceEngineOptions {
+  /// Fixed coalescing width. Every executed batch has exactly this many
+  /// rows; partial tails are padded.
+  int batch_size = 32;
+  /// Draw one of the multi-modal futures (true) or the most-likely one.
+  bool sample = true;
+  /// Base seed of the per-batch noise streams.
+  uint64_t seed = 0;
+  /// Window configuration used to tensorize submitted scenes.
+  data::SequenceConfig sequence;
+  /// Ready batches buffered before a dispatch; more batching per
+  /// RunTaskGroup call amortizes pool handoff. 0 = the training-worker
+  /// count (parallel::NumTrainWorkers()).
+  int max_buffered_batches = 0;
+};
+
+/// Cumulative counters for tests and telemetry.
+struct InferenceEngineStats {
+  int64_t requests = 0;        // scenes submitted
+  int64_t batches = 0;         // batches executed
+  int64_t padded_rows = 0;     // rows computed for padding and discarded
+};
+
+/// Coalescing batch server over one trained Method. See the file comment for
+/// the execution and determinism model.
+class InferenceEngine {
+ public:
+  /// Serves a method owned elsewhere; `method` must outlive the engine.
+  InferenceEngine(const core::Method* method, const InferenceEngineOptions& options);
+  /// Takes ownership of the method.
+  InferenceEngine(std::unique_ptr<core::Method> method,
+                  const InferenceEngineOptions& options);
+
+  /// Enqueues a scene at the next free slot (submission order). Returns a
+  /// future for that scene's predicted displacements [1, pred_len*2]. The
+  /// scene is copied; the caller's storage is not retained. May block while
+  /// ready batches execute.
+  std::future<Tensor> Submit(const data::TrajectorySequence& scene);
+
+  /// Enqueues a scene at an explicit slot, for request streams that arrive
+  /// out of order. Slots must be unique and must not precede an already
+  /// executed batch; the engine holds a batch until every one of its slots
+  /// has arrived.
+  std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene);
+
+  /// Executes everything still pending, including a padded partial tail.
+  /// All slots up to the highest submitted one must be present (a gap in an
+  /// out-of-order stream is a checked error here). After Drain every future
+  /// handed out so far is ready.
+  void Drain();
+
+  const InferenceEngineStats& stats() const { return stats_; }
+  const InferenceEngineOptions& options() const { return options_; }
+  const core::Method& method() const { return *method_; }
+
+ private:
+  struct PendingRequest {
+    data::TrajectorySequence scene;
+    std::promise<Tensor> promise;
+  };
+
+  /// Executes consecutive ready batches starting at next_batch_; with
+  /// `include_partial_tail`, also the final underfull batch.
+  void RunReadyBatches(bool include_partial_tail);
+
+  const core::Method* method_;
+  std::unique_ptr<core::Method> owned_method_;
+  InferenceEngineOptions options_;
+  /// Requests keyed by slot id; erased once their batch has executed.
+  std::map<uint64_t, PendingRequest> pending_;
+  /// Next slot assigned by the implicit Submit overload.
+  uint64_t next_auto_id_ = 0;
+  /// First batch index that has not executed yet.
+  uint64_t next_batch_ = 0;
+  InferenceEngineStats stats_;
+};
+
+}  // namespace serve
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 namespace adaptraj {
 namespace internal {
@@ -25,12 +26,33 @@ namespace {
 //                               extra hits save; epoch time regresses ~4%)
 // The bytes cap stays at 64 MiB per thread: the same sweep recycled ~200 MB
 // per six epochs without ever approaching it, so entries — not bytes — bind.
+// NOTE: the sweep above was measured on the list-based pool whose acquire
+// scanned all entries; the exact-capacity bucket pool below makes acquires
+// O(1), so the cap now bounds memory rather than scan time. 256 is kept —
+// raising it is a future sweep, not a free win (cold cache lines).
 constexpr size_t kMaxEntries = 256;
 constexpr int64_t kMaxPoolFloats = int64_t{1} << 24;  // 64 MiB of float32
 
+// Buffers are bucketed by exact capacity: the op-output sizes of a model
+// recur every step (and, under no-grad eager release, within a step), so the
+// overwhelmingly common acquire is an O(1) hash hit instead of the linear
+// best-fit scan the list-based pool paid across (up to) kMaxEntries entries
+// on every single op output. The scan survives only as the fallback over
+// DISTINCT capacities when no exact bucket has a buffer.
+struct Bucket {
+  std::vector<std::vector<float>> bufs;
+  /// Acquire-clock value of the last hit on this bucket; the eviction victim
+  /// under cap pressure is the least-recently-useful size, so a pool full of
+  /// stale shapes (a previous workload's) cannot pin itself forever by
+  /// refusing every new release.
+  uint64_t last_use = 0;
+};
+
 struct ThreadPool {
-  std::vector<std::vector<float>> free_list;
+  std::unordered_map<size_t, Bucket> buckets;
+  size_t entries = 0;
   int64_t cached_floats = 0;
+  uint64_t clock = 0;
   BufferPoolStats stats;
 };
 
@@ -39,34 +61,71 @@ ThreadPool& LocalPool() {
   return pool;
 }
 
+using BucketMap = std::unordered_map<size_t, Bucket>;
+
+/// Pops a buffer from the bucket at `it`, erasing the bucket when it
+/// empties: the map must track only capacities actually cached, or a
+/// long-lived process that passes through many shapes would make the miss
+/// and eviction scans crawl an ever-growing set of dead keys.
+std::vector<float> TakeFrom(ThreadPool& pool, BucketMap::iterator it, int64_t n) {
+  Bucket& bucket = it->second;
+  std::vector<float> buf = std::move(bucket.bufs.back());
+  bucket.bufs.pop_back();
+  bucket.last_use = pool.clock;
+  --pool.entries;
+  pool.cached_floats -= static_cast<int64_t>(buf.capacity());
+  ++pool.stats.reuses;
+  pool.stats.bytes_recycled +=
+      static_cast<int64_t>(buf.capacity() * sizeof(float));
+  if (bucket.bufs.empty()) pool.buckets.erase(it);
+  buf.resize(static_cast<size_t>(n));
+  return buf;
+}
+
+/// Drops one buffer from the least-recently-used bucket. Returns false when
+/// the pool holds nothing to evict.
+bool EvictOne(ThreadPool& pool) {
+  auto victim = pool.buckets.end();
+  uint64_t oldest = UINT64_MAX;
+  for (auto it = pool.buckets.begin(); it != pool.buckets.end(); ++it) {
+    if (it->second.last_use < oldest) {
+      oldest = it->second.last_use;
+      victim = it;
+    }
+  }
+  if (victim == pool.buckets.end()) return false;
+  Bucket& bucket = victim->second;
+  pool.cached_floats -= static_cast<int64_t>(bucket.bufs.back().capacity());
+  bucket.bufs.pop_back();
+  --pool.entries;
+  if (bucket.bufs.empty()) pool.buckets.erase(victim);
+  return true;
+}
+
 }  // namespace
 
 std::vector<float> AcquireBuffer(int64_t n) {
   ThreadPool& pool = LocalPool();
   ++pool.stats.acquires;
-  // Best fit: smallest cached capacity that still holds n. Exact-size hits
-  // are common (same shapes recur every step) and make resize() free.
-  size_t best = pool.free_list.size();
+  ++pool.clock;
+  // Exact-capacity fast path: resize() is free and the hash lookup is O(1).
+  auto it = pool.buckets.find(static_cast<size_t>(n));
+  if (it != pool.buckets.end()) {
+    return TakeFrom(pool, it, n);
+  }
+  // Fallback: best fit over the distinct cached capacities.
+  auto best = pool.buckets.end();
   size_t best_cap = SIZE_MAX;
-  for (size_t i = 0; i < pool.free_list.size(); ++i) {
-    const size_t cap = pool.free_list[i].capacity();
-    if (cap >= static_cast<size_t>(n) && cap < best_cap) {
-      best = i;
-      best_cap = cap;
-      if (cap == static_cast<size_t>(n)) break;
+  for (auto b = pool.buckets.begin(); b != pool.buckets.end(); ++b) {
+    if (b->first >= static_cast<size_t>(n) && b->first < best_cap) {
+      best = b;
+      best_cap = b->first;
     }
   }
-  if (best == pool.free_list.size()) {
+  if (best == pool.buckets.end()) {
     return std::vector<float>(static_cast<size_t>(n));
   }
-  std::vector<float> buf = std::move(pool.free_list[best]);
-  pool.free_list.erase(pool.free_list.begin() + static_cast<int64_t>(best));
-  pool.cached_floats -= static_cast<int64_t>(buf.capacity());
-  ++pool.stats.reuses;
-  pool.stats.bytes_recycled +=
-      static_cast<int64_t>(buf.capacity() * sizeof(float));
-  buf.resize(static_cast<size_t>(n));
-  return buf;
+  return TakeFrom(pool, best, n);
 }
 
 std::vector<float> AcquireZeroedBuffer(int64_t n) {
@@ -78,22 +137,31 @@ std::vector<float> AcquireZeroedBuffer(int64_t n) {
 void ReleaseBuffer(std::vector<float>&& buf) {
   if (buf.capacity() == 0) return;
   ThreadPool& pool = LocalPool();
+  // Oversized for the pool outright: let it free on scope exit.
+  if (static_cast<int64_t>(buf.capacity()) > kMaxPoolFloats) return;
+  // Under cap pressure, displace the least-recently-used size rather than
+  // refusing: a refused release would let one workload's stale shapes pin
+  // the pool at the cap indefinitely while every later acquire misses.
+  if (pool.entries >= kMaxEntries && !EvictOne(pool)) return;
+  while (pool.cached_floats + static_cast<int64_t>(buf.capacity()) > kMaxPoolFloats) {
+    if (!EvictOne(pool)) return;
+  }
   // Account in capacity(), which is what the pool actually retains (a large
   // buffer reused for a small tensor keeps its full allocation).
-  if (pool.free_list.size() >= kMaxEntries ||
-      pool.cached_floats + static_cast<int64_t>(buf.capacity()) > kMaxPoolFloats) {
-    return;  // buf frees on scope exit
-  }
   pool.cached_floats += static_cast<int64_t>(buf.capacity());
+  ++pool.entries;
   ++pool.stats.releases;
-  pool.free_list.push_back(std::move(buf));
+  Bucket& bucket = pool.buckets[buf.capacity()];
+  if (bucket.last_use == 0) bucket.last_use = pool.clock;
+  bucket.bufs.push_back(std::move(buf));
 }
 
 BufferPoolStats GetBufferPoolStats() { return LocalPool().stats; }
 
 void ClearBufferPool() {
   ThreadPool& pool = LocalPool();
-  pool.free_list.clear();
+  pool.buckets.clear();
+  pool.entries = 0;
   pool.cached_floats = 0;
   pool.stats = BufferPoolStats{};
 }

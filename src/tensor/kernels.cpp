@@ -167,6 +167,13 @@ inline int64_t RoundUpNR(int64_t n) { return (n + kNR - 1) / kNR * kNR; }
 /// issue full-width vector loads (partial stores keep C intact). Otherwise
 /// `b_edge_pad` (when non-null) is the final partial column block zero-padded
 /// to [K, kNR] — built once by the caller so worker panels never allocate.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+// noinline: with the header-template ParallelFor the panel body would inline
+// into Gemm wholesale, and the bigger function measurably pessimizes the
+// small-shape register allocation (~20% on [32,32]x[32,32]). Keeping the
+// panel a real call preserves the tight micro-kernel codegen.
 void GemmPanel(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
                const float* b, int64_t ldb, bool b_padded,
                const float* b_edge_pad, float* c, bool accumulate) {

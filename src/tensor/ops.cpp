@@ -29,24 +29,50 @@ bool TrackAny(std::initializer_list<const Tensor*> tensors) {
   return false;
 }
 
-/// Allocates the op output from the buffer pool and, when track is set,
-/// attaches the GradNode. The returned buffer has UNSPECIFIED contents: every
-/// op's forward pass fully overwrites its output (MatMul and friends write
-/// through kernels::Gemm, which handles its own beta=0), so the zero-fill the
-/// old allocator paid per op is gone.
-Tensor MakeOutput(const Shape& shape, std::vector<Impl> inputs, const char* name,
-                  std::function<void(TensorImpl&)> backward, bool track) {
+/// Allocates the op output from the buffer pool and, when track is set AND
+/// GradMode is enabled, attaches the GradNode. This is the single point where
+/// ops record the reverse-mode graph: under NoGradGuard no GradNode, parent
+/// list, or type-erased backward closure is ever allocated, the inputs are
+/// not retained (so intermediates return to the buffer pool as soon as their
+/// handle dies), and the result is flagged so a stray Backward() fails
+/// loudly. The returned buffer has UNSPECIFIED contents: every op's forward
+/// pass fully overwrites its output (MatMul and friends write through
+/// kernels::Gemm, which handles its own beta=0), so the zero-fill the old
+/// allocator paid per op is gone.
+template <typename MakeInputs, typename Backward>
+Tensor MakeOutputCore(const Shape& shape, MakeInputs make_inputs, const char* name,
+                      Backward&& backward, bool track) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
   impl->data = internal::AcquireBuffer(NumElements(shape));
   if (track) {
-    auto node = std::make_shared<GradNode>();
-    node->inputs = std::move(inputs);
-    node->op_name = name;
-    node->backward = std::move(backward);
-    impl->grad_fn = std::move(node);
+    if (GradMode::IsEnabled()) {
+      auto node = std::make_shared<GradNode>();
+      node->inputs = make_inputs();
+      node->op_name = name;
+      node->backward = std::forward<Backward>(backward);
+      impl->grad_fn = std::move(node);
+    } else {
+      impl->no_grad_result = true;
+    }
   }
   return Tensor::FromImpl(std::move(impl));
+}
+
+template <typename Backward>
+Tensor MakeOutput(const Shape& shape, std::initializer_list<Impl> inputs,
+                  const char* name, Backward&& backward, bool track) {
+  return MakeOutputCore(
+      shape, [&] { return std::vector<Impl>(inputs); }, name,
+      std::forward<Backward>(backward), track);
+}
+
+template <typename Backward>
+Tensor MakeOutput(const Shape& shape, std::vector<Impl> inputs, const char* name,
+                  Backward&& backward, bool track) {
+  return MakeOutputCore(
+      shape, [&] { return std::move(inputs); }, name,
+      std::forward<Backward>(backward), track);
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
@@ -55,18 +81,45 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
                                                 << ShapeToString(b.shape()));
 }
 
-/// Flat offset into a broadcast operand (same rank; extents equal or 1).
-int64_t BroadcastOffset(const Shape& out_shape, const Shape& b_shape, int64_t flat) {
-  int64_t off = 0;
-  int64_t mul = 1;
-  for (int d = static_cast<int>(out_shape.size()) - 1; d >= 0; --d) {
-    int64_t idx = flat % out_shape[d];
-    flat /= out_shape[d];
-    if (b_shape[d] != 1) off += idx * mul;
-    mul *= b_shape[d];
+/// Walks the flat offsets into a broadcast operand (same rank; extents equal
+/// or 1) in row-major order of the output. An odometer over the output shape
+/// advances the operand offset by precomputed strides (0 on broadcast dims),
+/// so each step costs a few adds instead of a division chain per dimension —
+/// this sits on every Linear bias add and every mask multiply.
+class BroadcastCursor {
+ public:
+  BroadcastCursor(const Shape& out_shape, const Shape& b_shape)
+      : rank_(static_cast<int>(out_shape.size())),
+        extent_(out_shape),
+        index_(out_shape.size(), 0),
+        stride_(out_shape.size(), 0) {
+    int64_t s = 1;
+    for (int d = rank_ - 1; d >= 0; --d) {
+      stride_[d] = b_shape[d] == 1 ? 0 : s;
+      s *= b_shape[d];
+    }
   }
-  return off;
-}
+
+  /// Offset of the current output element into the broadcast operand.
+  int64_t offset() const { return offset_; }
+
+  /// Steps to the next output element (row-major order).
+  void Advance() {
+    for (int d = rank_ - 1; d >= 0; --d) {
+      offset_ += stride_[d];
+      if (++index_[d] < extent_[d]) return;
+      index_[d] = 0;
+      offset_ -= stride_[d] * extent_[d];
+    }
+  }
+
+ private:
+  int rank_;
+  Shape extent_;
+  std::vector<int64_t> index_;
+  std::vector<int64_t> stride_;
+  int64_t offset_ = 0;
+};
 
 void CheckBroadcastable(const Tensor& a, const Tensor& b, const char* op) {
   ADAPTRAJ_CHECK_MSG(a.dim() == b.dim(), op << ": rank mismatch " << ShapeToString(a.shape())
@@ -231,8 +284,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, const char* name, Combi
         float* ga = need_a ? ia->grad.data() : nullptr;
         float* gb = need_b ? ib->grad.data() : nullptr;
         // Serial: gb is a scatter-accumulation across broadcast positions.
-        for (int64_t i = 0; i < n; ++i) {
-          int64_t j = BroadcastOffset(o.shape, b_shape, i);
+        BroadcastCursor cur(o.shape, b_shape);
+        for (int64_t i = 0; i < n; ++i, cur.Advance()) {
+          const int64_t j = cur.offset();
           if (ga != nullptr) ga[i] += bwd_a(ia->data[i], ib->data[j], o.grad[i]);
           if (gb != nullptr) gb[j] += bwd_b(ia->data[i], ib->data[j], o.grad[i]);
         }
@@ -242,8 +296,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, const char* name, Combi
   float* po = out.data();
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fwd(pa[i], pb[BroadcastOffset(out.shape(), b_shape, i)]);
+  BroadcastCursor cur(out.shape(), b_shape);
+  for (int64_t i = 0; i < n; ++i, cur.Advance()) {
+    po[i] = fwd(pa[i], pb[cur.offset()]);
   }
   return out;
 }
@@ -455,6 +510,46 @@ Tensor FusedAddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
 }
 
 }  // namespace
+
+Tensor Affine(const Tensor& a, const Tensor& w, const Tensor& bias) {
+  ADAPTRAJ_CHECK_MSG(a.dim() == 2 && w.dim() == 2, "Affine requires 2-D operands");
+  const int64_t rows = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  const int64_t cols = w.shape()[1];
+  ADAPTRAJ_CHECK_MSG(w.shape()[0] == k, "Affine: inner dims differ: "
+                                            << ShapeToString(a.shape()) << " x "
+                                            << ShapeToString(w.shape()));
+  ADAPTRAJ_CHECK_MSG(bias.dim() == 2 && bias.shape()[0] == 1 && bias.shape()[1] == cols,
+                     "Affine: bias must be [1, " << cols << "]; got "
+                                                 << ShapeToString(bias.shape()));
+  bool track = TrackAny({&a, &w, &bias});
+  Impl ia = a.impl();
+  Impl iw = w.impl();
+  Impl ib = bias.impl();
+  Tensor out = MakeOutput(
+      {rows, cols}, {ia, iw, ib}, "Affine",
+      [ia, iw, ib, rows, k, cols](TensorImpl& o) {
+        const float* gy = o.grad.data();
+        if (ia->requires_grad || ia->grad_fn) {
+          ia->EnsureGrad();
+          kernels::Gemm(false, true, rows, k, cols, gy, iw->data.data(),
+                        ia->grad.data(), true);
+        }
+        if (iw->requires_grad || iw->grad_fn) {
+          iw->EnsureGrad();
+          kernels::Gemm(true, false, k, cols, rows, ia->data.data(), gy,
+                        iw->grad.data(), true);
+        }
+        if (ib->requires_grad || ib->grad_fn) {
+          ib->EnsureGrad();
+          kernels::AccumulateColumnSum(gy, rows, cols, ib->grad.data());
+        }
+      },
+      track);
+  kernels::Gemm(false, false, rows, cols, k, a.data(), w.data(), out.data(), false);
+  kernels::AddRowBias(out.data(), bias.data(), rows, cols);
+  return out;
+}
 
 Tensor AddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
                  const Tensor& wb) {

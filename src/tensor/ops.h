@@ -4,6 +4,15 @@
 // gradient flow the result carries a GradNode so Tensor::Backward() can
 // propagate through it; otherwise the op is pure forward computation.
 //
+// No-grad contract: inside a NoGradGuard scope (tensor.h) every op is pure
+// forward computation regardless of its inputs — zero GradNode allocations,
+// identical forward arithmetic (bit-for-bit equal outputs to the grad-mode
+// path), and intermediates are not retained by any graph, so they return to
+// the thread-local buffer pool as soon as their handle goes out of scope.
+// Calling Backward() on a result produced under no-grad is a checked error.
+// Samplers that need gradients at inference time (LBEBM's Langevin loop)
+// open an EnableGradGuard island around just the differentiated region.
+//
 // Shape conventions: MatMul/Transpose are 2-D and BatchMatMul is 3-D;
 // elementwise ops require equal shapes; the Broadcast* variants accept a
 // second operand whose extents are equal to the first's or 1 (same rank);
@@ -64,6 +73,11 @@ Tensor Transpose(const Tensor& a);
 // They are exactly equivalent to the composed ops (verified by gradcheck and
 // reference tests) but skip the intermediate tensors and graph nodes.
 
+/// a·w + bias for a [B,K], w [K,N], bias [1,N] broadcast over rows -> [B,N].
+/// The whole affine layer in one node (nn::Linear's forward): exactly
+/// equivalent to BroadcastAdd(MatMul(a, w), bias) with half the graph nodes
+/// and the bias applied by the vectorized row kernel.
+Tensor Affine(const Tensor& a, const Tensor& w, const Tensor& bias);
 /// a·wa + b·wb for a [B,Da], wa [Da,N], b [B,Db], wb [Db,N] -> [B,N].
 Tensor AddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
                  const Tensor& wb);

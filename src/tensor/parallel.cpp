@@ -220,17 +220,10 @@ void RunTaskGroup(const std::vector<std::function<void()>>& tasks) {
   });
 }
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body) {
-  if (end <= begin) return;
-  if (grain < 1) grain = 1;
-  const int64_t range = end - begin;
-  const int64_t num_chunks = (range + grain - 1) / grain;
-  // Inline when parallelism can't help or we're already on a worker.
-  if (num_chunks == 1 || InWorkerThread()) {
-    body(begin, end);
-    return;
-  }
+void ParallelForSlow(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& body) {
+  // The template fast path already handled empty and single-chunk ranges.
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
   Pool& pool = GetPool();
   if (pool.num_threads() == 1) {
     body(begin, end);

@@ -69,16 +69,34 @@ int NumThreads();
 /// environment-derived default.
 void Configure(int n);
 
+/// True while the calling thread is a pool worker (nested ParallelFor from a
+/// worker runs inline to avoid deadlock).
+bool InWorkerThread();
+
+/// Out-of-line multi-chunk dispatch used by ParallelFor; call ParallelFor
+/// instead. Runs inline when the pool has one thread.
+void ParallelForSlow(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& body);
+
 /// Invokes body(chunk_begin, chunk_end) over [begin, end) split into chunks
 /// of at most `grain` indices. Chunks may run on any thread in any order, so
 /// `body` must only write state disjoint per chunk. Blocks until all chunks
 /// finish. Runs inline when the range is small or the pool has one thread.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body);
-
-/// True while the calling thread is a pool worker (nested ParallelFor from a
-/// worker runs inline to avoid deadlock).
-bool InWorkerThread();
+///
+/// Templated so the single-chunk fast path — the overwhelmingly common case
+/// for the model-sized ops — never materializes a std::function (whose
+/// capture list exceeds the small-buffer size and would heap-allocate on
+/// every op call). Only a genuinely multi-chunk range pays for type erasure.
+template <typename Body>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, const Body& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  if (end - begin <= grain || InWorkerThread()) {
+    body(begin, end);
+    return;
+  }
+  ParallelForSlow(begin, end, grain, body);
+}
 
 // --- Scene-level training workers -------------------------------------------
 

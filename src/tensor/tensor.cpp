@@ -40,7 +40,39 @@ int64_t FlatIndex(const Shape& shape, const std::vector<int64_t>& index) {
   return flat;
 }
 
+namespace {
+
+// Thread-local so a no-grad serving worker never perturbs a training thread.
+thread_local bool g_grad_enabled = true;
+thread_local bool g_grad_forced = false;
+
+}  // namespace
+
+bool GradMode::IsEnabled() { return g_grad_enabled || g_grad_forced; }
+
+bool GradMode::SetEnabled(bool enabled) {
+  const bool prev = g_grad_enabled;
+  g_grad_enabled = enabled;
+  return prev;
+}
+
+bool GradMode::SetForced(bool forced) {
+  const bool prev = g_grad_forced;
+  g_grad_forced = forced;
+  return prev;
+}
+
 namespace internal {
+
+namespace {
+
+thread_local int64_t g_grad_nodes_created = 0;
+
+}  // namespace
+
+int64_t GradNodesCreated() { return g_grad_nodes_created; }
+
+GradNode::GradNode() { ++g_grad_nodes_created; }
 
 TensorImpl::~TensorImpl() {
   ReleaseBuffer(std::move(data));
@@ -216,6 +248,10 @@ void Tensor::Backward() {
   ADAPTRAJ_CHECK_MSG(defined(), "Backward() on null tensor");
   ADAPTRAJ_CHECK_MSG(size() == 1,
                      "Backward() requires a scalar; got " << ShapeToString(shape()));
+  ADAPTRAJ_CHECK_MSG(!impl_->no_grad_result,
+                     "Backward() on a result computed under NoGradGuard; the graph "
+                     "was never recorded. Run the forward pass in grad mode (or "
+                     "inside an EnableGradGuard island) if you need gradients.");
 
   // Iterative post-order DFS over the graph to get a topological order.
   std::vector<internal::TensorImpl*> topo;

@@ -32,9 +32,78 @@ int64_t NumElements(const Shape& shape);
 /// Renders a shape as "[2, 3]".
 std::string ShapeToString(const Shape& shape);
 
+// --- Grad mode ---------------------------------------------------------------
+//
+// Inference does not need the reverse-mode graph: under no-grad every op is
+// pure forward computation — zero GradNode allocations, and intermediates
+// return to the buffer pool as soon as their handle dies instead of being
+// pinned until graph teardown. The flag is thread-local so serving workers
+// and a training thread can coexist in one process.
+
+/// Thread-local switch consulted at the single point where ops attach a
+/// grad_fn (ops.cpp MakeOutput). Enabled by default.
+class GradMode {
+ public:
+  /// True when ops should record the reverse-mode graph on this thread.
+  static bool IsEnabled();
+  /// Sets the thread-local mode; returns the previous value. Prefer the RAII
+  /// guards below.
+  static bool SetEnabled(bool enabled);
+  /// Test/bench override: while forced, IsEnabled() returns true even inside
+  /// NoGradGuard scopes. This exists so the grad-mode baseline of
+  /// Method::Predict (whose body installs a NoGradGuard) can still be
+  /// measured and compared bit-for-bit. Returns the previous value.
+  static bool SetForced(bool forced);
+};
+
+/// RAII scope disabling gradient recording on this thread. Ops called inside
+/// return plain forward results (needs_grad() false, no grad_fn); calling
+/// Backward() on such a result is a checked error.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::SetEnabled(false)) {}
+  ~NoGradGuard() { GradMode::SetEnabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// RAII scope re-enabling gradient recording inside a NoGradGuard — a
+/// "gradient island" for inference-time samplers that genuinely need
+/// Backward() (LBEBM's Langevin loop differentiates the energy w.r.t. the
+/// latent while the surrounding Predict runs no-grad).
+class EnableGradGuard {
+ public:
+  EnableGradGuard() : prev_(GradMode::SetEnabled(true)) {}
+  ~EnableGradGuard() { GradMode::SetEnabled(prev_); }
+  EnableGradGuard(const EnableGradGuard&) = delete;
+  EnableGradGuard& operator=(const EnableGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// RAII form of GradMode::SetForced — see its comment. Test/bench only.
+class ForcedGradModeGuard {
+ public:
+  ForcedGradModeGuard() : prev_(GradMode::SetForced(true)) {}
+  ~ForcedGradModeGuard() { GradMode::SetForced(prev_); }
+  ForcedGradModeGuard(const ForcedGradModeGuard&) = delete;
+  ForcedGradModeGuard& operator=(const ForcedGradModeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 namespace internal {
 
 struct GradNode;
+
+/// GradNode allocations on the calling thread since start-up. The no-grad
+/// tests assert this stays flat across an entire Predict() call.
+int64_t GradNodesCreated();
 
 /// Shared tensor storage plus autograd bookkeeping.
 struct TensorImpl {
@@ -42,6 +111,9 @@ struct TensorImpl {
   std::vector<float> data;
   std::vector<float> grad;  // empty until first accumulation
   bool requires_grad = false;
+  /// Set on op results whose graph was suppressed by a NoGradGuard; makes a
+  /// later Backward() a checked error instead of a silent zero-grad no-op.
+  bool no_grad_result = false;
   std::shared_ptr<GradNode> grad_fn;  // null for leaves / pure-forward results
 
   TensorImpl() = default;
@@ -59,6 +131,7 @@ struct TensorImpl {
 
 /// A node in the reverse-mode graph. Owned by the op output's TensorImpl.
 struct GradNode {
+  GradNode();  // counts the allocation (see GradNodesCreated)
   /// Parents (op inputs) whose gradients this node populates.
   std::vector<std::shared_ptr<TensorImpl>> inputs;
   /// Debug name of the producing op.

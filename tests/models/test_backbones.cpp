@@ -283,6 +283,54 @@ TEST(LbebmTest, LangevinDoesNotLeakGradients) {
   }
 }
 
+// Decoder dropout (BackboneConfig::dropout) is live in training mode and the
+// exact identity in eval mode — the train/serve skew the Module mode exists
+// to prevent.
+TEST(Seq2SeqDropoutTest, ActiveInTrainModeIdentityInEval) {
+  BackboneConfig plain_cfg;
+  plain_cfg.embed_dim = 8;
+  plain_cfg.hidden_dim = 16;
+  plain_cfg.social_dim = 16;
+  plain_cfg.latent_dim = 4;
+  BackboneConfig drop_cfg = plain_cfg;
+  drop_cfg.dropout = 0.5f;
+
+  // Dropout has no parameters, so both models draw identical init streams.
+  Rng r1(4);
+  auto plain = MakeBackbone(BackboneKind::kSeq2Seq, plain_cfg, &r1);
+  Rng r2(4);
+  auto dropped = MakeBackbone(BackboneKind::kSeq2Seq, drop_cfg, &r2);
+
+  data::SequenceConfig cfg;
+  data::Batch batch = TestBatch(4, cfg);
+  EncodeResult enc_plain = plain->Encode(batch);
+  EncodeResult enc_drop = dropped->Encode(batch);
+
+  // Training mode: the mask perturbs the rollout.
+  dropped->train();
+  Rng pr1(9);
+  Tensor train_out = dropped->Predict(batch, enc_drop, Tensor(), &pr1, false);
+  Rng pr2(9);
+  Tensor plain_out = plain->Predict(batch, enc_plain, Tensor(), &pr2, false);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < train_out.size(); ++i) {
+    diff += std::fabs(train_out.flat(i) - plain_out.flat(i));
+  }
+  EXPECT_GT(diff, 1e-6f);
+
+  // Eval mode: dropout is the identity and consumes no rng, so the
+  // dropout-configured model predicts exactly like the plain one.
+  dropped->eval();
+  plain->eval();
+  Rng pr3(9);
+  Tensor eval_out = dropped->Predict(batch, enc_drop, Tensor(), &pr3, false);
+  Rng pr4(9);
+  Tensor plain_eval = plain->Predict(batch, enc_plain, Tensor(), &pr4, false);
+  for (int64_t i = 0; i < eval_out.size(); ++i) {
+    EXPECT_EQ(eval_out.flat(i), plain_eval.flat(i)) << "i=" << i;
+  }
+}
+
 }  // namespace
 }  // namespace models
 }  // namespace adaptraj

@@ -181,6 +181,72 @@ TEST(LstmTest, CanOverfitTinySequenceTask) {
   EXPECT_LT(final_loss, 1e-2f);
 }
 
+// --- Dropout and the module training mode ------------------------------------
+
+TEST(DropoutTest, EvalModeIsIdentityAndConsumesNoRng) {
+  Rng rng(20);
+  Dropout drop(0.5f);
+  drop.eval();
+  Tensor x = Tensor::Randn({4, 8}, &rng, 1.0f);
+  // Null rng proves eval mode never draws.
+  Tensor y = drop.Forward(x, /*rng=*/nullptr);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(y.flat(i), x.flat(i));
+}
+
+TEST(DropoutTest, TrainModeZeroesAndRescales) {
+  Rng rng(21);
+  Dropout drop(0.5f);
+  ASSERT_TRUE(drop.is_training());
+  Tensor x = Tensor::Full({64, 16}, 1.0f);
+  Rng mask_rng(7);
+  Tensor y = drop.Forward(x, &mask_rng);
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    const float v = y.flat(i);
+    EXPECT_TRUE(v == 0.0f || v == 2.0f);  // inverted scaling at rate 0.5
+    zeros += v == 0.0f ? 1 : 0;
+    sum += v;
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_LT(zeros, y.size());
+  // E[y] == E[x]: the survivor scaling keeps the expectation.
+  EXPECT_NEAR(sum / static_cast<double>(y.size()), 1.0, 0.15);
+}
+
+TEST(DropoutTest, ZeroRateIsAlwaysIdentity) {
+  Rng rng(22);
+  Dropout drop(0.0f);
+  Tensor x = Tensor::Randn({3, 3}, &rng, 1.0f);
+  Tensor y = drop.Forward(x, /*rng=*/nullptr);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(y.flat(i), x.flat(i));
+}
+
+TEST(DropoutTest, GradientFlowsOnlyThroughKeptElements) {
+  Dropout drop(0.5f);
+  Tensor x = Tensor::Full({16, 8}, 1.0f, /*requires_grad=*/true);
+  Rng mask_rng(9);
+  Tensor y = drop.Forward(x, &mask_rng);
+  ops::Sum(y).Backward();
+  Tensor g = x.grad();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(g.flat(i), y.flat(i));  // dy/dx is the applied mask (0 or 2)
+  }
+}
+
+TEST(ModuleModeTest, TrainEvalRecursesThroughChildren) {
+  Rng rng(23);
+  Mlp mlp({3, 4, 2}, &rng);
+  Lstm lstm(2, 4, &rng);
+  EXPECT_TRUE(mlp.is_training());
+  mlp.eval();
+  EXPECT_FALSE(mlp.is_training());
+  lstm.eval();
+  EXPECT_FALSE(lstm.cell().is_training());
+  lstm.train();
+  EXPECT_TRUE(lstm.cell().is_training());
+}
+
 class ActivationSweep : public ::testing::TestWithParam<Activation> {};
 
 TEST_P(ActivationSweep, MlpForwardFinite) {

@@ -1,12 +1,16 @@
-// Tests for parameter checkpoint save/load (Status-based error paths).
+// Tests for parameter checkpoint save/load (Status-based error paths), the
+// versioned header, and the train->save->load->Predict round trip.
 
 #include "nn/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "core/adaptraj_method.h"
+#include "data/multi_domain.h"
 #include "nn/layers.h"
 
 namespace adaptraj {
@@ -109,6 +113,157 @@ TEST(SerializeTest, TruncatedFileReturnsError) {
   out.close();
   Status st = LoadParameters(&m, path);
   EXPECT_FALSE(st.ok());
+}
+
+// --- Versioned header --------------------------------------------------------
+
+TEST(SerializeHeaderTest, WrongVersionReturnsInvalidWithBothVersions) {
+  Rng rng(10);
+  Mlp m({2, 2}, &rng);
+  const std::string path = TempPath("future_version.bin");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  // Bump the version field (bytes 4..8) to a future value.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  const uint32_t future = kCheckpointVersion + 7;
+  f.seekp(4);
+  f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  f.close();
+  Status st = LoadParameters(&m, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("version " + std::to_string(future)),
+            std::string::npos);
+  EXPECT_NE(st.message().find("reads version " + std::to_string(kCheckpointVersion)),
+            std::string::npos);
+}
+
+TEST(SerializeHeaderTest, LegacyV1LayoutIsCalledOutExplicitly) {
+  // Reconstruct the pre-versioning layout: "ATRJ1\n" then uint64 count = 0.
+  const std::string path = TempPath("legacy_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("ATRJ1\n", 6);
+    const uint64_t count = 0;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  Rng rng(11);
+  Mlp m({2, 2}, &rng);
+  Status st = LoadParameters(&m, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("legacy"), std::string::npos);
+}
+
+TEST(SerializeHeaderTest, EndiannessMismatchReturnsInvalid) {
+  Rng rng(12);
+  Mlp m({2, 2}, &rng);
+  const std::string path = TempPath("endian.bin");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  // Byte-swap the endianness tag (bytes 8..12), as a foreign-endian writer
+  // would have produced it.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(8);
+  char tag[4];
+  f.read(tag, 4);
+  std::swap(tag[0], tag[3]);
+  std::swap(tag[1], tag[2]);
+  f.seekp(8);
+  f.write(tag, 4);
+  f.close();
+  Status st = LoadParameters(&m, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("byte order"), std::string::npos);
+}
+
+TEST(SerializeHeaderTest, ForeignEndianFileReportsByteOrderNotVersion) {
+  // A genuinely foreign-endian writer stores BOTH the version and the tag
+  // byte-swapped; the loader must name the byte order, not a nonsense
+  // version number.
+  Rng rng(14);
+  Mlp m({2, 2}, &rng);
+  const std::string path = TempPath("foreign_endian.bin");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  char header[8];
+  f.seekg(4);
+  f.read(header, 8);  // version (4..8) then endian tag (8..12)
+  std::swap(header[0], header[3]);
+  std::swap(header[1], header[2]);
+  std::swap(header[4], header[7]);
+  std::swap(header[5], header[6]);
+  f.seekp(4);
+  f.write(header, 8);
+  f.close();
+  Status st = LoadParameters(&m, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("byte order"), std::string::npos);
+  EXPECT_EQ(st.message().find("format version"), std::string::npos);
+}
+
+TEST(SerializeHeaderTest, CorruptEndianTagReturnsInvalid) {
+  Rng rng(13);
+  Mlp m({2, 2}, &rng);
+  const std::string path = TempPath("garbage_endian.bin");
+  ASSERT_TRUE(SaveParameters(m, path).ok());
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  const uint32_t junk = 0xDEADBEEFu;
+  f.seekp(8);
+  f.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  f.close();
+  Status st = LoadParameters(&m, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("endianness tag"), std::string::npos);
+}
+
+// --- Train -> save -> load -> Predict round trip -----------------------------
+
+TEST(SerializeRoundTripTest, AdapTrajCheckpointPredictsBitIdentically) {
+  data::CorpusConfig corpus;
+  corpus.num_scenes = 2;
+  corpus.steps_per_scene = 45;
+  corpus.seed = 404;
+  auto dgd = data::BuildDomainGeneralizationData(
+      {sim::Domain::kEthUcy, sim::Domain::kLcas}, sim::Domain::kSdd, corpus);
+
+  models::BackboneConfig bb;
+  bb.embed_dim = 8;
+  bb.hidden_dim = 16;
+  bb.social_dim = 16;
+  bb.latent_dim = 4;
+  core::AdapTrajConfig acfg;
+  acfg.feature_dim = 8;
+  acfg.fused_dim = 8;
+  acfg.num_source_domains = 2;
+
+  core::AdapTrajMethod trained(models::BackboneKind::kSeq2Seq, bb, acfg, 5);
+  core::TrainConfig t;
+  t.epochs = 2;
+  t.batch_size = 16;
+  t.max_batches_per_epoch = 2;
+  trained.Train(dgd, t);
+
+  const std::string path = TempPath("adaptraj_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(trained.model(), path).ok());
+
+  // A freshly constructed method with different init must predict exactly
+  // like the trained one after loading the checkpoint.
+  core::AdapTrajMethod restored(models::BackboneKind::kSeq2Seq, bb, acfg, 999);
+  ASSERT_TRUE(LoadParameters(&restored.model(), path).ok());
+
+  data::SequenceConfig seq_cfg;
+  std::vector<const data::TrajectorySequence*> ptrs;
+  for (size_t i = 0; i < 6; ++i) ptrs.push_back(&dgd.target.test.sequences[i]);
+  data::Batch batch = data::MakeBatch(ptrs, seq_cfg);
+  for (bool sample : {false, true}) {
+    Rng r1(77);
+    Tensor a = trained.Predict(batch, &r1, sample);
+    Rng r2(77);
+    Tensor b = restored.Predict(batch, &r2, sample);
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<size_t>(a.size()) * sizeof(float)),
+              0);
+  }
 }
 
 TEST(StatusTest, ToStringAndAccessors) {

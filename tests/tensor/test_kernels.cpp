@@ -149,6 +149,29 @@ TEST(KernelsTest, AddMatMulMatchesComposedOps) {
   }
 }
 
+TEST(KernelsTest, AffineMatchesComposedOpsBitExactly) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn({5, 3}, &rng);
+  Tensor w = Tensor::Randn({3, 7}, &rng);
+  Tensor bias = Tensor::Randn({1, 7}, &rng);
+  Tensor fused = Affine(x, w, bias);
+  Tensor composed = BroadcastAdd(MatMul(x, w), bias);
+  ASSERT_EQ(fused.shape(), composed.shape());
+  // Same Gemm then the same per-element add: bit-equal, not just close.
+  for (int64_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused.flat(i), composed.flat(i)) << "i=" << i;
+  }
+}
+
+TEST(KernelsTest, AffineGradientAllInputs) {
+  Rng rng(16);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(Affine(in[0], in[1], in[2])));
+      },
+      {Leaf({3, 4}, &rng), Leaf({4, 6}, &rng), Leaf({1, 6}, &rng)});
+}
+
 TEST(KernelsTest, LinearGatesGradientAllInputs) {
   Rng rng(6);
   ExpectGradOk(

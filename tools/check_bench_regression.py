@@ -29,6 +29,11 @@ TRACKED_PREFIXES = (
     "BM_LstmStepFused/",  # trailing slash: excludes the ScalarAct baseline
     "BM_SoftmaxFwdBwd",
     "BM_AdamUpdate_Fast",
+    # Forward-only inference at the table-8 batch shape and the serving
+    # engine's scenes/sec path. BM_PredictGradMode is the in-binary baseline
+    # for the ratio and is deliberately NOT tracked.
+    "BM_PredictNoGrad",
+    "BM_InferenceEngine",
     # Scene-parallel training epochs. cpu_time here is whole-process CPU
     # (MeasureProcessCPUTime), i.e. total work per epoch — the right gate:
     # it is stable across worker counts and core counts, while real_time
