@@ -21,6 +21,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -28,6 +30,7 @@
 #include "core/adaptraj_method.h"
 #include "core/baselines.h"
 #include "data/multi_domain.h"
+#include "eval/experiment.h"
 #include "serve/inference_engine.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
@@ -565,6 +568,31 @@ void BM_InferenceEngine(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * scenes);
 }
 
+// Async serving path under producer concurrency: Arg(0) producer threads
+// submit 32 scenes per iteration with explicit slot ids (scene i at slot i,
+// so the computed bytes match the single-producer run), then one Drain
+// flushes the padded tail. items/sec is scenes/sec; the delta vs
+// BM_InferenceEngine/8 is the cost (or win) of contended Submit plus the
+// dispatcher handoff at the same batch shape.
+void BM_InferenceEngineAsync(benchmark::State& state) {
+  PredictFixture f;
+  const auto& dgd = TrainBenchData();
+  const int64_t scenes = std::min<int64_t>(32, dgd.target.test.size());
+  const int producers = static_cast<int>(state.range(0));
+  serve::InferenceEngineOptions options;
+  options.batch_size = 8;
+  options.seed = 1;
+  for (auto _ : state) {
+    serve::InferenceEngine engine(&f.method, options);
+    std::vector<std::future<Tensor>> futures;
+    eval::SubmitScenesConcurrently(&engine, dgd.target.test.sequences, scenes,
+                                   producers, &futures);
+    engine.Drain();
+    for (auto& fut : futures) benchmark::DoNotOptimize(fut.get().data());
+  }
+  state.SetItemsProcessed(state.iterations() * scenes);
+}
+
 // --- Softmax -----------------------------------------------------------------
 
 void BM_SoftmaxFwdBwd(benchmark::State& state) {
@@ -613,7 +641,21 @@ BENCHMARK(BM_AdamUpdate_Fast)->Arg(1 << 16);
 // path at batch in {1, 8, 32}.
 BENCHMARK(BM_PredictGradMode)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictNoGrad)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_InferenceEngine)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+// Engine benches gate on whole-process CPU: with the async engine, batch
+// execution happens on the dispatcher and worker threads, so main-thread
+// cpu_time would measure only Submit/Drain bookkeeping.
+BENCHMARK(BM_InferenceEngine)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+// Async engine at batch 8 with Arg(0) concurrent producer threads.
+BENCHMARK(BM_InferenceEngineAsync)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
 // Scene-parallel training epochs; Arg = ADAPTRAJ_TRAIN_WORKERS. real_time is
 // the wall-clock headline; cpu_time is whole-process CPU (total work).
 BENCHMARK(BM_TrainEpoch_AdapTraj)

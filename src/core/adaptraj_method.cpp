@@ -172,5 +172,12 @@ Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) 
   return model_->backbone().Predict(batch, enc, f.Extra(), rng, sample);
 }
 
+std::unique_ptr<Method> AdapTrajMethod::CloneForServing() const {
+  auto clone = std::make_unique<AdapTrajMethod>(kind_, backbone_config_, model_config_,
+                                                init_seed_, variant_, schedule_);
+  clone->model_->CopyParametersFrom(*model_);
+  return clone;
+}
+
 }  // namespace core
 }  // namespace adaptraj

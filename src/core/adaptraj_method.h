@@ -54,6 +54,7 @@ class AdapTrajMethod : public Method {
   bool reentrant_predict() const override {
     return model_->backbone().reentrant_predict();
   }
+  std::unique_ptr<Method> CloneForServing() const override;
 
   AdapTrajModel& model() { return *model_; }
   const AdapTrajTrainConfig& schedule() const { return schedule_; }

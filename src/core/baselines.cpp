@@ -91,6 +91,14 @@ Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) c
   return backbone_->Predict(batch, enc, Tensor(), rng, sample);
 }
 
+std::unique_ptr<Method> VanillaMethod::CloneForServing() const {
+  // Same construction path as a training replica (stored ctor args), then the
+  // served weights overwrite the fresh initialization.
+  auto clone = std::make_unique<VanillaMethod>(kind_, config_, init_seed_);
+  clone->backbone_->CopyParametersFrom(*backbone_);
+  return clone;
+}
+
 CounterMethod::CounterMethod(models::BackboneKind kind,
                              const models::BackboneConfig& config, uint64_t init_seed)
     : kind_(kind), config_(config), init_seed_(init_seed) {
@@ -145,6 +153,12 @@ Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) c
   data::Batch cf = CounterfactualBatch(batch);
   models::EncodeResult enc = backbone_->Encode(cf);
   return backbone_->Predict(cf, enc, Tensor(), rng, sample);
+}
+
+std::unique_ptr<Method> CounterMethod::CloneForServing() const {
+  auto clone = std::make_unique<CounterMethod>(kind_, config_, init_seed_);
+  clone->backbone_->CopyParametersFrom(*backbone_);
+  return clone;
 }
 
 CausalMotionMethod::CausalMotionMethod(models::BackboneKind kind,
@@ -237,6 +251,13 @@ Tensor CausalMotionMethod::Predict(const data::Batch& batch, Rng* rng,
   NoGradGuard no_grad;
   models::EncodeResult enc = backbone_->Encode(batch);
   return backbone_->Predict(batch, enc, Tensor(), rng, sample);
+}
+
+std::unique_ptr<Method> CausalMotionMethod::CloneForServing() const {
+  auto clone = std::make_unique<CausalMotionMethod>(kind_, config_, init_seed_,
+                                                    invariance_weight_);
+  clone->backbone_->CopyParametersFrom(*backbone_);
+  return clone;
 }
 
 }  // namespace core

@@ -33,6 +33,7 @@ class VanillaMethod : public Method {
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
   bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
+  std::unique_ptr<Method> CloneForServing() const override;
 
   models::Backbone& backbone() { return *backbone_; }
 
@@ -60,6 +61,7 @@ class CounterMethod : public Method {
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
   bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
+  std::unique_ptr<Method> CloneForServing() const override;
 
  private:
   models::BackboneKind kind_;
@@ -84,6 +86,7 @@ class CausalMotionMethod : public Method {
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
   bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
+  std::unique_ptr<Method> CloneForServing() const override;
 
  private:
   models::BackboneKind kind_;

@@ -4,6 +4,7 @@
 #ifndef ADAPTRAJ_CORE_METHOD_H_
 #define ADAPTRAJ_CORE_METHOD_H_
 
+#include <memory>
 #include <string>
 
 #include "data/batch.h"
@@ -54,9 +55,22 @@ class Method {
   virtual Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const = 0;
 
   /// True when concurrent Predict() calls on this instance are safe (see
-  /// models::Backbone::reentrant_predict). serve::InferenceEngine serializes
-  /// batch execution when this is false.
+  /// models::Backbone::reentrant_predict). serve::InferenceEngine runs
+  /// non-reentrant methods on private replicas (CloneForServing) — or one
+  /// batch at a time when the method is not clonable.
   virtual bool reentrant_predict() const { return true; }
+
+  /// Builds an independent serving replica: a structurally identical model
+  /// tree constructed from the same configuration, with this method's
+  /// current parameter values copied in (Module::CopyParametersFrom) and
+  /// left in inference mode. Replica predictions are bit-identical to the
+  /// original's — construction seeds only decide initial weights, which the
+  /// parameter copy overwrites — so serve::ReplicaPool can run a
+  /// non-reentrant Predict (LBEBM's Langevin sampler writes its model's
+  /// gradient buffers) on several batches concurrently, each on a private
+  /// copy. Returns nullptr when the method cannot be replicated; the built-in
+  /// methods all can, the default covers external subclasses.
+  virtual std::unique_ptr<Method> CloneForServing() const { return nullptr; }
 };
 
 }  // namespace core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "serve/inference_engine.h"
@@ -111,10 +112,12 @@ double MeasureInferenceSeconds(const core::Method& method, const data::Batch& ba
 
 double MeasureEngineThroughput(const core::Method& method, const data::Dataset& dataset,
                                const data::SequenceConfig& config, int batch_size,
-                               int num_scenes, int repeats, uint64_t seed) {
+                               int num_scenes, int repeats, uint64_t seed,
+                               int producer_threads) {
   const int64_t scenes =
       std::min<int64_t>(num_scenes, static_cast<int64_t>(dataset.size()));
   if (scenes == 0 || repeats <= 0) return 0.0;
+  const int producers = std::max(1, producer_threads);
 
   serve::InferenceEngineOptions options;
   options.batch_size = batch_size;
@@ -124,13 +127,11 @@ double MeasureEngineThroughput(const core::Method& method, const data::Dataset& 
 
   auto run_pass = [&] {
     // A fresh engine per pass keeps every pass's slot->batch mapping (and
-    // noise streams) identical, so timing samples measure the same work.
+    // noise streams) identical, so timing samples measure the same work —
+    // explicit ids pin scene i to slot i for any producer interleaving.
     serve::InferenceEngine engine(&method, options);
     std::vector<std::future<Tensor>> futures;
-    futures.reserve(static_cast<size_t>(scenes));
-    for (int64_t i = 0; i < scenes; ++i) {
-      futures.push_back(engine.Submit(dataset.sequences[i]));
-    }
+    SubmitScenesConcurrently(&engine, dataset.sequences, scenes, producers, &futures);
     engine.Drain();
     for (auto& f : futures) (void)f.get();
   };
@@ -149,6 +150,29 @@ double MeasureEngineThroughput(const core::Method& method, const data::Dataset& 
                             ? samples[mid]
                             : 0.5 * (samples[mid - 1] + samples[mid]);
   return median > 0.0 ? static_cast<double>(scenes) / median : 0.0;
+}
+
+void SubmitScenesConcurrently(serve::InferenceEngine* engine,
+                              const std::vector<data::TrajectorySequence>& sequences,
+                              int64_t count, int producer_threads,
+                              std::vector<std::future<Tensor>>* futures) {
+  const int producers = std::max(1, producer_threads);
+  futures->clear();
+  futures->resize(static_cast<size_t>(count));
+  auto produce = [engine, futures, &sequences, count, producers](int64_t first) {
+    for (int64_t i = first; i < count; i += producers) {
+      (*futures)[static_cast<size_t>(i)] =
+          engine->Submit(static_cast<uint64_t>(i), sequences[static_cast<size_t>(i)]);
+    }
+  };
+  if (producers == 1) {
+    produce(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(producers));
+  for (int p = 0; p < producers; ++p) threads.emplace_back(produce, p);
+  for (auto& t : threads) t.join();
 }
 
 }  // namespace eval

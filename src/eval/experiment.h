@@ -5,12 +5,20 @@
 #ifndef ADAPTRAJ_EVAL_EXPERIMENT_H_
 #define ADAPTRAJ_EVAL_EXPERIMENT_H_
 
+#include <future>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/adaptraj_method.h"
 #include "core/baselines.h"
 #include "eval/metrics.h"
+
+namespace adaptraj {
+namespace serve {
+class InferenceEngine;  // full definition only needed by experiment.cpp
+}  // namespace serve
+}  // namespace adaptraj
 
 namespace adaptraj {
 namespace eval {
@@ -65,9 +73,29 @@ double MeasureInferenceSeconds(const core::Method& method, const data::Batch& ba
 /// sequences per pass and drains, repeating `repeats` times (median pass
 /// time after one warm-up pass). The table-8 shape at batch_size in
 /// {1, 8, 32} is the tracked serving metric.
+///
+/// `producer_threads` > 1 drives the engine's async path the way a fleet of
+/// connection handlers would: that many threads submit concurrently with
+/// explicit request ids (scene i at slot i), so the slot->batch mapping —
+/// and therefore every byte of every result — is identical to the
+/// single-producer pass; only the contention profile changes.
 double MeasureEngineThroughput(const core::Method& method, const data::Dataset& dataset,
                                const data::SequenceConfig& config, int batch_size,
-                               int num_scenes, int repeats, uint64_t seed);
+                               int num_scenes, int repeats, uint64_t seed,
+                               int producer_threads = 1);
+
+/// Submits sequences[0, count) to the engine with explicit slot ids (scene i
+/// at slot i) from `producer_threads` concurrent threads (thread p submits
+/// i = p, p + P, ...), filling futures[i]; with one producer, submits inline.
+/// Explicit ids make the slot->batch mapping — and therefore every byte of
+/// every result — independent of producer interleaving, and the join before
+/// returning quiesces the producers as serve::InferenceEngine::Drain
+/// requires. The submission half of MeasureEngineThroughput, shared with the
+/// BM_InferenceEngineAsync benchmark.
+void SubmitScenesConcurrently(serve::InferenceEngine* engine,
+                              const std::vector<data::TrajectorySequence>& sequences,
+                              int64_t count, int producer_threads,
+                              std::vector<std::future<Tensor>>* futures);
 
 }  // namespace eval
 }  // namespace adaptraj

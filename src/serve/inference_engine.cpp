@@ -1,6 +1,10 @@
 #include "serve/inference_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/parallel_trainer.h"
@@ -18,6 +22,10 @@ void ValidateOptions(const InferenceEngineOptions& options) {
                          << options.batch_size);
   ADAPTRAJ_CHECK_MSG(options.max_buffered_batches >= 0,
                      "InferenceEngine max_buffered_batches must be >= 0");
+  ADAPTRAJ_CHECK_MSG(options.max_batch_delay_ms >= 0,
+                     "InferenceEngine max_batch_delay_ms must be >= 0");
+  ADAPTRAJ_CHECK_MSG(options.num_replicas >= 0,
+                     "InferenceEngine num_replicas must be >= 0");
 }
 
 }  // namespace
@@ -27,22 +35,85 @@ InferenceEngine::InferenceEngine(const core::Method* method,
     : method_(method), options_(options) {
   ADAPTRAJ_CHECK_MSG(method != nullptr, "InferenceEngine over null method");
   ValidateOptions(options_);
+  if (!method_->reentrant_predict()) {
+    const int slots = options_.num_replicas > 0 ? options_.num_replicas
+                                                : parallel::NumTrainWorkers();
+    if (slots > 1) replicas_ = std::make_unique<ReplicaPool>(method_, slots);
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
 InferenceEngine::InferenceEngine(std::unique_ptr<core::Method> method,
                                  const InferenceEngineOptions& options)
-    : method_(method.get()), owned_method_(std::move(method)), options_(options) {
-  ADAPTRAJ_CHECK_MSG(method_ != nullptr, "InferenceEngine over null method");
-  ValidateOptions(options_);
+    : InferenceEngine(method.get(), options) {
+  owned_method_ = std::move(method);
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  dispatch_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Lossless error delivery even on teardown: requests that never executed
+  // fail with a descriptive error instead of a broken promise. No lock
+  // needed — the dispatcher is gone and other threads must not race the
+  // destructor.
+  for (auto& entry : pending_) {
+    entry.second.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "InferenceEngine destroyed before the request at slot " +
+        std::to_string(entry.first) + " executed; call Drain() before destruction")));
+  }
+}
+
+int InferenceEngine::num_replica_slots() const {
+  return replicas_ != nullptr ? replicas_->size() : 1;
+}
+
+InferenceEngineStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 std::future<Tensor> InferenceEngine::Submit(const data::TrajectorySequence& scene) {
-  return Submit(next_auto_id_, scene);
+  std::future<Tensor> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    future = SubmitLocked(next_auto_id_, scene);
+  }
+  dispatch_cv_.notify_one();
+  return future;
 }
 
 std::future<Tensor> InferenceEngine::Submit(uint64_t request_id,
                                             const data::TrajectorySequence& scene) {
+  std::future<Tensor> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    future = SubmitLocked(request_id, scene);
+  }
+  dispatch_cv_.notify_one();
+  return future;
+}
+
+std::future<Tensor> InferenceEngine::SubmitLocked(uint64_t request_id,
+                                                  const data::TrajectorySequence& scene) {
   const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
+  if (request_id < next_batch_ * batch_size && options_.max_batch_delay_ms > 0) {
+    // With the deadline enabled, the dispatcher retires slot space on a
+    // timer the producers cannot observe, so an explicit id landing in an
+    // already-flushed batch is an operational race, not a programming
+    // error — deliver it through the future instead of aborting the server.
+    ++stats_.requests;
+    ++stats_.rejected_requests;
+    std::promise<Tensor> rejected;
+    rejected.set_exception(std::make_exception_ptr(std::runtime_error(
+        "request id " + std::to_string(request_id) +
+        " arrived after its batch was already flushed (a max_batch_delay_ms "
+        "deadline flush or a concurrent Drain retired its slot range)")));
+    return rejected.get_future();
+  }
   ADAPTRAJ_CHECK_MSG(request_id >= next_batch_ * batch_size,
                      "request id " << request_id << " belongs to batch "
                                    << request_id / batch_size
@@ -51,15 +122,16 @@ std::future<Tensor> InferenceEngine::Submit(uint64_t request_id,
                      "duplicate request id " << request_id);
   PendingRequest req;
   req.scene = scene;
+  req.enqueue_time = std::chrono::steady_clock::now();
   std::future<Tensor> future = req.promise.get_future();
   pending_.emplace(request_id, std::move(req));
   next_auto_id_ = std::max(next_auto_id_, request_id + 1);
   ++stats_.requests;
-  RunReadyBatches(/*include_partial_tail=*/false);
   return future;
 }
 
 void InferenceEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
   if (!pending_.empty()) {
     // Out-of-order streams must be complete before the tail can be padded:
     // a hole would silently shift every later request one slot.
@@ -69,100 +141,209 @@ void InferenceEngine::Drain() {
                        "Drain with missing request ids: have "
                            << pending_.size() << " pending in slot range ["
                            << first << ", " << last << "]");
+    drain_until_slot_ = std::max(drain_until_slot_, last + 1);
   }
-  RunReadyBatches(/*include_partial_tail=*/true);
+  const uint64_t target = drain_until_slot_;
+  dispatch_cv_.notify_one();
+  drained_cv_.wait(lock, [this, target] {
+    return next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
+           !executing_;
+  });
 }
 
-void InferenceEngine::RunReadyBatches(bool include_partial_tail) {
-  const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
-  const uint64_t max_buffered = static_cast<uint64_t>(
-      options_.max_buffered_batches > 0 ? options_.max_buffered_batches
-                                        : parallel::NumTrainWorkers());
-
-  // Length of the contiguous run of pending slots starting at the next
-  // unexecuted batch boundary (out-of-order arrivals beyond a hole wait).
-  const uint64_t first_slot = next_batch_ * batch_size;
+uint64_t InferenceEngine::ContiguousRunLocked() const {
+  const uint64_t first_slot =
+      next_batch_ * static_cast<uint64_t>(options_.batch_size);
   uint64_t run = 0;
   for (auto it = pending_.lower_bound(first_slot);
        it != pending_.end() && it->first == first_slot + run; ++it) {
     ++run;
   }
+  return run;
+}
+
+std::vector<InferenceEngine::ReadyBatch> InferenceEngine::CollectGroupLocked(
+    bool include_partial_tail) {
+  const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
+  const uint64_t run = ContiguousRunLocked();
   const uint64_t ready_full = run / batch_size;
   const uint64_t tail_rows = include_partial_tail ? run % batch_size : 0;
-  if (ready_full + (tail_rows > 0 ? 1 : 0) == 0) return;
-  // Submit path: buffer until a group's worth of batches is ready so the
-  // worker pool gets cross-batch parallelism; Drain flushes unconditionally.
-  if (!include_partial_tail && ready_full < max_buffered) return;
+  const uint64_t total = ready_full + (tail_rows > 0 ? 1 : 0);
 
-  // One executable batch: its index, its real scenes in slot order, and the
-  // per-request promises to fulfil afterwards.
-  struct ReadyBatch {
-    uint64_t index = 0;
-    std::vector<const data::TrajectorySequence*> scenes;  // real rows only
-    std::vector<std::promise<Tensor>> promises;
-    std::vector<Tensor> results;  // filled by the task, one per real row
-  };
   std::vector<ReadyBatch> group;
-  uint64_t slot = first_slot;
-  const uint64_t total_batches = ready_full + (tail_rows > 0 ? 1 : 0);
-  for (uint64_t b = 0; b < total_batches; ++b) {
+  group.reserve(total);
+  uint64_t slot = next_batch_ * batch_size;
+  for (uint64_t b = 0; b < total; ++b) {
     const uint64_t rows = b < ready_full ? batch_size : tail_rows;
     ReadyBatch rb;
     rb.index = next_batch_;
+    rb.scenes.reserve(rows);
+    rb.promises.reserve(rows);
     for (uint64_t r = 0; r < rows; ++r, ++slot) {
       auto it = pending_.find(slot);
-      rb.scenes.push_back(&it->second.scene);
+      rb.scenes.push_back(std::move(it->second.scene));
       rb.promises.push_back(std::move(it->second.promise));
+      pending_.erase(it);
     }
     group.push_back(std::move(rb));
     ++next_batch_;
   }
   // A padded tail consumes its whole batch of the slot space: implicit
-  // submissions after a Drain continue at the next batch boundary.
+  // submissions after a flush continue at the next batch boundary.
   next_auto_id_ = std::max(next_auto_id_, next_batch_ * batch_size);
+  // A deadline flush can pad past a slot hole in an out-of-order stream,
+  // retiring the batch of a request still pending BEHIND the hole. That
+  // request can never execute in its assigned slot: reject it through its
+  // future now, or it would hang forever (and, as pending_.begin(), anchor
+  // every future deadline at its stale enqueue time). Only the deadline
+  // path can strand: Drain refuses holes up front, and a full-batch flush
+  // consumes nothing beyond the contiguous collected run.
+  const uint64_t boundary = next_batch_ * batch_size;
+  while (!pending_.empty() && pending_.begin()->first < boundary) {
+    auto it = pending_.begin();
+    it->second.promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "request id " + std::to_string(it->first) +
+        " was stranded behind a slot hole when the max_batch_delay_ms "
+        "deadline flush retired its batch")));
+    ++stats_.rejected_requests;
+    pending_.erase(it);
+  }
+  return group;
+}
 
-  // Execute the group. Each task is self-contained: it tensorizes its
-  // scenes (padding by cycling them up to the fixed width), runs the
-  // forward-only Predict with the batch's private noise stream, and slices
-  // the per-request rows out on its own thread. Non-reentrant methods
-  // (LBEBM) run one batch at a time instead of a concurrent group.
-  auto run_one = [this, batch_size](ReadyBatch* rb) {
+void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) const {
+  try {
     NoGradGuard no_grad;
-    const int64_t real = static_cast<int64_t>(rb->scenes.size());
-    std::vector<const data::TrajectorySequence*> slots = rb->scenes;
-    while (slots.size() < batch_size) {
-      slots.push_back(rb->scenes[slots.size() % rb->scenes.size()]);
-    }
+    const size_t real = rb->scenes.size();
+    const size_t width = static_cast<size_t>(options_.batch_size);
+    // Pad to the fixed width by cycling the real scenes.
+    std::vector<const data::TrajectorySequence*> slots;
+    slots.reserve(width);
+    for (size_t r = 0; r < width; ++r) slots.push_back(&rb->scenes[r % real]);
     data::Batch batch = data::MakeBatch(slots, options_.sequence);
     Rng rng(core::TaskSeed(options_.seed, rb->index));
-    Tensor pred = method_->Predict(batch, &rng, options_.sample);
-    for (int64_t r = 0; r < real; ++r) {
+    Tensor pred = method->Predict(batch, &rng, options_.sample);
+    rb->results.reserve(real);
+    for (int64_t r = 0; r < static_cast<int64_t>(real); ++r) {
+      // Slice copies the row into fresh storage, and under no-grad attaches
+      // no graph edge back to `pred`: a caller that keeps this tensor alive
+      // retains pred_len*2 floats, never the whole batch buffer (asserted by
+      // PerRequestResultsAreIndependentStorage).
       rb->results.push_back(ops::Slice(pred, 0, r, r + 1));
     }
-  };
+  } catch (...) {
+    // Deliver the original error through the batch's futures instead of
+    // abandoning the promises (which would surface as an opaque
+    // broken_promise at every future.get()).
+    rb->results.clear();
+    rb->error = std::current_exception();
+  }
+}
 
+void InferenceEngine::ExecuteGroup(std::vector<ReadyBatch>* group) {
   if (method_->reentrant_predict()) {
+    // Reentrant Predict: every batch shares the master model; full
+    // cross-batch concurrency on the training-worker pool.
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(group.size());
-    for (ReadyBatch& rb : group) {
-      tasks.push_back([&run_one, &rb] { run_one(&rb); });
+    tasks.reserve(group->size());
+    for (ReadyBatch& rb : *group) {
+      tasks.push_back([this, &rb] { RunOneBatch(&rb, method_); });
     }
     parallel::RunTaskGroup(tasks);
-  } else {
-    for (ReadyBatch& rb : group) run_one(&rb);
-  }
-
-  // Fulfil promises in slot order on the dispatch thread and retire the
-  // requests.
-  for (ReadyBatch& rb : group) {
-    const uint64_t first = rb.index * batch_size;
-    for (size_t r = 0; r < rb.results.size(); ++r) {
-      rb.promises[r].set_value(std::move(rb.results[r]));
-      pending_.erase(first + static_cast<uint64_t>(r));
+  } else if (replicas_ != nullptr && replicas_->size() > 1) {
+    // Non-reentrant Predict with a replica pool: waves of consecutive batch
+    // indices. Batch b is pinned to replica b % R, so wave members never
+    // share an instance and the non-reentrant body never runs concurrently
+    // on one model.
+    const size_t width = static_cast<size_t>(replicas_->size());
+    for (size_t base = 0; base < group->size(); base += width) {
+      const size_t end = std::min(group->size(), base + width);
+      std::vector<std::function<void()>> wave;
+      wave.reserve(end - base);
+      for (size_t i = base; i < end; ++i) {
+        ReadyBatch& rb = (*group)[i];
+        wave.push_back(
+            [this, &rb] { RunOneBatch(&rb, replicas_->MethodForBatch(rb.index)); });
+      }
+      parallel::RunTaskGroup(wave);
     }
-    ++stats_.batches;
-    stats_.padded_rows +=
-        options_.batch_size - static_cast<int64_t>(rb.results.size());
+  } else {
+    // Non-reentrant and not clonable (or replicas disabled): one at a time.
+    for (ReadyBatch& rb : *group) RunOneBatch(&rb, method_);
+  }
+}
+
+void InferenceEngine::DispatcherLoop() {
+  const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
+  const uint64_t max_buffered = static_cast<uint64_t>(
+      options_.max_buffered_batches > 0 ? options_.max_buffered_batches
+                                        : parallel::NumTrainWorkers());
+  const auto delay = std::chrono::milliseconds(options_.max_batch_delay_ms);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    const uint64_t run = ContiguousRunLocked();
+    const bool drain_needed = drain_until_slot_ > next_batch_ * batch_size;
+    const bool full_ready = run / batch_size >= max_buffered;
+    bool deadline_due = false;
+    std::chrono::steady_clock::time_point deadline{};
+    if (options_.max_batch_delay_ms > 0 && run > 0) {
+      // The deadline measures the age of the request at the head of the
+      // queue (the first slot of the contiguous run — for an out-of-order
+      // stream, the arrival that unblocked the head).
+      deadline = pending_.begin()->second.enqueue_time + delay;
+      deadline_due = std::chrono::steady_clock::now() >= deadline;
+    }
+
+    if (!drain_needed && !full_ready && !deadline_due) {
+      if (options_.max_batch_delay_ms > 0 && run > 0) {
+        dispatch_cv_.wait_until(lock, deadline);
+      } else {
+        dispatch_cv_.wait(lock);
+      }
+      continue;  // re-evaluate everything after any wakeup
+    }
+
+    // Every trigger implies at least one executable batch: full_ready means
+    // a whole batch is buffered, and drain/deadline imply a non-empty run
+    // whose tail is included below.
+    const bool include_tail = drain_needed || deadline_due;
+    std::vector<ReadyBatch> group = CollectGroupLocked(include_tail);
+    ADAPTRAJ_CHECK_MSG(!group.empty(),
+                       "dispatcher triggered with no executable batch (run="
+                           << run << ", next_batch=" << next_batch_ << ")");
+    executing_ = true;
+    const int64_t deadline_hits = (deadline_due && !drain_needed) ? 1 : 0;
+    lock.unlock();
+    ExecuteGroup(&group);
+    lock.lock();
+    // Count first, fulfil second, both under mu_: a caller that wakes on a
+    // ready future (or returns from Drain) observes counters that already
+    // include its batch.
+    stats_.deadline_flushes += deadline_hits;
+    stats_.batches += static_cast<int64_t>(group.size());
+    for (const ReadyBatch& rb : group) {
+      if (rb.error != nullptr) {
+        ++stats_.failed_batches;
+      } else {
+        stats_.padded_rows +=
+            options_.batch_size - static_cast<int64_t>(rb.scenes.size());
+      }
+    }
+    // Fulfil promises in slot order; RunTaskGroup's completion barrier
+    // published the task writes. A failed batch delivers its exception to
+    // exactly its own futures — later batches are unaffected.
+    for (ReadyBatch& rb : group) {
+      if (rb.error != nullptr) {
+        for (std::promise<Tensor>& p : rb.promises) p.set_exception(rb.error);
+      } else {
+        for (size_t r = 0; r < rb.results.size(); ++r) {
+          rb.promises[r].set_value(std::move(rb.results[r]));
+        }
+      }
+    }
+    executing_ = false;
+    drained_cv_.notify_all();
   }
 }
 

@@ -1,51 +1,103 @@
-// Batched inference engine: the query-path counterpart of ParallelTrainer.
+// Async batched inference engine: the query-path counterpart of
+// ParallelTrainer.
 //
-// A serving deployment receives one scene per request, but the backbones are
-// far more efficient on coalesced batches (one graph, batched GEMMs). The
-// engine accepts per-scene requests, coalesces them into fixed-size batches,
-// runs the owned Method's Predict (which executes forward-only under
-// NoGradGuard) on the training-worker pool, and delivers each request's
-// prediction through a future.
+// A serving deployment receives one scene per request from many connection
+// threads, but the backbones are far more efficient on coalesced batches
+// (one graph, batched GEMMs). The engine accepts per-scene requests from any
+// number of producer threads, coalesces them into fixed-size batches on a
+// persistent dispatcher thread, runs the owned Method's Predict (forward-only
+// under NoGradGuard) on the training-worker pool, and delivers each request's
+// prediction — or the exception that prevented it — through a future.
+//
+// Threading model:
+//   - Submit is thread-safe and NON-BLOCKING with respect to execution: it
+//     enqueues the request under the engine mutex, wakes the dispatcher, and
+//     returns the future. It never tensorizes, never runs Predict, and never
+//     waits for a batch on the caller thread.
+//   - One persistent DISPATCHER thread owns batch formation and execution.
+//     It sleeps on a condition variable until (a) at least
+//     `max_buffered_batches` full batches are ready, (b) a Drain is
+//     outstanding, or (c) `max_batch_delay_ms` expired on the request at the
+//     head of the queue — then it collects the ready prefix (decided under
+//     the mutex), releases the mutex, and executes the batches as task
+//     groups on the training-worker pool (parallel::RunTaskGroup). The
+//     dispatcher is the only thread that calls RunTaskGroup on the serving
+//     path, so the worker x kernel-thread budget of tensor/parallel.h is
+//     never multiplied by producer count.
+//   - Drain is thread-safe, blocks the caller until every request submitted
+//     before the call has its future ready, and — like the PR-4 engine —
+//     pads the final underfull batch. Concurrent IMPLICIT-id producers may
+//     race a Drain freely (their slots are contiguous by construction;
+//     which requests land before the drain point is the callers'
+//     coordination problem). EXPLICIT-id producers must be quiesced first:
+//     a strided stream caught mid-flight leaves a transient slot hole,
+//     which Drain treats as the checked error documented on the method.
+//     Each executed batch is still computed exactly as documented below.
+//   - The destructor does NOT drain: it stops the dispatcher after the
+//     in-flight group (if any) completes and fails every still-pending
+//     promise with a descriptive std::runtime_error. Call Drain first for a
+//     graceful shutdown. No future ever observes std::future_error
+//     (broken_promise).
+//
+// Error delivery: Predict / MakeBatch failures inside a batch are caught and
+// delivered through std::promise::set_exception to exactly that batch's
+// futures — future.get() rethrows the original exception. The failed batch
+// is retired (its slots are consumed) and the engine keeps serving later
+// batches. The library itself reports programming errors via ADAPTRAJ_CHECK
+// (which aborts); the exceptions this machinery carries come from external
+// Method implementations, allocation failure, and the like.
 //
 // Determinism model (mirrors the ParallelTrainer contract):
 //   - Every request occupies a SLOT in a global sequence: slot r belongs to
 //     batch r / batch_size at row r % batch_size. Slots are assigned by
 //     submission order, or explicitly by the caller (Submit with request_id)
-//     for streams that arrive out of order — the engine buffers a batch
-//     until all of its slots are present, so delivery order over the wire
-//     never changes what is computed.
+//     for streams that arrive out of order — with explicit ids, producer
+//     count and wire interleaving cannot change the slot->batch mapping. The
+//     engine buffers a batch until all of its slots are present.
 //   - Batch b draws its sampling noise from an Rng seeded
 //     core::TaskSeed(options.seed, b): a private stream per batch,
-//     independent of execution interleaving.
-//   - A partial final batch (Drain with fewer than batch_size pending slots)
-//     is padded to the fixed width by cycling its real scenes; padded rows
-//     are computed and discarded.
-//   - Ready batches execute concurrently via parallel::RunTaskGroup unless
-//     the method reports reentrant_predict() == false (LBEBM's Langevin
-//     sampler writes shared gradient buffers), in which case they run one at
-//     a time. Either way, results are byte-identical for any worker count,
-//     any dispatch buffering, and any wire arrival order at a fixed seed:
-//     each batch's inputs, slot order, and noise stream are fixed by the
-//     slot assignment and the Drain points alone (a Drain that pads a
-//     partial tail is part of the schedule — it decides that batch's
-//     composition), and every kernel is bit-deterministic for any thread
-//     count (see tensor/parallel.h).
+//     independent of execution interleaving, worker count, and replica slot.
+//   - A partial batch is padded to the fixed width by cycling its real
+//     scenes; padded rows are computed and discarded. Padding happens at a
+//     FLUSH POINT — a Drain, or a max_batch_delay_ms expiry — and the flush
+//     schedule is part of the request schedule: it decides that batch's
+//     composition exactly as in the PR-4 engine. With the deadline disabled
+//     (the default), flush points are the Drain calls alone and results are
+//     byte-identical to the synchronous engine for any producer count,
+//     worker count, and dispatch cadence at a fixed seed (asserted by
+//     tests/serve/).
+//   - Reentrant methods execute ready batches concurrently on the shared
+//     master model. Non-reentrant methods (LBEBM: the Langevin sampler
+//     writes its model's gradient buffers) execute on a serve::ReplicaPool
+//     of private model copies, batch b pinned to replica b % R, in waves
+//     whose members never share a replica — concurrency without the data
+//     race, bit-identical to serialized execution because the replicas hold
+//     byte-identical parameters and every kernel is bit-deterministic for
+//     any thread count (see tensor/parallel.h). If the method cannot be
+//     cloned (Method::CloneForServing returns nullptr) or the pool is capped
+//     at one slot, batches run one at a time as before.
 //
-// Threading: the engine itself is driven from one dispatch thread (Submit
-// and Drain are not thread-safe against each other); the parallelism is
-// inside, across batches. Submit may block while a group of ready batches
-// executes.
+// Memory: per-request results are materialized as independent [1,
+// pred_len*2] tensors (ops::Slice copies rows into fresh storage and no-grad
+// mode attaches no graph back to the batch output), so a caller that holds a
+// future's tensor for a long time retains ~pred_len*2 floats, never the
+// whole [batch_size, pred_len*2] batch buffer.
 
 #ifndef ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
 #define ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/method.h"
+#include "serve/replica_pool.h"
 
 namespace adaptraj {
 namespace serve {
@@ -61,21 +113,39 @@ struct InferenceEngineOptions {
   uint64_t seed = 0;
   /// Window configuration used to tensorize submitted scenes.
   data::SequenceConfig sequence;
-  /// Ready batches buffered before a dispatch; more batching per
-  /// RunTaskGroup call amortizes pool handoff. 0 = the training-worker
-  /// count (parallel::NumTrainWorkers()).
+  /// Full batches buffered before the dispatcher executes a group; more
+  /// batching per RunTaskGroup call amortizes pool handoff. 0 = the
+  /// training-worker count (parallel::NumTrainWorkers()).
   int max_buffered_batches = 0;
+  /// Deadline flush: when > 0, the dispatcher executes the pending
+  /// contiguous prefix — padding an underfull tail — once the request at the
+  /// head of the queue has waited this long, so a lone request is served
+  /// without a Drain. 0 (default) disables the deadline; partial batches
+  /// then wait for Drain, which keeps batch composition independent of
+  /// timing (the determinism-test configuration).
+  int max_batch_delay_ms = 0;
+  /// Replica slots for non-reentrant methods (see serve::ReplicaPool).
+  /// 0 = auto: the training-worker count. 1 = no copies, serialize batches.
+  /// Ignored for reentrant methods, which share the master safely.
+  int num_replicas = 0;
 };
 
-/// Cumulative counters for tests and telemetry.
+/// Cumulative counters for tests and telemetry. Values are a coherent
+/// snapshot taken under the engine mutex (see InferenceEngine::stats).
 struct InferenceEngineStats {
-  int64_t requests = 0;        // scenes submitted
-  int64_t batches = 0;         // batches executed
-  int64_t padded_rows = 0;     // rows computed for padding and discarded
+  int64_t requests = 0;          // scenes submitted
+  int64_t batches = 0;           // batches executed (including failed ones)
+  int64_t padded_rows = 0;       // rows computed for padding and discarded
+  int64_t failed_batches = 0;    // batches whose futures carry an exception
+  int64_t deadline_flushes = 0;  // flushes triggered by max_batch_delay_ms
+  /// Explicit-id submissions that lost the race against a deadline flush and
+  /// were rejected through their future (only possible with
+  /// max_batch_delay_ms > 0).
+  int64_t rejected_requests = 0;
 };
 
-/// Coalescing batch server over one trained Method. See the file comment for
-/// the execution and determinism model.
+/// Coalescing async batch server over one trained Method. See the file
+/// comment for the threading, error-delivery, and determinism model.
 class InferenceEngine {
  public:
   /// Serves a method owned elsewhere; `method` must outlive the engine.
@@ -84,48 +154,116 @@ class InferenceEngine {
   InferenceEngine(std::unique_ptr<core::Method> method,
                   const InferenceEngineOptions& options);
 
-  /// Enqueues a scene at the next free slot (submission order). Returns a
+  /// Stops the dispatcher and fails still-pending promises (see the file
+  /// comment); does not drain. Must not race other member calls, per the
+  /// usual object-lifetime rules.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues a scene at the next free slot (submission order) and returns a
   /// future for that scene's predicted displacements [1, pred_len*2]. The
-  /// scene is copied; the caller's storage is not retained. May block while
-  /// ready batches execute.
+  /// scene is copied; the caller's storage is not retained. Thread-safe;
+  /// never executes batches on the caller thread. NOTE: with multiple
+  /// producer threads the slot a request gets depends on lock acquisition
+  /// order — use the explicit-id overload when the slot must be
+  /// reproducible.
   std::future<Tensor> Submit(const data::TrajectorySequence& scene);
 
   /// Enqueues a scene at an explicit slot, for request streams that arrive
-  /// out of order. Slots must be unique and must not precede an already
-  /// executed batch; the engine holds a batch until every one of its slots
-  /// has arrived.
+  /// out of order or from several producer threads. Slots must be unique and
+  /// must not precede an already executed batch (a checked error — except
+  /// with max_batch_delay_ms enabled, where a deadline flush can retire slot
+  /// space on a timer the producers cannot observe: an id that loses that
+  /// race is rejected through its future instead, as is an already-pending
+  /// id stranded behind a slot hole the deadline padded past). The engine
+  /// holds a batch until every one of its slots has arrived.
   std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene);
 
-  /// Executes everything still pending, including a padded partial tail.
-  /// All slots up to the highest submitted one must be present (a gap in an
-  /// out-of-order stream is a checked error here). After Drain every future
-  /// handed out so far is ready.
+  /// Flushes everything pending — including a padded partial tail — and
+  /// blocks until every request submitted before this call has its future
+  /// ready (fulfilled or failed). All slots up to the highest submitted one
+  /// must be present (a gap in an out-of-order stream is a checked error),
+  /// so quiesce explicit-id producers — join them, or otherwise ensure their
+  /// slot ranges are complete — before calling Drain: a strided producer
+  /// caught mid-stream leaves transient holes. Implicit-id producers assign
+  /// contiguous slots under the engine mutex and can never create a hole, so
+  /// Drain may race them freely (which of their requests land before the
+  /// flush is then timing-dependent, as the file comment describes).
   void Drain();
 
-  const InferenceEngineStats& stats() const { return stats_; }
+  /// Coherent snapshot of the cumulative counters.
+  InferenceEngineStats stats() const;
   const InferenceEngineOptions& options() const { return options_; }
   const core::Method& method() const { return *method_; }
+  /// Concurrency slots for non-reentrant methods: the replica-pool size, or
+  /// 1 when batches are serialized. Reentrant methods report 1 (they share
+  /// the master without a pool).
+  int num_replica_slots() const;
 
  private:
   struct PendingRequest {
     data::TrajectorySequence scene;
     std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
   };
 
-  /// Executes consecutive ready batches starting at next_batch_; with
-  /// `include_partial_tail`, also the final underfull batch.
-  void RunReadyBatches(bool include_partial_tail);
+  /// One executable batch: its index, its real scenes in slot order (moved
+  /// out of the pending map at collection), and the per-request promises.
+  struct ReadyBatch {
+    uint64_t index = 0;
+    std::vector<data::TrajectorySequence> scenes;
+    std::vector<std::promise<Tensor>> promises;
+    std::vector<Tensor> results;  // one per real row on success
+    std::exception_ptr error;     // set instead of results on failure
+  };
+
+  void DispatcherLoop();
+  /// Validates the slot, records the request, and returns its future.
+  /// Caller holds mu_ (the shared body of both Submit overloads).
+  std::future<Tensor> SubmitLocked(uint64_t request_id,
+                                   const data::TrajectorySequence& scene);
+  /// Length of the contiguous pending-slot run starting at the next
+  /// unexecuted batch boundary. Caller holds mu_.
+  uint64_t ContiguousRunLocked() const;
+  /// Moves the ready prefix (full batches; with `include_partial_tail` also
+  /// the underfull tail) out of the pending map and advances the slot
+  /// cursors. Caller holds mu_.
+  std::vector<ReadyBatch> CollectGroupLocked(bool include_partial_tail);
+  /// Executes a collected group on the worker pool, filling each batch's
+  /// results or error. Runs on the dispatcher with mu_ released; the
+  /// dispatcher then updates stats and fulfills the promises under mu_.
+  void ExecuteGroup(std::vector<ReadyBatch>* group);
+  void RunOneBatch(ReadyBatch* rb, const core::Method* method) const;
 
   const core::Method* method_;
   std::unique_ptr<core::Method> owned_method_;
   InferenceEngineOptions options_;
-  /// Requests keyed by slot id; erased once their batch has executed.
+  /// Private model copies for non-reentrant methods; null when the master is
+  /// shared (reentrant) or serialization is requested (num_replicas == 1).
+  std::unique_ptr<ReplicaPool> replicas_;
+
+  mutable std::mutex mu_;
+  /// Wakes the dispatcher (new work, drain, shutdown).
+  std::condition_variable dispatch_cv_;
+  /// Wakes Drain waiters (a group finished executing).
+  std::condition_variable drained_cv_;
+  /// Requests keyed by slot id; entries move out when their batch is
+  /// collected for execution.
   std::map<uint64_t, PendingRequest> pending_;
   /// Next slot assigned by the implicit Submit overload.
   uint64_t next_auto_id_ = 0;
-  /// First batch index that has not executed yet.
+  /// First batch index that has not been collected for execution yet.
   uint64_t next_batch_ = 0;
+  /// Exclusive slot bound the dispatcher must flush through (max over
+  /// outstanding Drain calls).
+  uint64_t drain_until_slot_ = 0;
+  /// True while the dispatcher is executing a group outside the mutex.
+  bool executing_ = false;
+  bool shutdown_ = false;
   InferenceEngineStats stats_;
+  std::thread dispatcher_;
 };
 
 }  // namespace serve

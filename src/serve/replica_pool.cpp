@@ -1,0 +1,30 @@
+#include "serve/replica_pool.h"
+
+#include <utility>
+
+#include "tensor/status.h"
+
+namespace adaptraj {
+namespace serve {
+
+ReplicaPool::ReplicaPool(const core::Method* master, int target_slots)
+    : master_(master) {
+  ADAPTRAJ_CHECK_MSG(master != nullptr, "ReplicaPool over null method");
+  ADAPTRAJ_CHECK_MSG(target_slots >= 1,
+                     "ReplicaPool needs at least one slot; got " << target_slots);
+  for (int s = 1; s < target_slots; ++s) {
+    std::unique_ptr<core::Method> clone = master->CloneForServing();
+    // Not clonable: serve from the master alone (the engine serializes).
+    if (clone == nullptr) break;
+    clones_.push_back(std::move(clone));
+  }
+}
+
+const core::Method* ReplicaPool::method(int slot) const {
+  ADAPTRAJ_CHECK_MSG(slot >= 0 && slot < size(),
+                     "replica slot " << slot << " out of range [0, " << size() << ")");
+  return slot == 0 ? master_ : clones_[static_cast<size_t>(slot - 1)].get();
+}
+
+}  // namespace serve
+}  // namespace adaptraj

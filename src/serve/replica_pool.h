@@ -1,0 +1,68 @@
+// Slot-pinned pool of serving replicas for non-reentrant methods.
+//
+// LBEBM's Predict differentiates its energy network inside the Langevin
+// sampler and therefore writes the model's shared gradient buffers: two
+// concurrent Predict calls on the same instance race. Before this pool the
+// engine's only safe schedule was one batch at a time. A ReplicaPool removes
+// the bottleneck the same way core::ParallelTrainer does on the training
+// path: independent model copies, one per concurrency slot.
+//
+//   - Slot 0 is always the served master (no copy); slots 1..R-1 are built
+//     with core::Method::CloneForServing — same construction path as a
+//     training replica, then Module::CopyParametersFrom overwrites the fresh
+//     initialization with the master's weights.
+//   - Batch b is PINNED to slot b % size(). Pinning is part of the engine's
+//     determinism story only in the trivial sense: since every replica holds
+//     byte-identical parameters and every kernel is bit-deterministic, which
+//     slot executes a batch cannot change its bytes. What pinning actually
+//     buys is a schedule where two batches in the same execution wave never
+//     share a slot (consecutive batch indices hit distinct residues), so a
+//     non-reentrant Predict never runs concurrently on one instance.
+//   - Predict never changes parameter values (gradient buffers only), so
+//     replicas are copied once at pool construction and stay valid for the
+//     pool's lifetime; there is no per-batch broadcast.
+//
+// A method whose CloneForServing returns nullptr caps the pool at the master
+// alone (size() == 1) and the engine falls back to serialized execution.
+
+#ifndef ADAPTRAJ_SERVE_REPLICA_POOL_H_
+#define ADAPTRAJ_SERVE_REPLICA_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/method.h"
+
+namespace adaptraj {
+namespace serve {
+
+/// Fixed set of interchangeable serving replicas; see the file comment.
+class ReplicaPool {
+ public:
+  /// Builds up to `target_slots` slots (>= 1). Slot 0 aliases `master`
+  /// (which must outlive the pool); further slots are CloneForServing
+  /// copies. If the method is not clonable the pool holds only the master.
+  ReplicaPool(const core::Method* master, int target_slots);
+
+  /// Number of usable slots (1 when the method could not be cloned).
+  int size() const { return static_cast<int>(1 + clones_.size()); }
+
+  /// The instance pinned to `slot` (0 = the master).
+  const core::Method* method(int slot) const;
+
+  /// The instance batch `batch_index` must execute on: slot
+  /// batch_index % size().
+  const core::Method* MethodForBatch(uint64_t batch_index) const {
+    return method(static_cast<int>(batch_index % static_cast<uint64_t>(size())));
+  }
+
+ private:
+  const core::Method* master_;
+  std::vector<std::unique_ptr<core::Method>> clones_;
+};
+
+}  // namespace serve
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_SERVE_REPLICA_POOL_H_

@@ -52,7 +52,19 @@ class Pool {
       current_job_ = job;
       ++job_id_;
     }
-    cv_.notify_all();
+    // Wake only as many workers as there are chunks beyond the caller's own
+    // share. The serving dispatcher flushes small task groups at a high
+    // cadence; notify_all would stampede every idle worker through the mutex
+    // for a 2-chunk job they mostly cannot help with. A worker that is busy
+    // (not waiting) when notified picks the job up anyway on its next
+    // predicate check, so targeted wakeups never strand work — and chunk
+    // RESULTS never depend on which thread claims them (see file comment).
+    const size_t wake = std::min(workers_.size(), static_cast<size_t>(num_chunks - 1));
+    if (wake == workers_.size()) {
+      cv_.notify_all();
+    } else {
+      for (size_t i = 0; i < wake; ++i) cv_.notify_one();
+    }
     // The calling thread participates in the drain.
     DrainChunks(*job);
     // Wait for stragglers still inside chunk_fn on worker threads. chunk_fn

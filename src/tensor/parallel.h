@@ -123,6 +123,18 @@ void ConfigureTrainWorkers(int n);
 /// kernel-level ParallelFor forced inline (see the worker x kernel-thread
 /// budget note above). With one worker, tasks run inline on the caller and
 /// kernels keep their usual pool — the serial PR-1 behaviour.
+///
+/// Callers and the serving dispatcher: RunTaskGroup may be called from any
+/// thread that is not itself a pool worker — core::ParallelTrainer calls it
+/// from the training thread, and serve::InferenceEngine from its persistent
+/// dispatcher thread (the engine's producer threads never reach this layer,
+/// so the worker x kernel-thread budget is independent of producer count).
+/// Concurrent calls from several threads are memory-safe — each call's job
+/// is drained to completion by its own caller — but the pool workers only
+/// assist the most recently submitted job, so overlapping groups lose
+/// cross-task parallelism; keep one in-flight group per pool, which the
+/// single-dispatcher engine and the single-threaded trainer do by
+/// construction. Small groups wake only as many workers as they have tasks.
 void RunTaskGroup(const std::vector<std::function<void()>>& tasks);
 
 }  // namespace parallel

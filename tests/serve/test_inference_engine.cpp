@@ -2,7 +2,10 @@
 // tails, deterministic request->slot order), correctness against the
 // reference batched Predict, byte-identical results across worker counts and
 // submission interleavings (including explicit out-of-order ids), and the
-// non-reentrant (LBEBM) serial path.
+// non-reentrant (LBEBM) path. These tests predate the async rewrite and pin
+// the PR-4 synchronous semantics the async engine must reproduce bit-for-bit
+// (same slot->batch mapping, per-batch noise streams, padded-tail
+// composition). Async-specific behaviour lives in test_async_engine.cpp.
 
 #include <cstring>
 #include <future>
@@ -250,6 +253,9 @@ TEST(InferenceEngineTest, LbebmServesSeriallyAndDeterministically) {
 // --- API misuse --------------------------------------------------------------
 
 TEST(InferenceEngineDeathTest, DuplicateRequestIdDies) {
+  // The engine owns a live dispatcher thread, so the default fork()-based
+  // death test could inherit a locked mutex; re-exec instead.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   core::VanillaMethod method(models::BackboneKind::kSeq2Seq, TinyBackbone(), 5);
   auto scenes = Scenes(1);
   InferenceEngine engine(&method, Options(/*batch_size=*/4));
@@ -258,6 +264,7 @@ TEST(InferenceEngineDeathTest, DuplicateRequestIdDies) {
 }
 
 TEST(InferenceEngineDeathTest, DrainWithSlotGapDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   core::VanillaMethod method(models::BackboneKind::kSeq2Seq, TinyBackbone(), 5);
   auto scenes = Scenes(1);
   InferenceEngine engine(&method, Options(/*batch_size=*/4));

@@ -31,7 +31,11 @@ TRACKED_PREFIXES = (
     "BM_AdamUpdate_Fast",
     # Forward-only inference at the table-8 batch shape and the serving
     # engine's scenes/sec path. BM_PredictGradMode is the in-binary baseline
-    # for the ratio and is deliberately NOT tracked.
+    # for the ratio and is deliberately NOT tracked. The BM_InferenceEngine
+    # prefix tracks both the Drain-paced path (BM_InferenceEngine/{1,8,32})
+    # and the multi-producer async path (BM_InferenceEngineAsync/{1,4});
+    # both gate on whole-process CPU (execution lives on the dispatcher and
+    # worker threads, not the benchmark main thread).
     "BM_PredictNoGrad",
     "BM_InferenceEngine",
     # Scene-parallel training epochs. cpu_time here is whole-process CPU
