@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <thread>
 #include <vector>
@@ -150,6 +151,83 @@ double MeasureEngineThroughput(const core::Method& method, const data::Dataset& 
                             ? samples[mid]
                             : 0.5 * (samples[mid - 1] + samples[mid]);
   return median > 0.0 ? static_cast<double>(scenes) / median : 0.0;
+}
+
+PoissonLoadReport MeasureEnginePoissonLoad(const core::Method& method,
+                                           const data::Dataset& dataset,
+                                           const data::SequenceConfig& config,
+                                           const PoissonLoadOptions& load) {
+  ADAPTRAJ_CHECK_MSG(load.arrivals_per_sec > 0.0,
+                     "Poisson load needs arrivals_per_sec > 0");
+  ADAPTRAJ_CHECK_MSG(load.max_batch_delay_ms > 0,
+                     "open-loop load needs a deadline flush "
+                     "(max_batch_delay_ms > 0); nothing ever drains");
+  ADAPTRAJ_CHECK_MSG(dataset.size() > 0, "Poisson load over an empty dataset");
+
+  serve::InferenceEngineOptions options;
+  options.batch_size = load.batch_size;
+  options.sample = true;
+  options.seed = load.seed;
+  options.sequence = config;
+  options.max_batch_delay_ms = load.max_batch_delay_ms;
+  options.max_queued_requests = load.max_queued_requests;
+  options.overflow_policy = load.overflow_policy;
+
+  serve::SubmitOptions submit_options;
+  submit_options.timeout_ms = load.request_timeout_ms;
+
+  PoissonLoadReport report;
+  report.offered_per_sec = load.arrivals_per_sec;
+  report.submitted = load.num_requests;
+
+  serve::InferenceEngine engine(&method, options);
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(static_cast<size_t>(load.num_requests));
+
+  // Open loop: the arrival SCHEDULE is fixed by the seed before the run; a
+  // slow engine does not slow the offered load down (sleep_until against
+  // absolute times, so scheduling jitter never accumulates).
+  Rng arrivals(load.seed + 0x9e3779b9);
+  const auto t0 = Clock::now();
+  auto next_arrival = t0;
+  for (int i = 0; i < load.num_requests; ++i) {
+    const double u = static_cast<double>(arrivals.Uniform(0.0f, 1.0f));
+    const double gap_s =
+        -std::log(std::max(1e-12, 1.0 - u)) / load.arrivals_per_sec;
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap_s));
+    std::this_thread::sleep_until(next_arrival);
+    futures.push_back(engine.Submit(
+        dataset.sequences[static_cast<size_t>(i) % dataset.size()],
+        submit_options));
+  }
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++report.fulfilled;
+    } catch (const serve::OverloadedError&) {
+      ++report.shed;
+    } catch (const serve::DeadlineExceededError&) {
+      ++report.expired;
+    } catch (...) {
+      ++report.failed;
+    }
+  }
+  report.wall_seconds = Seconds(t0, Clock::now());
+  if (report.wall_seconds > 0.0) {
+    report.achieved_per_sec =
+        static_cast<double>(report.fulfilled) / report.wall_seconds;
+  }
+
+  const serve::InferenceEngineStats stats = engine.stats();
+  report.peak_queue_depth = stats.peak_queue_depth;
+  report.queue_wait_p50_ms = stats.queue_wait.Quantile(0.50) * 1e3;
+  report.queue_wait_p95_ms = stats.queue_wait.Quantile(0.95) * 1e3;
+  report.queue_wait_p99_ms = stats.queue_wait.Quantile(0.99) * 1e3;
+  report.batch_exec_p50_ms = stats.batch_exec.Quantile(0.50) * 1e3;
+  report.batch_exec_p95_ms = stats.batch_exec.Quantile(0.95) * 1e3;
+  report.batch_exec_p99_ms = stats.batch_exec.Quantile(0.99) * 1e3;
+  return report;
 }
 
 void SubmitScenesConcurrently(serve::InferenceEngine* engine,

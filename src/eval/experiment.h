@@ -16,7 +16,8 @@
 
 namespace adaptraj {
 namespace serve {
-class InferenceEngine;  // full definition only needed by experiment.cpp
+class InferenceEngine;      // full definition only needed by experiment.cpp
+enum class OverflowPolicy;  // serve/inference_engine.h
 }  // namespace serve
 }  // namespace adaptraj
 
@@ -96,6 +97,68 @@ void SubmitScenesConcurrently(serve::InferenceEngine* engine,
                               const std::vector<data::TrajectorySequence>& sequences,
                               int64_t count, int producer_threads,
                               std::vector<std::future<Tensor>>* futures);
+
+/// Open-loop Poisson load: offered arrival schedule, not a closed
+/// submit-then-drain loop, so queueing delay under overload is visible
+/// instead of being absorbed by producer backpressure.
+struct PoissonLoadOptions {
+  /// Offered load: mean arrival rate of the exponential inter-arrival times.
+  double arrivals_per_sec = 100.0;
+  /// Total arrivals to offer.
+  int num_requests = 256;
+  /// Engine coalescing width.
+  int batch_size = 8;
+  /// Deadline flush so partial batches are served without a Drain (an
+  /// open-loop generator never drains mid-run). Must be > 0.
+  int max_batch_delay_ms = 5;
+  /// Admission bound forwarded to InferenceEngineOptions::max_queued_requests
+  /// (0 = unbounded). With kShed this is what keeps memory bounded at 2x
+  /// overload; the report counts what was shed.
+  int max_queued_requests = 0;
+  /// Value-initialized to the enum's zero value, OverflowPolicy::kShed (the
+  /// full enum lives in serve/inference_engine.h, opaque here).
+  serve::OverflowPolicy overflow_policy{};
+  /// Per-request queued-time deadline (SubmitOptions::timeout_ms); 0 = none.
+  int request_timeout_ms = 0;
+  /// Seeds both the inter-arrival stream and the engine's noise streams.
+  uint64_t seed = 0;
+};
+
+/// Outcome of one open-loop pass: the throughput-vs-latency evidence for an
+/// SLO decision, with every offered request accounted for.
+struct PoissonLoadReport {
+  double offered_per_sec = 0.0;    // arrivals_per_sec requested
+  double achieved_per_sec = 0.0;   // fulfilled / wall-clock
+  int64_t submitted = 0;           // all offered requests
+  int64_t fulfilled = 0;           // futures that delivered a tensor
+  int64_t shed = 0;                // OverloadedError (admission control)
+  int64_t expired = 0;             // DeadlineExceededError (request deadline)
+  int64_t failed = 0;              // any other exception through a future
+  /// Largest pending-queue depth the engine ever saw; with an admission
+  /// bound this stays <= max_queued_requests no matter the offered load.
+  int64_t peak_queue_depth = 0;
+  double wall_seconds = 0.0;
+  // Quantiles from the engine's log-bucket histograms (milliseconds).
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double batch_exec_p50_ms = 0.0;
+  double batch_exec_p95_ms = 0.0;
+  double batch_exec_p99_ms = 0.0;
+};
+
+/// Drives a fresh engine over `method` with Poisson arrivals (seeded, so the
+/// offered schedule is reproducible): scene i % dataset.size() arrives after
+/// an Exp(arrivals_per_sec) gap and is submitted immediately regardless of
+/// how far behind the engine is. Returns the disposition counts and the
+/// p50/p95/p99 queue-wait and batch-execution quantiles from the engine's
+/// histograms. Sweeping arrivals_per_sec across capacity yields the
+/// throughput-vs-latency curve; at ~2x capacity with kShed and a queue
+/// bound, achieved_per_sec holds near capacity while shed absorbs the rest.
+PoissonLoadReport MeasureEnginePoissonLoad(const core::Method& method,
+                                           const data::Dataset& dataset,
+                                           const data::SequenceConfig& config,
+                                           const PoissonLoadOptions& load);
 
 }  // namespace eval
 }  // namespace adaptraj

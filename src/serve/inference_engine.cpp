@@ -16,6 +16,12 @@ namespace serve {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
 void ValidateOptions(const InferenceEngineOptions& options) {
   ADAPTRAJ_CHECK_MSG(options.batch_size >= 1,
                      "InferenceEngine batch_size must be >= 1; got "
@@ -26,6 +32,10 @@ void ValidateOptions(const InferenceEngineOptions& options) {
                      "InferenceEngine max_batch_delay_ms must be >= 0");
   ADAPTRAJ_CHECK_MSG(options.num_replicas >= 0,
                      "InferenceEngine num_replicas must be >= 0");
+  ADAPTRAJ_CHECK_MSG(options.max_queued_requests >= 0,
+                     "InferenceEngine max_queued_requests must be >= 0");
+  ADAPTRAJ_CHECK_MSG(options.stuck_batch_warn_ms >= 0,
+                     "InferenceEngine stuck_batch_warn_ms must be >= 0");
 }
 
 }  // namespace
@@ -35,12 +45,9 @@ InferenceEngine::InferenceEngine(const core::Method* method,
     : method_(method), options_(options) {
   ADAPTRAJ_CHECK_MSG(method != nullptr, "InferenceEngine over null method");
   ValidateOptions(options_);
-  if (!method_->reentrant_predict()) {
-    const int slots = options_.num_replicas > 0 ? options_.num_replicas
-                                                : parallel::NumTrainWorkers();
-    if (slots > 1) replicas_ = std::make_unique<ReplicaPool>(method_, slots);
-  }
+  replicas_ = MakeReplicaPool(method_);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
 
 InferenceEngine::InferenceEngine(std::unique_ptr<core::Method> method,
@@ -50,21 +57,52 @@ InferenceEngine::InferenceEngine(std::unique_ptr<core::Method> method,
 }
 
 InferenceEngine::~InferenceEngine() {
+  Shutdown();
+  {
+    // Blocked Drain/Submit/SwapWeights callers woke at Shutdown; wait for
+    // the last of them to leave our condition variables before tearing the
+    // synchronization primitives down.
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return blocked_callers_ == 0; });
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void InferenceEngine::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    if (!shutdown_) {
+      shutdown_ = true;
+      // Lossless error delivery even on teardown: queued requests that never
+      // executed fail with a typed, descriptive error instead of a broken
+      // promise. The in-flight group (already moved out of pending_) still
+      // delivers its results when the dispatcher returns.
+      for (auto& entry : pending_) {
+        if (entry.second.expired) continue;  // already failed by its deadline
+        ++stats_.stopped_requests;
+        entry.second.promise.set_exception(std::make_exception_ptr(EngineStoppedError(
+            "InferenceEngine shut down or destroyed before the request at slot " +
+            std::to_string(entry.first) +
+            " executed; call Drain() before stopping")));
+      }
+      pending_.clear();
+      armed_deadlines_ = 0;
+    }
   }
   dispatch_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
-  // Lossless error delivery even on teardown: requests that never executed
-  // fail with a descriptive error instead of a broken promise. No lock
-  // needed — the dispatcher is gone and other threads must not race the
-  // destructor.
-  for (auto& entry : pending_) {
-    entry.second.promise.set_exception(std::make_exception_ptr(std::runtime_error(
-        "InferenceEngine destroyed before the request at slot " +
-        std::to_string(entry.first) + " executed; call Drain() before destruction")));
-  }
+  watchdog_cv_.notify_all();
+  space_cv_.notify_all();
+  drained_cv_.notify_all();
+}
+
+std::unique_ptr<ReplicaPool> InferenceEngine::MakeReplicaPool(
+    const core::Method* method) const {
+  if (method->reentrant_predict()) return nullptr;
+  const int slots = options_.num_replicas > 0 ? options_.num_replicas
+                                              : parallel::NumTrainWorkers();
+  if (slots <= 1) return nullptr;
+  return std::make_unique<ReplicaPool>(method, slots);
 }
 
 int InferenceEngine::num_replica_slots() const {
@@ -76,29 +114,80 @@ InferenceEngineStats InferenceEngine::stats() const {
   return stats_;
 }
 
+std::future<Tensor> InferenceEngine::FailedFuture(std::exception_ptr error) {
+  std::promise<Tensor> promise;
+  promise.set_exception(std::move(error));
+  return promise.get_future();
+}
+
 std::future<Tensor> InferenceEngine::Submit(const data::TrajectorySequence& scene) {
-  std::future<Tensor> future;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    future = SubmitLocked(next_auto_id_, scene);
-  }
-  dispatch_cv_.notify_one();
-  return future;
+  return SubmitImpl(/*has_explicit_id=*/false, 0, scene, SubmitOptions());
+}
+
+std::future<Tensor> InferenceEngine::Submit(const data::TrajectorySequence& scene,
+                                            const SubmitOptions& submit_options) {
+  return SubmitImpl(/*has_explicit_id=*/false, 0, scene, submit_options);
 }
 
 std::future<Tensor> InferenceEngine::Submit(uint64_t request_id,
                                             const data::TrajectorySequence& scene) {
+  return SubmitImpl(/*has_explicit_id=*/true, request_id, scene, SubmitOptions());
+}
+
+std::future<Tensor> InferenceEngine::Submit(uint64_t request_id,
+                                            const data::TrajectorySequence& scene,
+                                            const SubmitOptions& submit_options) {
+  return SubmitImpl(/*has_explicit_id=*/true, request_id, scene, submit_options);
+}
+
+std::future<Tensor> InferenceEngine::SubmitImpl(bool has_explicit_id,
+                                                uint64_t request_id,
+                                                const data::TrajectorySequence& scene,
+                                                const SubmitOptions& submit_options) {
+  ADAPTRAJ_CHECK_MSG(submit_options.timeout_ms >= 0,
+                     "Submit timeout_ms must be >= 0; got "
+                         << submit_options.timeout_ms);
   std::future<Tensor> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    future = SubmitLocked(request_id, scene);
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t bound = static_cast<size_t>(options_.max_queued_requests);
+    if (!shutdown_ && bound > 0 && pending_.size() >= bound) {
+      if (options_.overflow_policy == OverflowPolicy::kShed) {
+        // Admission control: fail fast, never enqueue. The caller branches
+        // on OverloadedError (retry with backoff, divert to another shard).
+        ++stats_.requests;
+        ++stats_.shed_requests;
+        return FailedFuture(std::make_exception_ptr(OverloadedError(
+            "request shed: the engine queue already holds " +
+            std::to_string(pending_.size()) + " requests (max_queued_requests=" +
+            std::to_string(options_.max_queued_requests) + ")")));
+      }
+      // Backpressure: park the producer until the dispatcher retires queue
+      // entries — or shutdown turns the wait into a typed failure.
+      ++blocked_callers_;
+      space_cv_.wait(lock, [this, bound] {
+        return shutdown_ || pending_.size() < bound;
+      });
+      --blocked_callers_;
+      idle_cv_.notify_all();
+    }
+    if (shutdown_) {
+      ++stats_.requests;
+      ++stats_.rejected_requests;
+      return FailedFuture(std::make_exception_ptr(
+          EngineStoppedError("Submit on a stopped InferenceEngine")));
+    }
+    future = SubmitLocked(has_explicit_id ? request_id : next_auto_id_, scene,
+                          submit_options);
   }
   dispatch_cv_.notify_one();
+  if (submit_options.timeout_ms > 0) watchdog_cv_.notify_one();
   return future;
 }
 
 std::future<Tensor> InferenceEngine::SubmitLocked(uint64_t request_id,
-                                                  const data::TrajectorySequence& scene) {
+                                                  const data::TrajectorySequence& scene,
+                                                  const SubmitOptions& submit_options) {
   const uint64_t batch_size = static_cast<uint64_t>(options_.batch_size);
   if (request_id < next_batch_ * batch_size && options_.max_batch_delay_ms > 0) {
     // With the deadline enabled, the dispatcher retires slot space on a
@@ -107,12 +196,10 @@ std::future<Tensor> InferenceEngine::SubmitLocked(uint64_t request_id,
     // error — deliver it through the future instead of aborting the server.
     ++stats_.requests;
     ++stats_.rejected_requests;
-    std::promise<Tensor> rejected;
-    rejected.set_exception(std::make_exception_ptr(std::runtime_error(
+    return FailedFuture(std::make_exception_ptr(ServeError(
         "request id " + std::to_string(request_id) +
         " arrived after its batch was already flushed (a max_batch_delay_ms "
         "deadline flush or a concurrent Drain retired its slot range)")));
-    return rejected.get_future();
   }
   ADAPTRAJ_CHECK_MSG(request_id >= next_batch_ * batch_size,
                      "request id " << request_id << " belongs to batch "
@@ -122,19 +209,61 @@ std::future<Tensor> InferenceEngine::SubmitLocked(uint64_t request_id,
                      "duplicate request id " << request_id);
   PendingRequest req;
   req.scene = scene;
-  req.enqueue_time = std::chrono::steady_clock::now();
+  req.enqueue_time = Clock::now();
+  if (submit_options.timeout_ms > 0) {
+    req.has_deadline = true;
+    req.deadline =
+        req.enqueue_time + std::chrono::milliseconds(submit_options.timeout_ms);
+    ++armed_deadlines_;
+  }
   std::future<Tensor> future = req.promise.get_future();
   pending_.emplace(request_id, std::move(req));
   next_auto_id_ = std::max(next_auto_id_, request_id + 1);
   ++stats_.requests;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth,
+                                     static_cast<int64_t>(pending_.size()));
   return future;
+}
+
+void InferenceEngine::ExpireOverdueLocked(Clock::time_point now) {
+  if (armed_deadlines_ <= 0) return;
+  for (auto& entry : pending_) {
+    PendingRequest& req = entry.second;
+    if (!req.has_deadline || req.expired || req.deadline > now) continue;
+    // Fail the future now, but keep the slot as a tombstone: removing the
+    // entry would shift every later request's slot->batch mapping. The
+    // tombstone pads away when its batch is collected; its scene is
+    // released immediately so an expired backlog cannot pin memory.
+    ++stats_.expired_requests;
+    --armed_deadlines_;
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+        "request at slot " + std::to_string(entry.first) +
+        " spent longer than its timeout_ms queued and was expired before "
+        "batch formation")));
+    req.expired = true;
+    req.scene = data::TrajectorySequence();
+  }
+}
+
+Clock::time_point InferenceEngine::NextRequestDeadlineLocked() const {
+  Clock::time_point next = Clock::time_point::max();
+  if (armed_deadlines_ <= 0) return next;
+  for (const auto& entry : pending_) {
+    const PendingRequest& req = entry.second;
+    if (req.has_deadline && !req.expired) next = std::min(next, req.deadline);
+  }
+  return next;
 }
 
 void InferenceEngine::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    throw EngineStoppedError("Drain on a stopped InferenceEngine");
+  }
   if (!pending_.empty()) {
     // Out-of-order streams must be complete before the tail can be padded:
-    // a hole would silently shift every later request one slot.
+    // a hole would silently shift every later request one slot. (Expired
+    // tombstones still hold their slots and count here.)
     const uint64_t first = next_batch_ * static_cast<uint64_t>(options_.batch_size);
     const uint64_t last = pending_.rbegin()->first;
     ADAPTRAJ_CHECK_MSG(pending_.size() == last - first + 1,
@@ -145,10 +274,57 @@ void InferenceEngine::Drain() {
   }
   const uint64_t target = drain_until_slot_;
   dispatch_cv_.notify_one();
+  ++blocked_callers_;
   drained_cv_.wait(lock, [this, target] {
-    return next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
-           !executing_;
+    return shutdown_ ||
+           (next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
+            !executing_);
   });
+  --blocked_callers_;
+  idle_cv_.notify_all();
+  const bool complete =
+      next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
+      !executing_;
+  if (!complete) {
+    // Only reachable via shutdown: the engine stopped under the drainer.
+    throw EngineStoppedError(
+        "InferenceEngine shut down or destroyed while a Drain was waiting");
+  }
+}
+
+void InferenceEngine::SwapWeights(const core::Method& source) {
+  // Warm standby, built entirely outside the engine lock: traffic keeps
+  // flowing while the clone and its replica pool are constructed.
+  std::unique_ptr<core::Method> standby = source.CloneForServing();
+  if (standby == nullptr) {
+    throw ServeError("SwapWeights source method is not clonable "
+                     "(CloneForServing returned nullptr)");
+  }
+  std::unique_ptr<ReplicaPool> standby_pool = MakeReplicaPool(standby.get());
+
+  std::unique_ptr<core::Method> retired_method;
+  std::unique_ptr<ReplicaPool> retired_pool;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Flip at a batch boundary: ExecuteGroup reads method_/replicas_ only
+    // while executing_ is true, so writing them while !executing_ under mu_
+    // can never race an in-flight group — and every batch collected after
+    // the flip sees the new weights. Queued requests are untouched.
+    ++blocked_callers_;
+    drained_cv_.wait(lock, [this] { return shutdown_ || !executing_; });
+    --blocked_callers_;
+    idle_cv_.notify_all();
+    if (shutdown_) {
+      throw EngineStoppedError("SwapWeights on a stopped InferenceEngine");
+    }
+    retired_method = std::move(owned_method_);
+    retired_pool = std::move(replicas_);
+    method_ = standby.get();
+    owned_method_ = std::move(standby);
+    replicas_ = std::move(standby_pool);
+    ++stats_.weight_swaps;
+  }
+  // The retired method and pool are destroyed here, outside the lock.
 }
 
 uint64_t InferenceEngine::ContiguousRunLocked() const {
@@ -169,6 +345,7 @@ std::vector<InferenceEngine::ReadyBatch> InferenceEngine::CollectGroupLocked(
   const uint64_t ready_full = run / batch_size;
   const uint64_t tail_rows = include_partial_tail ? run % batch_size : 0;
   const uint64_t total = ready_full + (tail_rows > 0 ? 1 : 0);
+  const Clock::time_point now = Clock::now();
 
   std::vector<ReadyBatch> group;
   group.reserve(total);
@@ -179,10 +356,18 @@ std::vector<InferenceEngine::ReadyBatch> InferenceEngine::CollectGroupLocked(
     rb.index = next_batch_;
     rb.scenes.reserve(rows);
     rb.promises.reserve(rows);
+    rb.expired.reserve(rows);
     for (uint64_t r = 0; r < rows; ++r, ++slot) {
       auto it = pending_.find(slot);
-      rb.scenes.push_back(std::move(it->second.scene));
-      rb.promises.push_back(std::move(it->second.promise));
+      PendingRequest& req = it->second;
+      rb.scenes.push_back(std::move(req.scene));
+      rb.promises.push_back(std::move(req.promise));
+      rb.expired.push_back(req.expired ? 1 : 0);
+      if (!req.expired) {
+        ++rb.live_rows;
+        stats_.queue_wait.Record(Seconds(req.enqueue_time, now));
+        if (req.has_deadline) --armed_deadlines_;
+      }
       pending_.erase(it);
     }
     group.push_back(std::move(rb));
@@ -201,35 +386,62 @@ std::vector<InferenceEngine::ReadyBatch> InferenceEngine::CollectGroupLocked(
   const uint64_t boundary = next_batch_ * batch_size;
   while (!pending_.empty() && pending_.begin()->first < boundary) {
     auto it = pending_.begin();
-    it->second.promise.set_exception(std::make_exception_ptr(std::runtime_error(
-        "request id " + std::to_string(it->first) +
-        " was stranded behind a slot hole when the max_batch_delay_ms "
-        "deadline flush retired its batch")));
-    ++stats_.rejected_requests;
+    if (!it->second.expired) {
+      if (it->second.has_deadline) --armed_deadlines_;
+      ++stats_.rejected_requests;
+      it->second.promise.set_exception(std::make_exception_ptr(ServeError(
+          "request id " + std::to_string(it->first) +
+          " was stranded behind a slot hole when the max_batch_delay_ms "
+          "deadline flush retired its batch")));
+    }
     pending_.erase(it);
   }
   return group;
 }
 
 void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) const {
+  const Clock::time_point t0 = Clock::now();
   try {
     NoGradGuard no_grad;
-    const size_t real = rb->scenes.size();
+    const size_t rows = rb->scenes.size();
     const size_t width = static_cast<size_t>(options_.batch_size);
-    // Pad to the fixed width by cycling the real scenes.
+    // Rows keep their slot position; expired tombstone rows (and the padded
+    // tail beyond `rows`) are filled by cycling the LIVE scenes, computed,
+    // and discarded — exactly the property partial-tail padding has always
+    // relied on: each row's result depends only on its own scene, its row
+    // index, and the batch's noise stream.
+    std::vector<size_t> live;
+    live.reserve(rb->live_rows);
+    for (size_t r = 0; r < rows; ++r) {
+      if (!rb->expired[r]) live.push_back(r);
+    }
+    if (live.empty()) {
+      // Every row expired before execution; promises already failed. The
+      // batch retires without computing anything.
+      rb->exec_seconds = Seconds(t0, Clock::now());
+      return;
+    }
     std::vector<const data::TrajectorySequence*> slots;
     slots.reserve(width);
-    for (size_t r = 0; r < width; ++r) slots.push_back(&rb->scenes[r % real]);
+    size_t pad_cursor = 0;
+    for (size_t r = 0; r < width; ++r) {
+      if (r < rows && !rb->expired[r]) {
+        slots.push_back(&rb->scenes[r]);
+      } else {
+        slots.push_back(&rb->scenes[live[pad_cursor++ % live.size()]]);
+      }
+    }
     data::Batch batch = data::MakeBatch(slots, options_.sequence);
     Rng rng(core::TaskSeed(options_.seed, rb->index));
     Tensor pred = method->Predict(batch, &rng, options_.sample);
-    rb->results.reserve(real);
-    for (int64_t r = 0; r < static_cast<int64_t>(real); ++r) {
+    rb->results.assign(rows, Tensor());
+    for (size_t r : live) {
       // Slice copies the row into fresh storage, and under no-grad attaches
       // no graph edge back to `pred`: a caller that keeps this tensor alive
       // retains pred_len*2 floats, never the whole batch buffer (asserted by
       // PerRequestResultsAreIndependentStorage).
-      rb->results.push_back(ops::Slice(pred, 0, r, r + 1));
+      rb->results[r] = ops::Slice(pred, 0, static_cast<int64_t>(r),
+                                  static_cast<int64_t>(r) + 1);
     }
   } catch (...) {
     // Deliver the original error through the batch's futures instead of
@@ -238,6 +450,7 @@ void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) co
     rb->results.clear();
     rb->error = std::current_exception();
   }
+  rb->exec_seconds = Seconds(t0, Clock::now());
 }
 
 void InferenceEngine::ExecuteGroup(std::vector<ReadyBatch>* group) {
@@ -282,6 +495,10 @@ void InferenceEngine::DispatcherLoop() {
 
   std::unique_lock<std::mutex> lock(mu_);
   while (!shutdown_) {
+    // Expire BEFORE batch formation: a request whose deadline has passed
+    // must never enter a batch. (The watchdog covers the window where the
+    // dispatcher is blocked inside an execution group.)
+    ExpireOverdueLocked(Clock::now());
     const uint64_t run = ContiguousRunLocked();
     const bool drain_needed = drain_until_slot_ > next_batch_ * batch_size;
     const bool full_ready = run / batch_size >= max_buffered;
@@ -292,7 +509,7 @@ void InferenceEngine::DispatcherLoop() {
       // queue (the first slot of the contiguous run — for an out-of-order
       // stream, the arrival that unblocked the head).
       deadline = pending_.begin()->second.enqueue_time + delay;
-      deadline_due = std::chrono::steady_clock::now() >= deadline;
+      deadline_due = Clock::now() >= deadline;
     }
 
     if (!drain_needed && !full_ready && !deadline_due) {
@@ -313,37 +530,88 @@ void InferenceEngine::DispatcherLoop() {
                        "dispatcher triggered with no executable batch (run="
                            << run << ", next_batch=" << next_batch_ << ")");
     executing_ = true;
+    exec_start_ = Clock::now();
+    stuck_reported_ = false;
+    stats_.inflight_batches = static_cast<int64_t>(group.size());
     const int64_t deadline_hits = (deadline_due && !drain_needed) ? 1 : 0;
+    // Collection retired queue entries: admit blocked producers, and arm the
+    // watchdog's stuck-batch timer.
+    space_cv_.notify_all();
+    watchdog_cv_.notify_all();
     lock.unlock();
     ExecuteGroup(&group);
     lock.lock();
     // Count first, fulfil second, both under mu_: a caller that wakes on a
     // ready future (or returns from Drain) observes counters that already
-    // include its batch.
+    // include its batch. Fully-expired batches retired without executing
+    // count nowhere — their promises were already failed by the deadline.
     stats_.deadline_flushes += deadline_hits;
-    stats_.batches += static_cast<int64_t>(group.size());
     for (const ReadyBatch& rb : group) {
+      if (rb.live_rows == 0) continue;
+      ++stats_.batches;
+      stats_.batch_exec.Record(rb.exec_seconds);
       if (rb.error != nullptr) {
         ++stats_.failed_batches;
       } else {
         stats_.padded_rows +=
-            options_.batch_size - static_cast<int64_t>(rb.scenes.size());
+            options_.batch_size - static_cast<int64_t>(rb.live_rows);
       }
     }
     // Fulfil promises in slot order; RunTaskGroup's completion barrier
     // published the task writes. A failed batch delivers its exception to
-    // exactly its own futures — later batches are unaffected.
+    // exactly its own live futures — later batches are unaffected, and
+    // expired tombstone rows already carry DeadlineExceededError.
     for (ReadyBatch& rb : group) {
-      if (rb.error != nullptr) {
-        for (std::promise<Tensor>& p : rb.promises) p.set_exception(rb.error);
-      } else {
-        for (size_t r = 0; r < rb.results.size(); ++r) {
+      for (size_t r = 0; r < rb.promises.size(); ++r) {
+        if (rb.expired[r]) continue;
+        if (rb.error != nullptr) {
+          rb.promises[r].set_exception(rb.error);
+        } else {
           rb.promises[r].set_value(std::move(rb.results[r]));
         }
       }
     }
     executing_ = false;
+    stats_.inflight_batches = 0;
     drained_cv_.notify_all();
+  }
+}
+
+void InferenceEngine::WatchdogLoop() {
+  const auto warn = std::chrono::milliseconds(options_.stuck_batch_warn_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    const Clock::time_point now = Clock::now();
+    // Deadline expiry must make progress even while the dispatcher is
+    // blocked inside ExecuteGroup — queued requests behind a wedged batch
+    // are exactly the ones that need their deadline honored.
+    ExpireOverdueLocked(now);
+    if (executing_ && options_.stuck_batch_warn_ms > 0 && !stuck_reported_ &&
+        now >= exec_start_ + warn) {
+      stuck_reported_ = true;
+      ++stats_.stuck_batches;
+      const int64_t elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - exec_start_)
+              .count();
+      if (options_.on_stuck_batch) {
+        // Mutex released around user code: the callback may call stats(),
+        // Submit, or anything else on this engine.
+        auto callback = options_.on_stuck_batch;
+        lock.unlock();
+        callback(elapsed_ms);
+        lock.lock();
+      }
+      continue;  // re-evaluate: the group may have finished meanwhile
+    }
+    Clock::time_point wake = NextRequestDeadlineLocked();
+    if (executing_ && options_.stuck_batch_warn_ms > 0 && !stuck_reported_) {
+      wake = std::min(wake, exec_start_ + warn);
+    }
+    if (wake == Clock::time_point::max()) {
+      watchdog_cv_.wait(lock);
+    } else {
+      watchdog_cv_.wait_until(lock, wake);
+    }
   }
 }
 

@@ -1,5 +1,6 @@
-// Async batched inference engine: the query-path counterpart of
-// ParallelTrainer.
+// Async batched inference engine with SLO guardrails: the query-path
+// counterpart of ParallelTrainer, hardened for sustained overload, faults,
+// and live weight refresh.
 //
 // A serving deployment receives one scene per request from many connection
 // threads, but the backbones are far more efficient on coalesced batches
@@ -13,39 +14,98 @@
 //   - Submit is thread-safe and NON-BLOCKING with respect to execution: it
 //     enqueues the request under the engine mutex, wakes the dispatcher, and
 //     returns the future. It never tensorizes, never runs Predict, and never
-//     waits for a batch on the caller thread.
+//     waits for a batch on the caller thread. (With max_queued_requests set
+//     and OverflowPolicy::kBlock, Submit may block on QUEUE SPACE — that is
+//     backpressure by configuration, never a wait on model execution beyond
+//     the dispatcher retiring queue entries.)
 //   - One persistent DISPATCHER thread owns batch formation and execution.
 //     It sleeps on a condition variable until (a) at least
 //     `max_buffered_batches` full batches are ready, (b) a Drain is
-//     outstanding, or (c) `max_batch_delay_ms` expired on the request at the
-//     head of the queue — then it collects the ready prefix (decided under
-//     the mutex), releases the mutex, and executes the batches as task
+//     outstanding, (c) `max_batch_delay_ms` expired on the request at the
+//     head of the queue, or (d) a queued request's deadline needs expiring —
+//     then it expires overdue requests, collects the ready prefix (decided
+//     under the mutex), releases the mutex, and executes the batches as task
 //     groups on the training-worker pool (parallel::RunTaskGroup). The
 //     dispatcher is the only thread that calls RunTaskGroup on the serving
 //     path, so the worker x kernel-thread budget of tensor/parallel.h is
 //     never multiplied by producer count.
+//   - One persistent WATCHDOG thread covers the windows the dispatcher
+//     cannot: it expires queued deadlines while the dispatcher is blocked
+//     inside an execution group, and it detects an in-flight group that has
+//     exceeded `stuck_batch_warn_ms` (counted in stats().stuck_batches and
+//     reported once per group through the optional on_stuck_batch callback,
+//     invoked with the engine mutex released). Detection never cancels the
+//     group — kernels are not interruptible — it gives the layer above the
+//     signal to shed, reroute, or alert while the batch is wedged.
 //   - Drain is thread-safe, blocks the caller until every request submitted
-//     before the call has its future ready, and — like the PR-4 engine —
-//     pads the final underfull batch. Concurrent IMPLICIT-id producers may
-//     race a Drain freely (their slots are contiguous by construction;
-//     which requests land before the drain point is the callers'
-//     coordination problem). EXPLICIT-id producers must be quiesced first:
-//     a strided stream caught mid-flight leaves a transient slot hole,
-//     which Drain treats as the checked error documented on the method.
-//     Each executed batch is still computed exactly as documented below.
-//   - The destructor does NOT drain: it stops the dispatcher after the
-//     in-flight group (if any) completes and fails every still-pending
-//     promise with a descriptive std::runtime_error. Call Drain first for a
-//     graceful shutdown. No future ever observes std::future_error
-//     (broken_promise).
+//     before the call has its future ready, and pads the final underfull
+//     batch. Concurrent IMPLICIT-id producers may race a Drain freely;
+//     EXPLICIT-id producers must be quiesced first (see Drain). A Drain
+//     interrupted by Shutdown()/destruction throws EngineStoppedError.
 //
-// Error delivery: Predict / MakeBatch failures inside a batch are caught and
-// delivered through std::promise::set_exception to exactly that batch's
-// futures — future.get() rethrows the original exception. The failed batch
-// is retired (its slots are consumed) and the engine keeps serving later
-// batches. The library itself reports programming errors via ADAPTRAJ_CHECK
-// (which aborts); the exceptions this machinery carries come from external
-// Method implementations, allocation failure, and the like.
+// Lifecycle: Shutdown() (idempotent, also run by the destructor) stops
+// admission, fails every QUEUED request's future with EngineStoppedError,
+// wakes blocked submitters and drainers (which throw EngineStoppedError),
+// and stops the dispatcher after the in-flight group (if any) completes —
+// in-flight requests still deliver results. Submit after shutdown returns an
+// already-failed future (EngineStoppedError) instead of aborting. No future
+// ever observes std::future_error (broken_promise). The destructor waits for
+// blocked Drain/Submit/SwapWeights callers to leave before tearing down;
+// as with any object, the caller must still ensure no NEW member calls
+// begin once destruction has started.
+//
+// Failure delivery spine — every way a request can fail arrives through its
+// future, with a typed exception (serve/errors.h) for engine-originated
+// conditions:
+//   - OverloadedError: admission control shed the request (queue full,
+//     OverflowPolicy::kShed). Never enqueued; counted in shed_requests.
+//   - DeadlineExceededError: the per-request deadline (SubmitOptions::
+//     timeout_ms) expired while the request was still QUEUED. Expired
+//     requests are failed before batch formation and their slot is retired
+//     with the batch (padded like an absent row) — requests that DO execute
+//     keep their slot, their row, and their noise stream, so their results
+//     are byte-identical to a run without the expiry. A request whose batch
+//     began executing always runs to completion, deadline notwithstanding.
+//   - EngineStoppedError: shutdown/destruction reached the request first
+//     (or rejected a Submit/Drain/SwapWeights after shutdown).
+//   - ServeError: an explicit id that lost the race against a deadline
+//     flush, or was stranded behind a slot hole the flush padded past.
+//   - Application errors: Predict / MakeBatch / allocation failures inside a
+//     batch are caught and delivered VERBATIM to exactly that batch's
+//     futures — future.get() rethrows the original exception, the failed
+//     batch is retired (slots consumed), and the engine keeps serving later
+//     batches. The engine never wraps application errors.
+// The library itself still reports programming errors (malformed ids,
+// invalid options) via ADAPTRAJ_CHECK, which aborts.
+//
+// Admission control: `max_queued_requests` bounds the pending queue (0 =
+// unbounded, the legacy behaviour). On overflow, OverflowPolicy::kShed fails
+// the new request fast with OverloadedError — sustained 2x overload then
+// holds memory at the bound and sheds the excess, with every submission
+// accounted: requests == fulfilled + shed + expired + rejected + rows of
+// failed batches (see InferenceEngineStats). kBlock instead parks the
+// submitter until the dispatcher retires queue entries (classic
+// backpressure; prefer implicit ids or an enabled deadline flush with
+// kBlock — a blocked explicit-id producer whose own ids are needed to
+// complete the head batch would otherwise wait on itself).
+//
+// SLO telemetry: stats() carries fixed log-bucket histograms (lock-cheap to
+// record, snapshot by value) of per-request QUEUE WAIT (enqueue ->
+// collection into a batch, accepted requests only) and per-batch EXECUTION
+// time, so p50/p95/p99 are one Quantile() call away; plus counters for every
+// disposition and a peak-queue-depth watermark. eval::MeasureEnginePoissonLoad
+// drives the engine open-loop (Poisson arrivals) and reports
+// throughput-vs-latency from these histograms.
+//
+// Hot-swap: SwapWeights(source) builds a warm standby — a CloneForServing
+// copy of `source` (and, for non-reentrant methods, a standby ReplicaPool
+// cloned from it) — entirely OUTSIDE the engine lock, then flips the engine
+// to it at a batch boundary: the swap waits until no group is executing, so
+// every batch (and therefore every request) is served entirely by the old
+// weights or entirely by the new ones, bit-exactly — never a mix. Queued
+// requests are never dropped by a swap; they simply execute on whichever
+// side of the flip their batch lands. The old method and pool are released
+// after the flip (also outside the lock). Counted in stats().weight_swaps.
 //
 // Determinism model (mirrors the ParallelTrainer contract):
 //   - Every request occupies a SLOT in a global sequence: slot r belongs to
@@ -65,7 +125,11 @@
 //     (the default), flush points are the Drain calls alone and results are
 //     byte-identical to the synchronous engine for any producer count,
 //     worker count, and dispatch cadence at a fixed seed (asserted by
-//     tests/serve/).
+//     tests/serve/). A deadline expiry removes only the EXPIRED request's
+//     row content (its slot pads like a missing tail row); surviving rows'
+//     bytes are unchanged — each row's result depends only on its own scene,
+//     its row index, and its batch's noise stream, the same property padding
+//     has always relied on.
 //   - Reentrant methods execute ready batches concurrently on the shared
 //     master model. Non-reentrant methods (LBEBM: the Langevin sampler
 //     writes its model's gradient buffers) execute on a serve::ReplicaPool
@@ -81,7 +145,9 @@
 // pred_len*2] tensors (ops::Slice copies rows into fresh storage and no-grad
 // mode attaches no graph back to the batch output), so a caller that holds a
 // future's tensor for a long time retains ~pred_len*2 floats, never the
-// whole [batch_size, pred_len*2] batch buffer.
+// whole [batch_size, pred_len*2] batch buffer. With max_queued_requests set,
+// queued scenes are bounded too — the engine's footprint under overload is
+// O(bound), not O(offered load).
 
 #ifndef ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
 #define ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
@@ -89,6 +155,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -97,10 +164,21 @@
 #include <vector>
 
 #include "core/method.h"
+#include "serve/errors.h"
+#include "serve/latency_histogram.h"
 #include "serve/replica_pool.h"
 
 namespace adaptraj {
 namespace serve {
+
+/// What Submit does when the queue already holds max_queued_requests.
+enum class OverflowPolicy {
+  /// Fail the new request fast through its future (OverloadedError).
+  kShed,
+  /// Block the submitting thread until space frees (backpressure) or the
+  /// engine shuts down (EngineStoppedError through the future).
+  kBlock,
+};
 
 /// Configuration of one engine instance.
 struct InferenceEngineOptions {
@@ -128,35 +206,84 @@ struct InferenceEngineOptions {
   /// 0 = auto: the training-worker count. 1 = no copies, serialize batches.
   /// Ignored for reentrant methods, which share the master safely.
   int num_replicas = 0;
+  /// Admission bound on the pending-request queue. 0 (default) = unbounded.
+  /// On overflow, `overflow_policy` decides between shedding and blocking.
+  int max_queued_requests = 0;
+  /// Applied when a Submit finds the queue at max_queued_requests.
+  OverflowPolicy overflow_policy = OverflowPolicy::kShed;
+  /// Watchdog threshold: when > 0 and an execution group has been in flight
+  /// this long, stats().stuck_batches increments and `on_stuck_batch` fires
+  /// (once per group). 0 disables stuck detection; the watchdog thread then
+  /// only serves deadline expiry.
+  int stuck_batch_warn_ms = 0;
+  /// Called by the watchdog (mutex released) when a group trips
+  /// stuck_batch_warn_ms, with the group's elapsed milliseconds. Use it for
+  /// graceful degradation above the engine: alert, reroute, pre-shed.
+  std::function<void(int64_t elapsed_ms)> on_stuck_batch;
 };
 
-/// Cumulative counters for tests and telemetry. Values are a coherent
-/// snapshot taken under the engine mutex (see InferenceEngine::stats).
+/// Per-request Submit options (the parameterless Submit overloads use the
+/// defaults).
+struct SubmitOptions {
+  /// Deadline for QUEUED time: if the request has not been collected into a
+  /// batch within this budget, it fails with DeadlineExceededError and its
+  /// slot pads away. 0 = no deadline. A request that entered execution is
+  /// never expired.
+  int timeout_ms = 0;
+};
+
+/// Cumulative counters and latency histograms for tests and telemetry.
+/// Values are a coherent snapshot taken under the engine mutex (see
+/// InferenceEngine::stats). Disposition accounting: every submission lands
+/// in exactly one of {fulfilled, shed_requests, expired_requests,
+/// rejected_requests, stopped_requests, rows of failed batches}, so
+/// fulfilled = requests - shed - expired - rejected - stopped - failed rows.
 struct InferenceEngineStats {
-  int64_t requests = 0;          // scenes submitted
+  int64_t requests = 0;          // Submit calls, accepted or not
   int64_t batches = 0;           // batches executed (including failed ones)
   int64_t padded_rows = 0;       // rows computed for padding and discarded
   int64_t failed_batches = 0;    // batches whose futures carry an exception
   int64_t deadline_flushes = 0;  // flushes triggered by max_batch_delay_ms
-  /// Explicit-id submissions that lost the race against a deadline flush and
-  /// were rejected through their future (only possible with
-  /// max_batch_delay_ms > 0).
+  /// Requests refused without enqueueing: explicit ids that lost the race
+  /// against a deadline flush, ids stranded behind a padded-past slot hole,
+  /// and Submits after shutdown.
   int64_t rejected_requests = 0;
+  /// Admission-control rejections (queue full, OverflowPolicy::kShed).
+  int64_t shed_requests = 0;
+  /// Queued requests failed by their per-request deadline.
+  int64_t expired_requests = 0;
+  /// Queued requests failed by Shutdown()/destruction before execution.
+  int64_t stopped_requests = 0;
+  /// Execution groups that exceeded stuck_batch_warn_ms (one per group).
+  int64_t stuck_batches = 0;
+  /// SwapWeights flips completed.
+  int64_t weight_swaps = 0;
+  /// Gauge: batches in the currently executing group (0 when idle).
+  int64_t inflight_batches = 0;
+  /// Watermark: largest pending-queue depth observed at enqueue.
+  int64_t peak_queue_depth = 0;
+  /// Per accepted request: enqueue -> collection into an executable batch.
+  LatencyHistogram queue_wait;
+  /// Per executed batch: MakeBatch + Predict + per-row slicing.
+  LatencyHistogram batch_exec;
 };
 
 /// Coalescing async batch server over one trained Method. See the file
-/// comment for the threading, error-delivery, and determinism model.
+/// comment for the threading, failure-delivery, SLO, hot-swap, and
+/// determinism model.
 class InferenceEngine {
  public:
-  /// Serves a method owned elsewhere; `method` must outlive the engine.
+  /// Serves a method owned elsewhere; `method` must outlive the engine (or
+  /// the engine's first SwapWeights, whichever comes first).
   InferenceEngine(const core::Method* method, const InferenceEngineOptions& options);
   /// Takes ownership of the method.
   InferenceEngine(std::unique_ptr<core::Method> method,
                   const InferenceEngineOptions& options);
 
-  /// Stops the dispatcher and fails still-pending promises (see the file
-  /// comment); does not drain. Must not race other member calls, per the
-  /// usual object-lifetime rules.
+  /// Runs Shutdown(), waits for blocked Drain/Submit/SwapWeights callers to
+  /// leave, then joins the dispatcher and watchdog; does not drain. Queued
+  /// requests fail with EngineStoppedError; the in-flight group still
+  /// delivers. Call Drain() first for a graceful shutdown.
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
@@ -170,6 +297,9 @@ class InferenceEngine {
   /// order — use the explicit-id overload when the slot must be
   /// reproducible.
   std::future<Tensor> Submit(const data::TrajectorySequence& scene);
+  /// As above with per-request options (deadline).
+  std::future<Tensor> Submit(const data::TrajectorySequence& scene,
+                             const SubmitOptions& submit_options);
 
   /// Enqueues a scene at an explicit slot, for request streams that arrive
   /// out of order or from several producer threads. Slots must be unique and
@@ -180,6 +310,9 @@ class InferenceEngine {
   /// id stranded behind a slot hole the deadline padded past). The engine
   /// holds a batch until every one of its slots has arrived.
   std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene);
+  /// As above with per-request options (deadline).
+  std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene,
+                             const SubmitOptions& submit_options);
 
   /// Flushes everything pending — including a padded partial tail — and
   /// blocks until every request submitted before this call has its future
@@ -191,11 +324,34 @@ class InferenceEngine {
   /// contiguous slots under the engine mutex and can never create a hole, so
   /// Drain may race them freely (which of their requests land before the
   /// flush is then timing-dependent, as the file comment describes).
+  /// Throws EngineStoppedError if the engine shuts down before (or while)
+  /// the drain completes.
   void Drain();
 
-  /// Coherent snapshot of the cumulative counters.
+  /// Stops the engine: admission closes (Submit returns EngineStoppedError
+  /// futures), queued requests fail with EngineStoppedError, blocked
+  /// submitters and drainers wake (drainers throw), the dispatcher exits
+  /// after the in-flight group delivers its results. Idempotent;
+  /// thread-safe; called by the destructor.
+  void Shutdown();
+
+  /// Atomically replaces the served weights with a warm-standby clone of
+  /// `source` (source.CloneForServing(); for non-reentrant methods a fresh
+  /// ReplicaPool is cloned from the standby too). Standby construction runs
+  /// outside the engine lock; the flip happens at a batch boundary, so every
+  /// request is served entirely by the old weights or entirely by the new
+  /// ones and none is dropped. Blocks until the flip lands (bounded by the
+  /// in-flight group). `source` must be structurally compatible with the
+  /// engine's options (typically: the same method type, trained further).
+  /// Throws EngineStoppedError if the engine is (or becomes) shut down, and
+  /// ServeError if `source` cannot be cloned.
+  void SwapWeights(const core::Method& source);
+
+  /// Coherent snapshot of the cumulative counters and histograms.
   InferenceEngineStats stats() const;
   const InferenceEngineOptions& options() const { return options_; }
+  /// The currently served method (the standby clone after a SwapWeights).
+  /// Do not call concurrently with SwapWeights.
   const core::Method& method() const { return *method_; }
   /// Concurrency slots for non-reentrant methods: the replica-pool size, or
   /// 1 when batches are serialized. Reentrant methods report 1 (they share
@@ -207,35 +363,62 @@ class InferenceEngine {
     data::TrajectorySequence scene;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    /// Tombstone: the deadline already failed the promise; the entry only
+    /// holds the slot (its scene is released) until its batch retires.
+    bool expired = false;
   };
 
-  /// One executable batch: its index, its real scenes in slot order (moved
-  /// out of the pending map at collection), and the per-request promises.
+  /// One executable batch: its index, its rows in slot order (scenes and
+  /// promises parallel; `expired[r]` marks tombstone rows whose promise is
+  /// already failed and whose slot pads away), and the outcome.
   struct ReadyBatch {
     uint64_t index = 0;
     std::vector<data::TrajectorySequence> scenes;
     std::vector<std::promise<Tensor>> promises;
-    std::vector<Tensor> results;  // one per real row on success
+    std::vector<char> expired;
+    size_t live_rows = 0;
+    std::vector<Tensor> results;  // one per row on success; empty for expired
     std::exception_ptr error;     // set instead of results on failure
+    double exec_seconds = 0.0;    // filled by RunOneBatch when executed
   };
 
   void DispatcherLoop();
+  void WatchdogLoop();
+  /// Shared body of the four Submit overloads.
+  std::future<Tensor> SubmitImpl(bool has_explicit_id, uint64_t request_id,
+                                 const data::TrajectorySequence& scene,
+                                 const SubmitOptions& submit_options);
   /// Validates the slot, records the request, and returns its future.
-  /// Caller holds mu_ (the shared body of both Submit overloads).
+  /// Caller holds mu_.
   std::future<Tensor> SubmitLocked(uint64_t request_id,
-                                   const data::TrajectorySequence& scene);
+                                   const data::TrajectorySequence& scene,
+                                   const SubmitOptions& submit_options);
+  /// Builds an already-failed future carrying `error`, bumping
+  /// rejected/shed accounting is the caller's job. Caller holds mu_.
+  static std::future<Tensor> FailedFuture(std::exception_ptr error);
+  /// Fails every queued request whose deadline has passed
+  /// (DeadlineExceededError), leaving slot tombstones. Caller holds mu_.
+  void ExpireOverdueLocked(std::chrono::steady_clock::time_point now);
+  /// Earliest pending per-request deadline, or time_point::max(). Caller
+  /// holds mu_.
+  std::chrono::steady_clock::time_point NextRequestDeadlineLocked() const;
   /// Length of the contiguous pending-slot run starting at the next
   /// unexecuted batch boundary. Caller holds mu_.
   uint64_t ContiguousRunLocked() const;
   /// Moves the ready prefix (full batches; with `include_partial_tail` also
-  /// the underfull tail) out of the pending map and advances the slot
-  /// cursors. Caller holds mu_.
+  /// the underfull tail) out of the pending map, records queue-wait
+  /// samples, and advances the slot cursors. Caller holds mu_.
   std::vector<ReadyBatch> CollectGroupLocked(bool include_partial_tail);
   /// Executes a collected group on the worker pool, filling each batch's
   /// results or error. Runs on the dispatcher with mu_ released; the
   /// dispatcher then updates stats and fulfills the promises under mu_.
   void ExecuteGroup(std::vector<ReadyBatch>* group);
   void RunOneBatch(ReadyBatch* rb, const core::Method* method) const;
+  /// Builds the replica pool an engine over `method` needs (null when the
+  /// method is reentrant or pooling is disabled/impossible).
+  std::unique_ptr<ReplicaPool> MakeReplicaPool(const core::Method* method) const;
 
   const core::Method* method_;
   std::unique_ptr<core::Method> owned_method_;
@@ -247,11 +430,23 @@ class InferenceEngine {
   mutable std::mutex mu_;
   /// Wakes the dispatcher (new work, drain, shutdown).
   std::condition_variable dispatch_cv_;
-  /// Wakes Drain waiters (a group finished executing).
+  /// Wakes Drain waiters and SwapWeights (a group finished executing) —
+  /// and, on shutdown, anyone parked on it.
   std::condition_variable drained_cv_;
+  /// Wakes the watchdog (new deadline, execution started, shutdown).
+  std::condition_variable watchdog_cv_;
+  /// Wakes kBlock submitters when queue entries retire.
+  std::condition_variable space_cv_;
+  /// Wakes the destructor when the last blocked caller leaves.
+  std::condition_variable idle_cv_;
   /// Requests keyed by slot id; entries move out when their batch is
   /// collected for execution.
   std::map<uint64_t, PendingRequest> pending_;
+  /// Queued entries carrying a live (unexpired) deadline; lets the hot path
+  /// skip deadline scans entirely when nobody uses deadlines.
+  int64_t armed_deadlines_ = 0;
+  /// External threads currently blocked inside Drain/Submit/SwapWeights.
+  int blocked_callers_ = 0;
   /// Next slot assigned by the implicit Submit overload.
   uint64_t next_auto_id_ = 0;
   /// First batch index that has not been collected for execution yet.
@@ -261,9 +456,14 @@ class InferenceEngine {
   uint64_t drain_until_slot_ = 0;
   /// True while the dispatcher is executing a group outside the mutex.
   bool executing_ = false;
+  /// When the in-flight group started, and whether the watchdog already
+  /// counted it as stuck.
+  std::chrono::steady_clock::time_point exec_start_{};
+  bool stuck_reported_ = false;
   bool shutdown_ = false;
   InferenceEngineStats stats_;
   std::thread dispatcher_;
+  std::thread watchdog_;
 };
 
 }  // namespace serve

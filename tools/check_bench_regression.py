@@ -10,10 +10,16 @@ committed baseline and the CI runner are different machines, raw nanoseconds
 are first normalized by the median new/baseline ratio across ALL shared
 benchmarks: a uniformly slower (or faster) machine shifts every benchmark by
 the same factor and cancels out, while a kernel that regressed relative to
-the rest of the suite sticks out. Benchmarks present in only one file are
-reported but never fail the check, so adding or retiring benchmarks does not
-break CI. Only the tracked fast-path kernels gate the build — the
-Legacy*/*Loop/*ScalarAct baselines exist to measure ratios, not to be fast.
+the rest of the suite sticks out.
+
+A TRACKED benchmark present in the baseline but absent from the new run is a
+FAILURE: a silently dropped gate (renamed bench, crashed fixture, stale
+filter) would otherwise look exactly like a pass forever. A tracked
+benchmark present only in the new run is skipped with a warning — it has no
+baseline yet; regenerate BENCH_tensor_ops.json to start gating it. Untracked
+benchmarks never gate in either direction, so adding or retiring baselines
+(Legacy*/*Loop/*ScalarAct exist to measure ratios, not to be fast) does not
+break CI.
 """
 
 import argparse
@@ -44,6 +50,10 @@ TRACKED_PREFIXES = (
     # (the wall-clock speedup headline) depends on how many physical cores
     # the runner has.
     "BM_TrainEpoch_",
+    # Open-loop Poisson overload through the SLO-guarded engine (admission
+    # control shedding at ~2x capacity). Gates the overload path's total
+    # CPU per offered request: queue management, shedding, histograms.
+    "BM_EngineOverload",
 )
 
 
@@ -90,11 +100,14 @@ def main():
           f"benchmarks): {scale:.2f}x\n")
 
     failures = []
+    missing = []
     for name in sorted(base):
         if not is_tracked(name):
             continue
         if name not in new:
-            print(f"MISSING  {name}: in baseline only (not failing)")
+            missing.append(name)
+            print(f"MISSING  {name}: tracked in the baseline but absent from "
+                  f"the new run (FAILING)")
             continue
         raw = new[name] / base[name] if base[name] > 0 else float("inf")
         ratio = raw / scale
@@ -106,15 +119,27 @@ def main():
               f"({ratio:.2f}x baseline after scaling)")
     for name in sorted(set(new) - set(base)):
         if is_tracked(name):
-            print(f"NEW      {name}: {new[name]:.0f} ns (no baseline)")
+            print(f"WARNING  {name}: tracked but has no baseline entry — "
+                  f"skipped; regenerate BENCH_tensor_ops.json to gate it")
 
+    failed = False
+    if missing:
+        print(f"\n{len(missing)} tracked benchmark(s) missing from the new run "
+              f"— a gate silently stopped running:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}: present in the baseline, absent from the new "
+                  f"JSON (renamed? filtered out? fixture crashed?)",
+                  file=sys.stderr)
+        failed = True
     if failures:
         print(f"\n{len(failures)} tracked benchmark(s) regressed by more than "
               f"{args.threshold:.0%}:", file=sys.stderr)
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x baseline cpu_time", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print("\nAll tracked benchmarks within threshold.")
+    print("\nAll tracked benchmarks present and within threshold.")
     return 0
 
 
