@@ -36,6 +36,7 @@
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
+#include "tensor/plan.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
@@ -534,6 +535,18 @@ void BM_PredictGradMode(benchmark::State& state) {
   ReportPoolReuse(state, before);
 }
 
+void ReportPlanStats(benchmark::State& state, const plan::CacheStats& s) {
+  state.counters["plan_hits"] = static_cast<double>(s.hits);
+  state.counters["plan_misses"] = static_cast<double>(s.misses);
+  state.counters["plan_fused"] = static_cast<double>(s.fused_steps);
+  state.counters["plan_arena_bytes"] = static_cast<double>(s.arena_bytes);
+}
+
+// Runs in the default plan mode (ADAPTRAJ_PLAN unset = on): iteration 1
+// captures the execution plan, the rest replay it — the served steady state.
+// The delta vs BM_PredictEager is the capture-and-replay win; the tracked
+// history crosses the introduction of plans, so this number also carries
+// the eager->planned transition.
 void BM_PredictNoGrad(benchmark::State& state) {
   PredictFixture f;
   Rng rng(1);
@@ -543,6 +556,39 @@ void BM_PredictNoGrad(benchmark::State& state) {
     benchmark::DoNotOptimize(pred.data());
   }
   ReportPoolReuse(state, before);
+  ReportPlanStats(state, f.method.plan_stats());
+}
+
+// Plans forced off: the per-call graph-construction cost that capture-and-
+// replay removes, at the same batch shape.
+void BM_PredictEager(benchmark::State& state) {
+  plan::SetMode(plan::Mode::kOff);
+  PredictFixture f;
+  Rng rng(1);
+  for (auto _ : state) {
+    Tensor pred = f.method.Predict(f.batch, &rng, /*sample=*/true);
+    benchmark::DoNotOptimize(pred.data());
+  }
+  plan::SetMode(plan::Mode::kAuto);
+}
+
+// Pure replay: the plan is captured before the timing loop, so every timed
+// call resolves inputs, runs the fused kernels over the planned arena, and
+// never touches the graph layer. plan_hits == iterations when healthy.
+void BM_PredictPlanned(benchmark::State& state) {
+  plan::SetMode(plan::Mode::kOn);
+  PredictFixture f;
+  Rng rng(1);
+  {
+    Tensor warm = f.method.Predict(f.batch, &rng, /*sample=*/true);  // capture
+    benchmark::DoNotOptimize(warm.data());
+  }
+  for (auto _ : state) {
+    Tensor pred = f.method.Predict(f.batch, &rng, /*sample=*/true);
+    benchmark::DoNotOptimize(pred.data());
+  }
+  ReportPlanStats(state, f.method.plan_stats());
+  plan::SetMode(plan::Mode::kAuto);
 }
 
 // Serving path: 32 scenes per iteration submitted to an InferenceEngine that
@@ -566,6 +612,36 @@ void BM_InferenceEngine(benchmark::State& state) {
     for (auto& fut : futures) benchmark::DoNotOptimize(fut.get().data());
   }
   state.SetItemsProcessed(state.iterations() * scenes);
+}
+
+// Serving throughput with a pre-warmed plan cache: one untimed pass captures
+// the full-batch (and padded-tail) plans on the fixture method, then every
+// timed batch replays. The delta vs BM_InferenceEngine/8 isolates the
+// steady-state serving win; the plan counters come from the method's cache,
+// which every per-iteration engine shares.
+void BM_InferenceEnginePlanned(benchmark::State& state) {
+  plan::SetMode(plan::Mode::kOn);
+  PredictFixture f;
+  const auto& dgd = TrainBenchData();
+  const int64_t scenes = std::min<int64_t>(32, dgd.target.test.size());
+  serve::InferenceEngineOptions options;
+  options.batch_size = 8;
+  options.seed = 1;
+  auto run_pass = [&] {
+    serve::InferenceEngine engine(&f.method, options);
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(static_cast<size_t>(scenes));
+    for (int64_t i = 0; i < scenes; ++i) {
+      futures.push_back(engine.Submit(dgd.target.test.sequences[i]));
+    }
+    engine.Drain();
+    for (auto& fut : futures) benchmark::DoNotOptimize(fut.get().data());
+  };
+  run_pass();  // untimed capture pass
+  for (auto _ : state) run_pass();
+  state.SetItemsProcessed(state.iterations() * scenes);
+  ReportPlanStats(state, f.method.plan_stats());
+  plan::SetMode(plan::Mode::kAuto);
 }
 
 // Async serving path under producer concurrency: Arg(0) producer threads
@@ -685,6 +761,11 @@ BENCHMARK(BM_AdamUpdate_Fast)->Arg(1 << 16);
 // path at batch in {1, 8, 32}.
 BENCHMARK(BM_PredictGradMode)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictNoGrad)->Unit(benchmark::kMillisecond);
+// Plans forced off vs. forced on (warm cache): the Eager/Planned pair
+// brackets BM_PredictNoGrad and isolates the capture-and-replay win from
+// machine noise; plan_* counters report cache telemetry.
+BENCHMARK(BM_PredictEager)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictPlanned)->Unit(benchmark::kMillisecond);
 // Engine benches gate on whole-process CPU: with the async engine, batch
 // execution happens on the dispatcher and worker threads, so main-thread
 // cpu_time would measure only Submit/Drain bookkeeping.
@@ -692,6 +773,10 @@ BENCHMARK(BM_InferenceEngine)
     ->Arg(1)
     ->Arg(8)
     ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+// Batch-8 serving with a pre-warmed plan cache (replay-only steady state).
+BENCHMARK(BM_InferenceEnginePlanned)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime();
 // Async engine at batch 8 with Arg(0) concurrent producer threads.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/parallel_trainer.h"
+#include "core/predict_plan.h"
 #include "nn/optimizer.h"
 
 namespace adaptraj {
@@ -161,15 +162,19 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
   }
   trainer.Flush();
   for (AdapTrajModel* m : rt.models) m->eval();
+  plan_cache_.Invalidate();  // fused plans packed the pre-training weights
 }
 
 Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
   NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, PredictPlanKey(batch, sample),
+                               PredictPlanInputs(batch), rng);
+  if (session.CanReplay()) return session.Replay();
   // Unseen domain: every sequence routes through the aggregator (label -1).
   std::vector<int> labels(batch.batch_size, -1);
   models::EncodeResult enc = model_->backbone().Encode(batch);
   AdapTrajFeatures f = ApplyVariant(model_->ExtractFeatures(enc, labels));
-  return model_->backbone().Predict(batch, enc, f.Extra(), rng, sample);
+  return session.Finish(model_->backbone().Predict(batch, enc, f.Extra(), rng, sample));
 }
 
 std::unique_ptr<Method> AdapTrajMethod::CloneForServing() const {

@@ -9,6 +9,7 @@
 
 #include "data/batch.h"
 #include "data/multi_domain.h"
+#include "tensor/plan.h"
 
 namespace adaptraj {
 namespace core {
@@ -69,8 +70,21 @@ class Method {
   /// non-reentrant Predict (LBEBM's Langevin sampler writes its model's
   /// gradient buffers) on several batches concurrently, each on a private
   /// copy. Returns nullptr when the method cannot be replicated; the built-in
-  /// methods all can, the default covers external subclasses.
+  /// methods all can, the default covers external subclasses. Clones start
+  /// with an empty plan cache, so a serving swap can never replay a plan
+  /// holding the pre-swap weights.
   virtual std::unique_ptr<Method> CloneForServing() const { return nullptr; }
+
+  /// Telemetry for this instance's execution-plan cache (tensor/plan.h).
+  plan::CacheStats plan_stats() const { return plan_cache_.stats(); }
+
+ protected:
+  /// Per-instance plan store. Predict implementations drive it through
+  /// plan::PredictSession (core/predict_plan.h keys it by batch shape);
+  /// anything that mutates parameters in place — Train, a checkpoint load
+  /// into a live method — must call plan_cache_.Invalidate(), because fused
+  /// GEMM steps pack weight values into the compiled plan at capture time.
+  mutable plan::PlanCache plan_cache_;
 };
 
 }  // namespace core

@@ -1,0 +1,61 @@
+// Helpers binding data::Batch to the execution-plan layer (tensor/plan.h).
+//
+// A plan records slot identities for the batch-field tensors it was captured
+// with and rebinds them on every replay, so the enumeration order here is
+// part of the plan format: PredictPlanInputs must list the fields in the same
+// order at capture and at replay. The key namespace is per-method (each
+// core::Method owns its own PlanCache), so keys only need to pin what makes
+// the op sequence unique for one method instance: every batch extent that
+// shapes the graph, plus the sample flag (sampling toggles the latent-draw
+// path in the decoders).
+
+#ifndef ADAPTRAJ_CORE_PREDICT_PLAN_H_
+#define ADAPTRAJ_CORE_PREDICT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "tensor/plan.h"
+
+namespace adaptraj {
+namespace core {
+
+/// Batch-field tensors in the fixed plan-input enumeration order. Fields a
+/// Predict body never reads become unused input slots — harmless.
+inline std::vector<const Tensor*> PredictPlanInputs(const data::Batch& batch) {
+  std::vector<const Tensor*> inputs;
+  inputs.reserve(batch.obs_steps.size() + batch.nbr_steps.size() +
+                 batch.fut_steps.size() + 5);
+  for (const Tensor& t : batch.obs_steps) inputs.push_back(&t);
+  inputs.push_back(&batch.obs_flat);
+  for (const Tensor& t : batch.nbr_steps) inputs.push_back(&t);
+  inputs.push_back(&batch.nbr_offsets);
+  inputs.push_back(&batch.nbr_mask);
+  for (const Tensor& t : batch.fut_steps) inputs.push_back(&t);
+  inputs.push_back(&batch.fut_flat);
+  inputs.push_back(&batch.endpoint);
+  return inputs;
+}
+
+/// Plan-cache key for one Predict call: every extent that shapes the op
+/// sequence, plus the sample flag.
+inline std::string PredictPlanKey(const data::Batch& batch, bool sample) {
+  std::string key;
+  key.reserve(48);
+  key += "B";
+  key += std::to_string(batch.batch_size);
+  key += ":M";
+  key += std::to_string(batch.max_neighbors);
+  key += ":o";
+  key += std::to_string(batch.obs_len);
+  key += ":p";
+  key += std::to_string(batch.pred_len);
+  key += sample ? ":s1" : ":s0";
+  return key;
+}
+
+}  // namespace core
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_CORE_PREDICT_PLAN_H_

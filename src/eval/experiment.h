@@ -75,6 +75,14 @@ double MeasureInferenceSeconds(const core::Method& method, const data::Batch& ba
 /// time after one warm-up pass). The table-8 shape at batch_size in
 /// {1, 8, 32} is the tracked serving metric.
 ///
+/// Warm-up contract: every Measure* function here reports steady-state
+/// numbers — one untimed warm-up precedes the clock so one-time costs
+/// (buffer-pool growth, first-touch pages, and the first-call execution-plan
+/// capture of tensor/plan.h) never land in a timed sample. The plan cache
+/// lives on the method, so it stays warm across the fresh-engine-per-pass
+/// discipline; timed passes replay captured plans, which is also what a
+/// long-running server serves.
+///
 /// `producer_threads` > 1 drives the engine's async path the way a fleet of
 /// connection handlers would: that many threads submit concurrently with
 /// explicit request ids (scene i at slot i), so the slot->batch mapping —
@@ -148,7 +156,14 @@ struct PoissonLoadReport {
 };
 
 /// Drives a fresh engine over `method` with Poisson arrivals (seeded, so the
-/// offered schedule is reproducible): scene i % dataset.size() arrives after
+/// offered schedule is reproducible). Steady state per the warm-up contract
+/// above: a throwaway engine first serves one full batch — capturing the
+/// method's full-batch execution plan — before the arrival clock starts, so
+/// the reported queue-wait/exec quantiles measure replayed batches, not the
+/// one-time capture. (Partial batches from deadline flushes use other plan
+/// keys and may still capture on first sight; that cost is real per-shape
+/// serving behavior, not a harness artifact.) Scene i % dataset.size()
+/// arrives after
 /// an Exp(arrivals_per_sec) gap and is submitted immediately regardless of
 /// how far behind the engine is. Returns the disposition counts and the
 /// p50/p95/p99 queue-wait and batch-execution quantiles from the engine's

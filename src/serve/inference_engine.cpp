@@ -111,7 +111,16 @@ int InferenceEngine::num_replica_slots() const {
 
 InferenceEngineStats InferenceEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  InferenceEngineStats snapshot = stats_;
+  // method_/replicas_ are stable under mu_ (SwapWeights flips them under the
+  // same lock); replica slot 0 aliases method_, so start the sum at slot 1.
+  snapshot.plan = method_->plan_stats();
+  if (replicas_ != nullptr) {
+    for (int slot = 1; slot < replicas_->size(); ++slot) {
+      snapshot.plan += replicas_->method(slot)->plan_stats();
+    }
+  }
+  return snapshot;
 }
 
 std::future<Tensor> InferenceEngine::FailedFuture(std::exception_ptr error) {

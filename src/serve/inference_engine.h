@@ -266,6 +266,12 @@ struct InferenceEngineStats {
   LatencyHistogram queue_wait;
   /// Per executed batch: MakeBatch + Predict + per-row slicing.
   LatencyHistogram batch_exec;
+  /// Execution-plan telemetry summed over the served method and its replica
+  /// clones (each owns a private plan cache; see tensor/plan.h). After a
+  /// SwapWeights the counters restart from the standby's empty caches —
+  /// plan hits/misses describe the currently served instance, not the
+  /// engine's lifetime.
+  plan::CacheStats plan;
 };
 
 /// Coalescing async batch server over one trained Method. See the file

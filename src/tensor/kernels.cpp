@@ -917,6 +917,53 @@ void LstmBackwardHRows(const float* gates, const float* c_next, const float* dh,
   }
 }
 
+void LstmForwardCHRows(const float* gates, const float* c_prev, int64_t hidden,
+                       float* c_next, float* h_next, int64_t r0, int64_t r1,
+                       bool simd) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const float* g = gates + r * 4 * hidden;
+    const float* cp = c_prev + r * hidden;
+    float* cn = c_next + r * hidden;
+    float* hn = h_next + r * hidden;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    if (simd) {
+      int64_t j = 0;
+      for (; j + 16 <= hidden; j += 16) {
+        const Vec16 i_act = VecSigmoid(LoadVec16(g + j));
+        const Vec16 f_act = VecSigmoid(LoadVec16(g + hidden + j));
+        const Vec16 g_act = VecTanh(LoadVec16(g + 2 * hidden + j));
+        const Vec16 o_act = VecSigmoid(LoadVec16(g + 3 * hidden + j));
+        const Vec16 c = f_act * LoadVec16(cp + j) + i_act * g_act;
+        StoreVec16(cn + j, c);
+        StoreVec16(hn + j, o_act * VecTanh(c));
+      }
+      if (j < hidden) {
+        const int64_t w = hidden - j;
+        const Vec16 i_act = VecSigmoid(LoadPartial16(g + j, w));
+        const Vec16 f_act = VecSigmoid(LoadPartial16(g + hidden + j, w));
+        const Vec16 g_act = VecTanh(LoadPartial16(g + 2 * hidden + j, w));
+        const Vec16 o_act = VecSigmoid(LoadPartial16(g + 3 * hidden + j, w));
+        const Vec16 c = f_act * LoadPartial16(cp + j, w) + i_act * g_act;
+        StorePartial16(cn + j, c, w);
+        StorePartial16(hn + j, o_act * VecTanh(c), w);
+      }
+      continue;
+    }
+#else
+    (void)simd;
+#endif
+    for (int64_t j = 0; j < hidden; ++j) {
+      const float i_act = SigmoidF(g[j]);
+      const float f_act = SigmoidF(g[hidden + j]);
+      const float g_act = std::tanh(g[2 * hidden + j]);
+      const float o_act = SigmoidF(g[3 * hidden + j]);
+      const float c = f_act * cp[j] + i_act * g_act;
+      cn[j] = c;
+      hn[j] = o_act * std::tanh(c);
+    }
+  }
+}
+
 }  // namespace
 
 void LstmCellForwardC(const float* gates, const float* c_prev, int64_t batch,
@@ -951,6 +998,296 @@ void LstmCellBackwardH(const float* gates, const float* c_next, const float* dh,
   parallel::ParallelFor(0, batch, LstmRowGrain(hidden), [&](int64_t r0, int64_t r1) {
     LstmBackwardHRows(gates, c_next, dh, hidden, d_gates, d_c_next, r0, r1, simd);
   });
+}
+
+// --- Planned-execution kernels -----------------------------------------------
+
+int64_t PlanPackedCols(int64_t n) { return RoundUpNR(n); }
+
+void PlanPackWeight(const float* w, int64_t k, int64_t n, float* dst) {
+  const int64_t np = PlanPackedCols(n);
+  for (int64_t p = 0; p < k; ++p) {
+    std::memcpy(dst + p * np, w + p * n, static_cast<size_t>(n) * sizeof(float));
+    std::fill(dst + p * np + n, dst + (p + 1) * np, 0.0f);
+  }
+}
+
+void LstmCellForwardCH(const float* gates, const float* c_prev, int64_t batch,
+                       int64_t hidden, float* c_next, float* h_next) {
+  const bool simd = SimdTranscendentalsActive();
+  parallel::ParallelFor(0, batch, LstmRowGrain(hidden), [&](int64_t r0, int64_t r1) {
+    LstmForwardCHRows(gates, c_prev, hidden, c_next, h_next, r0, r1, simd);
+  });
+}
+
+void ScaledMaskedSoftmaxRows(const float* x, const float* mask, float scale,
+                             float fill, int64_t rows, int64_t cols, float* y) {
+  parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      if (mask != nullptr) {
+        const float* mr = mask + r * cols;
+        for (int64_t j = 0; j < cols; ++j) {
+          yr[j] = (mr[j] != 0.0f) ? fill : xr[j] * scale;
+        }
+      } else {
+        for (int64_t j = 0; j < cols; ++j) yr[j] = xr[j] * scale;
+      }
+      SoftmaxRow(yr, yr, cols);
+    }
+  });
+}
+
+void LayerNormRows(const float* x, int64_t rows, int64_t cols, float eps,
+                   float* y) {
+  // `scale` matches ops::MeanAxis exactly (float reciprocal applied to the
+  // float-rounded double sum).
+  const float scale = cols > 0 ? 1.0f / static_cast<float>(cols) : 1.0f;
+  parallel::ParallelFor(0, rows, /*grain=*/64, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      double sum = 0.0;
+      for (int64_t j = 0; j < cols; ++j) sum += xr[j];
+      const float neg_mean = -(static_cast<float>(sum) * scale);
+      double sq = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        const float centered = xr[j] + neg_mean;
+        yr[j] = centered;
+        sq += centered * centered;
+      }
+      const float var = static_cast<float>(sq) * scale;
+      const float sd = std::sqrt(std::max(var + eps, 0.0f));
+      const float inv = 1.0f / sd;
+      for (int64_t j = 0; j < cols; ++j) yr[j] *= inv;
+    }
+  });
+}
+
+namespace {
+
+#ifdef ADAPTRAJ_HAVE_VEC16
+
+/// Planned-GEMM register tile: MW rows x NB 16-lane column blocks. Both
+/// products accumulate in registers over their full ascending k ranges, then
+/// the bias add and the activation run as a register epilogue — per output
+/// element this is exactly the eager Gemm(+accumulate Gemm)+AddRowBias+act
+/// arithmetic, since every lane is independent and the store/load roundtrip
+/// between the eager ops is a bit-exact float identity. Three separately
+/// named accumulator arrays (rather than one [MW][NB]) keep GCC from
+/// spilling at MW=4, NB=3 — the shape the FMA-throughput probe picked.
+template <int MW, int NB>
+void PlanTileImpl(int64_t k, const float* a, int64_t lda, const float* bp,
+                  int64_t ldb, int64_t k2, const float* a2, int64_t lda2,
+                  const float* bp2, int64_t ldb2, const float* biasp,
+                  PlanAct act, bool simd_act, float* c, int64_t ldc,
+                  int64_t ncols) {
+  static_assert(NB >= 1 && NB <= 3, "tile is 16/32/48 columns wide");
+  Vec16 au[MW], av[MW], aw[MW];
+  const Vec16 zero = Vec16{} * 0.0f;
+  for (int r = 0; r < MW; ++r) {
+    au[r] = zero;
+    if (NB > 1) av[r] = zero;
+    if (NB > 2) aw[r] = zero;
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC unroll 8
+#endif
+  for (int64_t p = 0; p < k; ++p) {
+    const float* br = bp + p * ldb;
+    const Vec16 u = LoadVec16(br);
+    Vec16 v{}, w{};
+    if (NB > 1) v = LoadVec16(br + 16);
+    if (NB > 2) w = LoadVec16(br + 32);
+    for (int r = 0; r < MW; ++r) {
+      const float x = a[r * lda + p];
+      au[r] += x * u;
+      if (NB > 1) av[r] += x * v;
+      if (NB > 2) aw[r] += x * w;
+    }
+  }
+  if (a2 != nullptr) {
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC unroll 8
+#endif
+    for (int64_t p = 0; p < k2; ++p) {
+      const float* br = bp2 + p * ldb2;
+      const Vec16 u = LoadVec16(br);
+      Vec16 v{}, w{};
+      if (NB > 1) v = LoadVec16(br + 16);
+      if (NB > 2) w = LoadVec16(br + 32);
+      for (int r = 0; r < MW; ++r) {
+        const float x = a2[r * lda2 + p];
+        au[r] += x * u;
+        if (NB > 1) av[r] += x * v;
+        if (NB > 2) aw[r] += x * w;
+      }
+    }
+  }
+  if (biasp != nullptr) {
+    const Vec16 bu = LoadVec16(biasp);
+    const Vec16 bv = NB > 1 ? LoadVec16(biasp + 16) : zero;
+    const Vec16 bw = NB > 2 ? LoadVec16(biasp + 32) : zero;
+    for (int r = 0; r < MW; ++r) {
+      au[r] += bu;
+      if (NB > 1) av[r] += bv;
+      if (NB > 2) aw[r] += bw;
+    }
+  }
+  if (act == PlanAct::kRelu) {
+    for (int r = 0; r < MW; ++r) {
+      au[r] = au[r] > 0.0f ? au[r] : zero;
+      if (NB > 1) av[r] = av[r] > 0.0f ? av[r] : zero;
+      if (NB > 2) aw[r] = aw[r] > 0.0f ? aw[r] : zero;
+    }
+  } else if (simd_act && act == PlanAct::kTanh) {
+    for (int r = 0; r < MW; ++r) {
+      au[r] = VecTanh(au[r]);
+      if (NB > 1) av[r] = VecTanh(av[r]);
+      if (NB > 2) aw[r] = VecTanh(aw[r]);
+    }
+  } else if (simd_act && act == PlanAct::kSigmoid) {
+    for (int r = 0; r < MW; ++r) {
+      au[r] = VecSigmoid(au[r]);
+      if (NB > 1) av[r] = VecSigmoid(av[r]);
+      if (NB > 2) aw[r] = VecSigmoid(aw[r]);
+    }
+  }
+  for (int r = 0; r < MW; ++r) {
+    float* cr = c + r * ldc;
+    if (NB == 1) {
+      StorePartial16(cr, au[r], ncols);
+    } else if (NB == 2) {
+      StoreVec16(cr, au[r]);
+      StorePartial16(cr + 16, av[r], ncols - 16);
+    } else {
+      StoreVec16(cr, au[r]);
+      StoreVec16(cr + 16, av[r]);
+      StorePartial16(cr + 32, aw[r], ncols - 32);
+    }
+  }
+}
+
+template <int NB>
+inline void PlanTileRow(int64_t mw, int64_t k, const float* a, int64_t lda,
+                        const float* bp, int64_t ldb, int64_t k2,
+                        const float* a2, int64_t lda2, const float* bp2,
+                        int64_t ldb2, const float* biasp, PlanAct act,
+                        bool simd_act, float* c, int64_t ldc, int64_t ncols) {
+  switch (mw) {
+    case 1:
+      PlanTileImpl<1, NB>(k, a, lda, bp, ldb, k2, a2, lda2, bp2, ldb2, biasp,
+                          act, simd_act, c, ldc, ncols);
+      break;
+    case 2:
+      PlanTileImpl<2, NB>(k, a, lda, bp, ldb, k2, a2, lda2, bp2, ldb2, biasp,
+                          act, simd_act, c, ldc, ncols);
+      break;
+    case 3:
+      PlanTileImpl<3, NB>(k, a, lda, bp, ldb, k2, a2, lda2, bp2, ldb2, biasp,
+                          act, simd_act, c, ldc, ncols);
+      break;
+    default:
+      PlanTileImpl<4, NB>(k, a, lda, bp, ldb, k2, a2, lda2, bp2, ldb2, biasp,
+                          act, simd_act, c, ldc, ncols);
+      break;
+  }
+}
+
+#endif  // ADAPTRAJ_HAVE_VEC16
+
+/// Scalar PlanGemm body: the portable fallback, and the tail pass that
+/// applies scalar-libm activations when the SIMD transcendental path is off
+/// (the tiles then run with act == kNone so the pre-activation values match
+/// the eager Gemm+bias chain, and this pass applies exactly the eager
+/// scalar TanhForward/SigmoidForward arithmetic).
+[[maybe_unused]] void PlanGemmScalarRows(
+    int64_t n, int64_t k, const float* a, const float* bp,
+                        int64_t ldb, int64_t k2, const float* a2,
+                        const float* bp2, int64_t ldb2, const float* biasp,
+                        PlanAct act, float* c, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* ar = a + i * k;
+    const float* ar2 = a2 != nullptr ? a2 + i * k2 : nullptr;
+    float* cr = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += ar[p] * bp[p * ldb + j];
+      if (ar2 != nullptr) {
+        for (int64_t p = 0; p < k2; ++p) acc += ar2[p] * bp2[p * ldb2 + j];
+      }
+      if (biasp != nullptr) acc += biasp[j];
+      switch (act) {
+        case PlanAct::kNone: break;
+        case PlanAct::kRelu: acc = acc > 0.0f ? acc : 0.0f; break;
+        case PlanAct::kTanh: acc = std::tanh(acc); break;
+        case PlanAct::kSigmoid: acc = SigmoidF(acc); break;
+      }
+      cr[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void PlanGemm(int64_t m, int64_t n, int64_t k, const float* a, const float* bp,
+              int64_t k2, const float* a2, const float* bp2,
+              const float* biasp, PlanAct act, float* c) {
+  if (m == 0 || n == 0) return;
+#ifdef ADAPTRAJ_HAVE_VEC16
+  const int64_t np = PlanPackedCols(n);
+  const int64_t np2 = a2 != nullptr ? np : 0;
+  const bool simd_act = SimdTranscendentalsActive();
+  const bool scalar_transcendental =
+      !simd_act && (act == PlanAct::kTanh || act == PlanAct::kSigmoid);
+  const PlanAct tile_act = scalar_transcendental ? PlanAct::kNone : act;
+  parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    int64_t j0 = 0;
+    while (j0 < n) {
+      const int64_t rem = np - j0;
+      const int64_t bw = rem >= 48 ? 48 : rem >= 32 ? 32 : 16;
+      const int64_t ncols = std::min(n - j0, bw);
+      const float* bp2_blk = a2 != nullptr ? bp2 + j0 : nullptr;
+      const float* bias_blk = biasp != nullptr ? biasp + j0 : nullptr;
+      for (int64_t i = i0; i < i1; i += kMR) {
+        const int64_t mw = std::min(kMR, i1 - i);
+        const float* ar = a + i * k;
+        const float* ar2 = a2 != nullptr ? a2 + i * k2 : nullptr;
+        float* cr = c + i * n + j0;
+        if (bw == 48) {
+          PlanTileRow<3>(mw, k, ar, k, bp + j0, np, k2, ar2, k2, bp2_blk, np2,
+                         bias_blk, tile_act, simd_act, cr, n, ncols);
+        } else if (bw == 32) {
+          PlanTileRow<2>(mw, k, ar, k, bp + j0, np, k2, ar2, k2, bp2_blk, np2,
+                         bias_blk, tile_act, simd_act, cr, n, ncols);
+        } else {
+          PlanTileRow<1>(mw, k, ar, k, bp + j0, np, k2, ar2, k2, bp2_blk, np2,
+                         bias_blk, tile_act, simd_act, cr, n, ncols);
+        }
+      }
+      j0 += bw;
+    }
+    if (scalar_transcendental) {
+      // Same per-element scalar-libm arithmetic as the eager
+      // TanhForward/SigmoidForward pass over the stored pre-activations.
+      for (int64_t i = i0; i < i1; ++i) {
+        float* cr = c + i * n;
+        if (act == PlanAct::kTanh) {
+          for (int64_t j = 0; j < n; ++j) cr[j] = std::tanh(cr[j]);
+        } else {
+          for (int64_t j = 0; j < n; ++j) cr[j] = SigmoidF(cr[j]);
+        }
+      }
+    }
+  });
+#else
+  const int64_t np = PlanPackedCols(n);
+  parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    PlanGemmScalarRows(n, k, a, bp, np, k2, a2, bp2, a2 != nullptr ? np : 0,
+                       biasp, act, c, i0, i1);
+  });
+#endif
 }
 
 }  // namespace kernels

@@ -135,6 +135,63 @@ void AdamUpdate(float* param, const float* grad, float* m, float* v, int64_t n,
 void SgdUpdate(float* param, const float* grad, float* velocity, int64_t n,
                float lr, float momentum);
 
+// --- Planned-execution kernels -----------------------------------------------
+//
+// These back src/tensor/plan.{h,cpp}: replay-time kernels that assume the
+// plan optimizer pre-packed the weight operand at capture time. PlanGemm is
+// the workhorse — one fused register pass covering Affine (x·W + b),
+// LinearGates' dual product (x·Wa + h·Wb + b) and a folded relu/tanh/sigmoid
+// epilogue. The k reduction is ascending and the epilogue applies the same
+// per-element arithmetic as the separate Gemm + AddRowBias + activation ops
+// (bias added once after the full accumulation, activations on the active
+// transcendental path), so fused results are bit-identical to the eager
+// chain.
+
+/// Activation folded into PlanGemm's register epilogue.
+enum class PlanAct : int { kNone = 0, kRelu = 1, kTanh = 2, kSigmoid = 3 };
+
+/// Packed width of a plan weight: n rounded up to the 16-lane vector width.
+int64_t PlanPackedCols(int64_t n);
+
+/// Packs a row-major [k, n] weight (or a [n] bias with k == 1) into
+/// [k, PlanPackedCols(n)] with zero-filled tail columns.
+void PlanPackWeight(const float* w, int64_t k, int64_t n, float* dst);
+
+/// C[m, n] = act(A·B1 (+ A2·B2) + bias). B1/B2/bias are pre-packed to the
+/// padded width (PlanPackWeight); the second product is skipped when a2 is
+/// null, the bias when biasp is null. Row panels split across the thread
+/// pool; the per-row reduction runs k then k2 ascending, matching the eager
+/// Gemm + accumulate-Gemm + AddRowBias order bit for bit.
+void PlanGemm(int64_t m, int64_t n, int64_t k, const float* a,
+              const float* bp, int64_t k2, const float* a2, const float* bp2,
+              const float* biasp, PlanAct act, float* c);
+
+/// Fused LstmCellForwardC + LstmCellForwardH: one pass over the [B, 4H] gate
+/// buffer producing both c_next and h_next, with tanh(c_next) computed from
+/// the in-register value. Same activation path and row chunking as the
+/// separate kernels.
+void LstmCellForwardCH(const float* gates, const float* c_prev, int64_t batch,
+                       int64_t hidden, float* c_next, float* h_next);
+
+/// rows x cols fused attention-score normalization:
+///   y[r] = SoftmaxRow(masked(scale * x[r]))
+/// where masked() replaces elements whose mask is non-zero with `fill`
+/// (mask == nullptr skips the masking). Matches the eager
+/// MulScalar → MaskedFill → Softmax chain bit for bit: the scaled/filled row
+/// is materialized per row before the standard SoftmaxRow arithmetic.
+void ScaledMaskedSoftmaxRows(const float* x, const float* mask, float scale,
+                             float fill, int64_t rows, int64_t cols, float* y);
+
+/// rows x cols LayerNorm normalization (no affine):
+///   y[r] = (x[r] - mean(x[r])) / sqrt(var(x[r]) + eps)
+/// replicating the eager op chain's arithmetic exactly: the mean and the
+/// mean of the squared centered values accumulate ascending in double and
+/// round to float (ops::MeanAxis), the centering is x + (-mean), the
+/// denominator is sqrt(max(var + eps, 0)) (ops::Sqrt), and the division is
+/// a multiply by 1.0f / denom (ops::Div of a ones tensor).
+void LayerNormRows(const float* x, int64_t rows, int64_t cols, float eps,
+                   float* y);
+
 // --- Fused LSTM cell kernels -------------------------------------------------
 //
 // `gates` is the pre-activation buffer [B, 4H] in gate order i, f, g, o.

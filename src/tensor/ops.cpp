@@ -7,6 +7,7 @@
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/parallel.h"
+#include "tensor/plan.h"
 
 namespace adaptraj {
 namespace ops {
@@ -56,6 +57,9 @@ Tensor MakeOutputCore(const Shape& shape, MakeInputs make_inputs, const char* na
       impl->no_grad_result = true;
     }
   }
+  // Balance counter for plan capture: every op output must be matched by a
+  // Record* hook, or the capture aborts to eager (see plan.h).
+  plan::NoteOpOutput(track);
   return Tensor::FromImpl(std::move(impl));
 }
 
@@ -228,39 +232,47 @@ Tensor ElementwiseUnary(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
+  Tensor out = ElementwiseBinary(
       a, b, "Add", [](float x, float y) { return x + y; },
       [](float, float, float dy, float* da, float* db) {
         *da = dy;
         *db = dy;
       });
+  plan::RecordBinary(plan::Bin::kAdd, a, b, out);
+  return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
+  Tensor out = ElementwiseBinary(
       a, b, "Sub", [](float x, float y) { return x - y; },
       [](float, float, float dy, float* da, float* db) {
         *da = dy;
         *db = -dy;
       });
+  plan::RecordBinary(plan::Bin::kSub, a, b, out);
+  return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
+  Tensor out = ElementwiseBinary(
       a, b, "Mul", [](float x, float y) { return x * y; },
       [](float x, float y, float dy, float* da, float* db) {
         *da = dy * y;
         *db = dy * x;
       });
+  plan::RecordBinary(plan::Bin::kMul, a, b, out);
+  return out;
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return ElementwiseBinary(
+  Tensor out = ElementwiseBinary(
       a, b, "Div", [](float x, float y) { return x / y; },
       [](float x, float y, float dy, float* da, float* db) {
         *da = dy / y;
         *db = -dy * x / (y * y);
       });
+  plan::RecordBinary(plan::Bin::kDiv, a, b, out);
+  return out;
 }
 
 namespace {
@@ -306,28 +318,36 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, const char* name, Combi
 }  // namespace
 
 Tensor BroadcastAdd(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(
+  Tensor out = BroadcastBinary(
       a, b, "BroadcastAdd", [](float x, float y) { return x + y; },
       [](float, float, float dy) { return dy; }, [](float, float, float dy) { return dy; });
+  plan::RecordBroadcast(plan::Bin::kAdd, a, b, out);
+  return out;
 }
 
 Tensor BroadcastMul(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(
+  Tensor out = BroadcastBinary(
       a, b, "BroadcastMul", [](float x, float y) { return x * y; },
       [](float, float y, float dy) { return dy * y; },
       [](float x, float, float dy) { return dy * x; });
+  plan::RecordBroadcast(plan::Bin::kMul, a, b, out);
+  return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "AddScalar", [s](float x) { return x + s; },
       [](float, float, float dy) { return dy; });
+  plan::RecordUnary(plan::Un::kAddScalar, a, out, s);
+  return out;
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "MulScalar", [s](float x) { return x * s; },
       [s](float, float, float dy) { return dy * s; });
+  plan::RecordUnary(plan::Un::kMulScalar, a, out, s);
+  return out;
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -365,6 +385,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       track);
   kernels::Gemm(/*trans_a=*/false, /*trans_b=*/false, m, n, k, a.data(), b.data(),
                 out.data(), /*accumulate=*/false);
+  plan::RecordMatMul(a, b, out);
   return out;
 }
 
@@ -434,6 +455,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b)
       track);
   kernels::BatchGemm(trans_a, trans_b, batch, m, n, k, a.data(), b.data(), out.data(),
                      /*accumulate=*/false);
+  plan::RecordBatchMatMul(a, b, trans_a, trans_b, out);
   return out;
 }
 
@@ -506,6 +528,7 @@ Tensor FusedAddMatMul(const Tensor& a, const Tensor& wa, const Tensor& b,
   kernels::Gemm(false, false, rows, cols, ka, a.data(), wa.data(), out.data(), false);
   kernels::Gemm(false, false, rows, cols, kb, b.data(), wb.data(), out.data(), true);
   if (bias != nullptr) kernels::AddRowBias(out.data(), bias->data(), rows, cols);
+  plan::RecordDualMatMul(a, wa, b, wb, bias, out);
   return out;
 }
 
@@ -548,6 +571,7 @@ Tensor Affine(const Tensor& a, const Tensor& w, const Tensor& bias) {
       track);
   kernels::Gemm(false, false, rows, cols, k, a.data(), w.data(), out.data(), false);
   kernels::AddRowBias(out.data(), bias.data(), rows, cols);
+  plan::RecordAffine(a, w, bias, out);
   return out;
 }
 
@@ -586,6 +610,7 @@ Tensor LstmCellC(const Tensor& gates, const Tensor& c_prev) {
       },
       track);
   kernels::LstmCellForwardC(gates.data(), c_prev.data(), batch, hidden, out.data());
+  plan::RecordLstmCellC(gates, c_prev, out);
   return out;
 }
 
@@ -614,6 +639,7 @@ Tensor LstmCellH(const Tensor& gates, const Tensor& c_next) {
       },
       track);
   kernels::LstmCellForwardH(gates.data(), c_next.data(), batch, hidden, out.data());
+  plan::RecordLstmCellH(gates, c_next, out);
   return out;
 }
 
@@ -639,13 +665,16 @@ Tensor Transpose(const Tensor& a) {
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
   }
+  plan::RecordTranspose(a, out);
   return out;
 }
 
 Tensor Relu(const Tensor& a) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "Relu", [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float, float dy) { return x > 0.0f ? dy : 0.0f; });
+  plan::RecordUnary(plan::Un::kRelu, a, out);
+  return out;
 }
 
 // Tanh/Sigmoid/Exp forwards run through the kernels-layer transcendentals
@@ -653,53 +682,69 @@ Tensor Relu(const Tensor& a) {
 // forms only need the saved output y, so they stay scalar arithmetic.
 
 Tensor Tanh(const Tensor& a) {
-  return ElementwiseUnaryBulk(
+  Tensor out = ElementwiseUnaryBulk(
       a, "Tanh", [](const float* x, float* y, int64_t n) { kernels::TanhForward(x, y, n); },
       [](float, float y, float dy) { return dy * (1.0f - y * y); });
+  plan::RecordUnary(plan::Un::kTanh, a, out);
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return ElementwiseUnaryBulk(
+  Tensor out = ElementwiseUnaryBulk(
       a, "Sigmoid",
       [](const float* x, float* y, int64_t n) { kernels::SigmoidForward(x, y, n); },
       [](float, float y, float dy) { return dy * y * (1.0f - y); });
+  plan::RecordUnary(plan::Un::kSigmoid, a, out);
+  return out;
 }
 
 Tensor Exp(const Tensor& a) {
-  return ElementwiseUnaryBulk(
+  Tensor out = ElementwiseUnaryBulk(
       a, "Exp", [](const float* x, float* y, int64_t n) { kernels::ExpForward(x, y, n); },
       [](float, float y, float dy) { return dy * y; });
+  plan::RecordUnary(plan::Un::kExp, a, out);
+  return out;
 }
 
 Tensor LogClamped(const Tensor& a, float eps) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "LogClamped", [eps](float x) { return std::log(std::max(x, eps)); },
       [eps](float x, float, float dy) { return dy / std::max(x, eps); });
+  plan::RecordUnary(plan::Un::kLogClamped, a, out, eps);
+  return out;
 }
 
 Tensor Square(const Tensor& a) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "Square", [](float x) { return x * x; },
       [](float x, float, float dy) { return dy * 2.0f * x; });
+  plan::RecordUnary(plan::Un::kSquare, a, out);
+  return out;
 }
 
 Tensor Sqrt(const Tensor& a, float eps) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "Sqrt", [](float x) { return std::sqrt(std::max(x, 0.0f)); },
       [eps](float, float y, float dy) { return dy * 0.5f / std::max(y, eps); });
+  plan::RecordUnary(plan::Un::kSqrt, a, out);
+  return out;
 }
 
 Tensor Abs(const Tensor& a) {
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "Abs", [](float x) { return std::fabs(x); },
       [](float x, float, float dy) { return x > 0.0f ? dy : (x < 0.0f ? -dy : 0.0f); });
+  plan::RecordUnary(plan::Un::kAbs, a, out);
+  return out;
 }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   ADAPTRAJ_CHECK_MSG(lo <= hi, "Clamp: lo > hi");
-  return ElementwiseUnary(
+  Tensor out = ElementwiseUnary(
       a, "Clamp", [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
       [lo, hi](float x, float, float dy) { return (x >= lo && x <= hi) ? dy : 0.0f; });
+  plan::RecordUnary(plan::Un::kClamp, a, out, lo, hi);
+  return out;
 }
 
 Tensor Sum(const Tensor& a) {
@@ -785,6 +830,7 @@ Tensor ReduceAxis(const Tensor& a, int axis, bool keepdim, bool mean, const char
       po[ou * inner + iin] = static_cast<float>(acc) * scale;
     }
   }
+  plan::RecordReduceAxis(mean, outer, extent, inner, a, out);
   return out;
 }
 
@@ -852,6 +898,7 @@ Tensor MaxAxis(const Tensor& a, int axis, bool keepdim) {
       po[ou * inner + iin] = best_val;
     }
   }
+  plan::RecordMaxAxis(outer, extent, inner, a, out);
   return out;
 }
 
@@ -889,6 +936,7 @@ Tensor Softmax(const Tensor& a) {
       kernels::SoftmaxRow(&pa[r * cols], &po[r * cols], cols);
     }
   });
+  plan::RecordSoftmax(a, out);
   return out;
 }
 
@@ -1000,6 +1048,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     }
     offset += extents[p];
   }
+  plan::RecordConcat(parts, outer, inner, extents, out);
   return out;
 }
 
@@ -1038,6 +1087,7 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t end) {
     const float* src = &pa[(ou * in_extent + start) * inner];
     std::copy(src, src + out_extent * inner, &po[ou * out_extent * inner]);
   }
+  plan::RecordSlice(a, outer, inner, in_extent, out_extent, start, out);
   return out;
 }
 
@@ -1075,6 +1125,7 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   for (size_t p = 0; p < parts.size(); ++p) {
     std::copy(parts[p].data(), parts[p].data() + block, &po[p * block]);
   }
+  plan::RecordStack(parts, out);
   return out;
 }
 
@@ -1088,6 +1139,7 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
       shape, {ia}, "Reshape",
       [ia](TensorImpl& o) { ia->AccumulateGrad(o.grad.data(), o.size()); }, track);
   std::copy(a.data(), a.data() + a.size(), out.data());
+  plan::RecordCopy(a, out);
   return out;
 }
 
@@ -1105,6 +1157,7 @@ Tensor GradReverse(const Tensor& a, float lambda) {
       },
       track);
   std::copy(a.data(), a.data() + a.size(), out.data());
+  plan::RecordCopy(a, out);
   return out;
 }
 
@@ -1130,6 +1183,7 @@ Tensor MaskedFill(const Tensor& a, const Tensor& mask, float value) {
   const float* pa = a.data();
   const float* pm = mask.data();
   for (int64_t i = 0; i < a.size(); ++i) po[i] = (pm[i] != 0.0f) ? value : pa[i];
+  plan::RecordMaskedFill(a, mask, value, out);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "tensor/buffer_pool.h"
+#include "tensor/plan.h"
 
 namespace adaptraj {
 
@@ -137,7 +138,11 @@ Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev, bool requires_g
   ADAPTRAJ_CHECK(rng != nullptr);
   auto impl = MakeImpl(shape, requires_grad, /*zero=*/false);
   for (auto& v : impl->data) v = rng->Normal(0.0f, stddev);
-  return FromImpl(std::move(impl));
+  Tensor out = FromImpl(std::move(impl));
+  // Rng draws are a recorded side effect: replay re-draws in the same
+  // element order so the stream advances identically to eager.
+  plan::RecordRandn(out, stddev);
+  return out;
 }
 
 Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi,
@@ -145,7 +150,9 @@ Tensor Tensor::Rand(const Shape& shape, Rng* rng, float lo, float hi,
   ADAPTRAJ_CHECK(rng != nullptr);
   auto impl = MakeImpl(shape, requires_grad, /*zero=*/false);
   for (auto& v : impl->data) v = rng->Uniform(lo, hi);
-  return FromImpl(std::move(impl));
+  Tensor out = FromImpl(std::move(impl));
+  plan::RecordRand(out, lo, hi);
+  return out;
 }
 
 Tensor Tensor::FromImpl(std::shared_ptr<internal::TensorImpl> impl) {
@@ -239,12 +246,15 @@ Tensor Tensor::Detach() const {
   impl->shape = impl_->shape;
   impl->data = impl_->data;  // copy keeps semantics simple and safe
   impl->requires_grad = false;
-  return FromImpl(std::move(impl));
+  Tensor out = FromImpl(std::move(impl));
+  plan::RecordDetach(*this, out);
+  return out;
 }
 
 Tensor Tensor::Clone() const { return Detach(); }
 
 void Tensor::Backward() {
+  plan::NoteBackwardCall();
   ADAPTRAJ_CHECK_MSG(defined(), "Backward() on null tensor");
   ADAPTRAJ_CHECK_MSG(size() == 1,
                      "Backward() requires a scalar; got " << ShapeToString(shape()));

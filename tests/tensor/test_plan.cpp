@@ -1,0 +1,333 @@
+// Execution-plan layer (tensor/plan.h): capture/replay bit-identity, the
+// fusion pattern-matchers, rng-stream replay, the abort-to-eager safety
+// paths, and cache telemetry. Method-level coverage (real backbones, batch
+// shapes, serving) lives in tests/core/test_plan_predict.cpp and
+// tests/serve/test_plan_serving.cpp.
+
+#include "tensor/plan.h"
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace adaptraj {
+namespace {
+
+using namespace ops;  // NOLINT(build/namespaces)
+
+/// Forces plan mode for one test and restores env-resolution afterwards.
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { plan::SetMode(plan::Mode::kOn); }
+  void TearDown() override { plan::SetMode(plan::Mode::kAuto); }
+};
+
+/// One Predict-shaped call: replay when a plan exists, otherwise run (and
+/// possibly record) the eager body. Mirrors the PredictSession usage in
+/// core::Method implementations.
+Tensor RunPlanned(plan::PlanCache* cache, const std::string& key,
+                  std::vector<const Tensor*> inputs, Rng* rng,
+                  const std::function<Tensor()>& body) {
+  NoGradGuard no_grad;
+  plan::PredictSession session(cache, key, std::move(inputs), rng);
+  if (session.CanReplay()) return session.Replay();
+  return session.Finish(body());
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.size()) * sizeof(float)),
+            0);
+}
+
+Tensor Iota(const Shape& shape, float scale) {
+  int64_t n = 1;
+  for (int64_t e : shape) n *= e;
+  std::vector<float> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    v[static_cast<size_t>(i)] = scale * static_cast<float>(i % 17 - 8);
+  }
+  return Tensor::FromVector(shape, std::move(v));
+}
+
+TEST_F(PlanTest, CaptureThenReplayBitIdentical) {
+  plan::PlanCache cache;
+  auto body = [](const Tensor& x, const Tensor& y) {
+    Tensor h = Relu(BroadcastAdd(MatMul(x, Transpose(y)), Slice(x, 1, 0, 1)));
+    Tensor parts = Concat({h, Tanh(h)}, 1);
+    Tensor red = SumAxis(Square(parts), 1, /*keepdim=*/true);
+    return Softmax(BroadcastMul(parts, Sigmoid(red)));
+  };
+  Tensor x1 = Iota({5, 6}, 0.25f), y1 = Iota({5, 6}, -0.125f);
+  Tensor x2 = Iota({5, 6}, 0.5f), y2 = Iota({5, 6}, 0.0625f);
+
+  Tensor captured = RunPlanned(&cache, "k", {&x1, &y1}, nullptr,
+                               [&] { return body(x1, y1); });
+  Tensor replayed = RunPlanned(&cache, "k", {&x2, &y2}, nullptr,
+                               [&] { return body(x2, y2); });
+
+  // Eager reference on a cold cache with planning off.
+  plan::SetMode(plan::Mode::kOff);
+  ExpectBitIdentical(captured, body(x1, y1));
+  ExpectBitIdentical(replayed, body(x2, y2));
+
+  plan::CacheStats s = cache.stats();
+  EXPECT_EQ(s.plans, 1);
+  EXPECT_EQ(s.captures, 1);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.aborted, 0);
+  EXPECT_GT(s.arena_bytes, 0);
+}
+
+TEST_F(PlanTest, ScaledSoftmaxFusionFiresAndMatches) {
+  plan::PlanCache cache;
+  auto body = [](const Tensor& x) { return Softmax(MulScalar(x, 0.125f)); };
+  Tensor x1 = Iota({4, 9}, 0.5f);
+  Tensor x2 = Iota({4, 9}, -0.75f);
+
+  (void)RunPlanned(&cache, "k", {&x1}, nullptr, [&] { return body(x1); });
+  // MulScalar folded into the softmax kernel: exactly one step removed.
+  EXPECT_EQ(cache.stats().fused_steps, 1);
+  Tensor replayed = RunPlanned(&cache, "k", {&x2}, nullptr,
+                               [&] { return body(x2); });
+  plan::SetMode(plan::Mode::kOff);
+  ExpectBitIdentical(replayed, body(x2));
+}
+
+TEST_F(PlanTest, MaskedScaledSoftmaxFusionFiresAndMatches) {
+  plan::PlanCache cache;
+  // The attention-pooling masking idiom (models/interaction.cpp): scale,
+  // fill padded slots with -1e9, softmax.
+  Tensor mask = Tensor::FromVector({3, 4}, {0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1});
+  auto body = [&mask](const Tensor& x) {
+    return Softmax(MaskedFill(MulScalar(x, 0.25f), mask, -1e9f));
+  };
+  Tensor x1 = Iota({3, 4}, 1.0f);
+  Tensor x2 = Iota({3, 4}, -0.5f);
+
+  (void)RunPlanned(&cache, "k", {&x1}, nullptr, [&] { return body(x1); });
+  // Both the MulScalar and the MaskedFill fold into the softmax step.
+  EXPECT_EQ(cache.stats().fused_steps, 2);
+  Tensor replayed = RunPlanned(&cache, "k", {&x2}, nullptr,
+                               [&] { return body(x2); });
+  plan::SetMode(plan::Mode::kOff);
+  ExpectBitIdentical(replayed, body(x2));
+}
+
+TEST_F(PlanTest, LayerNormChainFusesAndMatches) {
+  plan::PlanCache cache;
+  // nn::LayerNorm::Forward's normalize chain, verbatim.
+  const float eps = 1e-5f;
+  auto body = [eps](const Tensor& x) {
+    Tensor mean = MeanAxis(x, -1, /*keepdim=*/true);
+    Tensor centered = BroadcastAdd(x, Neg(mean));
+    Tensor var = MeanAxis(Square(centered), -1, /*keepdim=*/true);
+    Tensor inv = Div(Tensor::Full(var.shape(), 1.0f), Sqrt(AddScalar(var, eps)));
+    return BroadcastMul(centered, inv);
+  };
+  Tensor x1 = Iota({6, 8}, 0.3f);
+  Tensor x2 = Iota({6, 8}, -1.7f);
+
+  (void)RunPlanned(&cache, "k", {&x1}, nullptr, [&] { return body(x1); });
+  // The 9-step chain collapses to one kLayerNorm kernel: 8 steps removed.
+  EXPECT_EQ(cache.stats().fused_steps, 8);
+  Tensor replayed = RunPlanned(&cache, "k", {&x2}, nullptr,
+                               [&] { return body(x2); });
+  plan::SetMode(plan::Mode::kOff);
+  ExpectBitIdentical(replayed, body(x2));
+}
+
+TEST_F(PlanTest, GemmEpiloguePacksWeightsAndMatches) {
+  plan::PlanCache cache;
+  // Weights are captured externals (not session inputs), so the GEMM fusion
+  // packs them into the plan's constant pool.
+  Tensor w = Iota({6, 5}, 0.2f);
+  Tensor bias = Iota({1, 5}, 0.1f);
+  auto body = [&](const Tensor& x) { return Relu(Affine(x, w, bias)); };
+  Tensor x1 = Iota({7, 6}, 0.4f);
+  Tensor x2 = Iota({7, 6}, -0.9f);
+
+  (void)RunPlanned(&cache, "k", {&x1}, nullptr, [&] { return body(x1); });
+  plan::CacheStats s = cache.stats();
+  EXPECT_GE(s.fused_steps, 1);     // the Relu epilogue
+  EXPECT_GT(s.constant_bytes, 0);  // the packed weight panel
+  Tensor replayed = RunPlanned(&cache, "k", {&x2}, nullptr,
+                               [&] { return body(x2); });
+  plan::SetMode(plan::Mode::kOff);
+  ExpectBitIdentical(replayed, body(x2));
+}
+
+TEST_F(PlanTest, RandnReplayAdvancesTheStreamIdentically) {
+  plan::PlanCache cache;
+  auto body = [](const Tensor& x, Rng* rng) {
+    return Add(x, Tensor::Randn(x.shape(), rng, 0.5f));
+  };
+  Tensor x = Iota({3, 7}, 0.6f);
+
+  // Planned pair: capture then replay on one rng stream.
+  Rng planned_rng(99);
+  Tensor p1 = RunPlanned(&cache, "k", {&x}, &planned_rng,
+                         [&] { return body(x, &planned_rng); });
+  Tensor p2 = RunPlanned(&cache, "k", {&x}, &planned_rng,
+                         [&] { return body(x, &planned_rng); });
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  // Eager pair on a fresh stream with the same seed: the replayed call must
+  // have drawn the same values in the same order (stream state advances
+  // identically), so both pairs match bit-for-bit.
+  plan::SetMode(plan::Mode::kOff);
+  Rng eager_rng(99);
+  ExpectBitIdentical(p1, body(x, &eager_rng));
+  ExpectBitIdentical(p2, body(x, &eager_rng));
+}
+
+TEST_F(PlanTest, ShapeChangeMissesAndCapturesSeparately) {
+  plan::PlanCache cache;
+  auto body = [](const Tensor& x) { return Relu(MulScalar(x, 2.0f)); };
+  Tensor small = Iota({2, 3}, 1.0f);
+  Tensor big = Iota({8, 3}, 1.0f);
+
+  (void)RunPlanned(&cache, "B2", {&small}, nullptr, [&] { return body(small); });
+  (void)RunPlanned(&cache, "B8", {&big}, nullptr, [&] { return body(big); });
+  plan::CacheStats s = cache.stats();
+  EXPECT_EQ(s.plans, 2);
+  EXPECT_EQ(s.captures, 2);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 0);
+
+  (void)RunPlanned(&cache, "B2", {&small}, nullptr, [&] { return body(small); });
+  (void)RunPlanned(&cache, "B8", {&big}, nullptr, [&] { return body(big); });
+  EXPECT_EQ(cache.stats().hits, 2);
+}
+
+TEST_F(PlanTest, EmptyBatchCapturesAndReplays) {
+  plan::PlanCache cache;
+  auto body = [](const Tensor& x) {
+    return Softmax(MulScalar(Concat({x, Relu(x)}, 1), 0.5f));
+  };
+  Tensor empty = Tensor::Zeros({0, 4});
+  Tensor r1 = RunPlanned(&cache, "B0", {&empty}, nullptr,
+                         [&] { return body(empty); });
+  Tensor r2 = RunPlanned(&cache, "B0", {&empty}, nullptr,
+                         [&] { return body(empty); });
+  EXPECT_EQ(r1.shape(), Shape({0, 8}));
+  EXPECT_EQ(r2.shape(), Shape({0, 8}));
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST_F(PlanTest, GradModeTrackedOpAbortsToPermanentEager) {
+  plan::PlanCache cache;
+  Tensor x = Iota({3, 3}, 1.0f);
+  // A grad-tracked op inside the "no-grad" body means the capture is not a
+  // pure forward: abort, and mark the key unplannable.
+  auto body = [&] {
+    Tensor w = Tensor::Full({3, 3}, 0.5f, /*requires_grad=*/true);
+    return MatMul(x, w);
+  };
+  for (int call = 0; call < 2; ++call) {
+    plan::PredictSession session(&cache, "k", {&x}, nullptr);
+    ASSERT_FALSE(session.CanReplay());
+    (void)session.Finish(body());
+  }
+  plan::CacheStats s = cache.stats();
+  EXPECT_EQ(s.plans, 0);
+  EXPECT_EQ(s.captures, 0);
+  EXPECT_EQ(s.aborted, 1);  // only the first call attempts the capture
+  EXPECT_EQ(s.hits, 0);
+}
+
+TEST_F(PlanTest, BackwardDuringCaptureAborts) {
+  plan::PlanCache cache;
+  Tensor x = Iota({2, 2}, 1.0f);
+  auto body = [&] {
+    Tensor w = Tensor::Full({2, 2}, 0.25f, /*requires_grad=*/true);
+    Tensor loss = Sum(Mul(MatMul(x, w), MatMul(x, w)));
+    loss.Backward();  // a Langevin-style inner loop (LBEBM)
+    return Add(x, w.Detach());
+  };
+  for (int call = 0; call < 2; ++call) {
+    plan::PredictSession session(&cache, "k", {&x}, nullptr);
+    ASSERT_FALSE(session.CanReplay());
+    (void)session.Finish(body());
+  }
+  plan::CacheStats s = cache.stats();
+  EXPECT_EQ(s.plans, 0);
+  EXPECT_EQ(s.aborted, 1);
+}
+
+TEST_F(PlanTest, InvalidateDropsPlansAndRecaptures) {
+  plan::PlanCache cache;
+  auto body = [](const Tensor& x) { return Tanh(MulScalar(x, 3.0f)); };
+  Tensor x = Iota({4, 4}, 0.2f);
+
+  (void)RunPlanned(&cache, "k", {&x}, nullptr, [&] { return body(x); });
+  EXPECT_EQ(cache.stats().plans, 1);
+  cache.Invalidate();
+  plan::CacheStats s = cache.stats();
+  EXPECT_EQ(s.plans, 0);
+  EXPECT_EQ(s.arena_bytes, 0);
+
+  Tensor again = RunPlanned(&cache, "k", {&x}, nullptr, [&] { return body(x); });
+  EXPECT_EQ(cache.stats().captures, 2);
+  plan::SetMode(plan::Mode::kOff);
+  ExpectBitIdentical(again, body(x));
+}
+
+TEST_F(PlanTest, VerifyModeRunsEagerAndReplayAndAgrees) {
+  plan::PlanCache cache;
+  Tensor w = Iota({5, 4}, 0.15f);
+  auto body = [&](const Tensor& x, Rng* rng) {
+    return Add(Sigmoid(MatMul(x, w)), Tensor::Randn({6, 4}, rng, 0.1f));
+  };
+  Tensor x = Iota({6, 5}, 0.8f);
+
+  Rng rng(42);
+  (void)RunPlanned(&cache, "k", {&x}, &rng, [&] { return body(x, &rng); });
+  plan::SetMode(plan::Mode::kVerify);
+  // Runs the eager body AND the recorded plan, then compares result bytes
+  // and rng stream position; a divergence would abort the process.
+  (void)RunPlanned(&cache, "k", {&x}, &rng, [&] { return body(x, &rng); });
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST_F(PlanTest, DuplicateInputImplStaysEager) {
+  plan::PlanCache cache;
+  Tensor x = Iota({3, 3}, 1.0f);
+  auto body = [&] {
+    EXPECT_FALSE(plan::Recording());  // ambiguous rebinding: no capture
+    return Relu(x);
+  };
+  for (int call = 0; call < 2; ++call) {
+    plan::PredictSession session(&cache, "k", {&x, &x}, nullptr);
+    ASSERT_FALSE(session.CanReplay());
+    (void)session.Finish(body());
+  }
+  EXPECT_EQ(cache.stats().plans, 0);
+}
+
+TEST_F(PlanTest, ModeOffIsInert) {
+  plan::SetMode(plan::Mode::kOff);
+  plan::PlanCache cache;
+  Tensor x = Iota({2, 5}, 1.0f);
+  auto body = [&] {
+    EXPECT_FALSE(plan::Recording());
+    return Softmax(x);
+  };
+  for (int call = 0; call < 2; ++call) {
+    (void)RunPlanned(&cache, "k", {&x}, nullptr, body);
+  }
+  plan::CacheStats s = cache.stats();
+  EXPECT_EQ(s.plans, 0);
+  EXPECT_EQ(s.captures, 0);
+  EXPECT_EQ(s.hits, 0);
+}
+
+}  // namespace
+}  // namespace adaptraj

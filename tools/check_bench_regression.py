@@ -41,8 +41,13 @@ TRACKED_PREFIXES = (
     # prefix tracks both the Drain-paced path (BM_InferenceEngine/{1,8,32})
     # and the multi-producer async path (BM_InferenceEngineAsync/{1,4});
     # both gate on whole-process CPU (execution lives on the dispatcher and
-    # worker threads, not the benchmark main thread).
+    # worker threads, not the benchmark main thread). BM_PredictPlanned is
+    # the warm execution-plan replay path (tensor/plan.h) — pure steady-state
+    # serving cost; BM_PredictEager is its plans-off baseline and, like
+    # GradMode, deliberately NOT tracked. The BM_InferenceEngine prefix also
+    # picks up BM_InferenceEnginePlanned (warm-cache serving at batch 8).
     "BM_PredictNoGrad",
+    "BM_PredictPlanned",
     "BM_InferenceEngine",
     # Scene-parallel training epochs. cpu_time here is whole-process CPU
     # (MeasureProcessCPUTime), i.e. total work per epoch — the right gate:
