@@ -320,6 +320,54 @@ void BM_AttentionFwdBwd_Batched(benchmark::State& state) {
   }
 }
 
+// --- Raw kernel: single GEMM at model shapes, per dispatch path --------------
+
+/// FLOP-rate counter shared by the GEMM kernel benches: 2*m*n*k flops per
+/// product, reported as GFLOP/s so kernel changes are comparable across
+/// shapes.
+void SetGemmCounters(benchmark::State& state, int64_t products_per_iter,
+                     int64_t m, int64_t n, int64_t k) {
+  const double flops = 2.0 * static_cast<double>(products_per_iter) *
+                       static_cast<double>(m * n * k);
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  state.SetItemsProcessed(state.iterations() * products_per_iter * 2 * m * n *
+                          k);
+}
+
+/// The eager Gemm entry at the model's own shapes; runs on whichever path the
+/// dispatcher resolves to (AVX-512 where available, else portable).
+void BM_GemmKernel(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(19);
+  std::vector<float> a = RandomVec(m * k, &rng);
+  std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    kernels::Gemm(false, false, m, n, k, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetGemmCounters(state, 1, m, n, k);
+}
+
+/// Same shapes with the portable 4x16 kernel forced, so one bench run shows
+/// the micro-kernel speedup in-binary (compare against BM_GemmKernel).
+void BM_GemmKernelPortable(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(19);
+  std::vector<float> a = RandomVec(m * k, &rng);
+  std::vector<float> b = RandomVec(k * n, &rng);
+  std::vector<float> c(m * n);
+  kernels::SetGemmPath(kernels::GemmPath::kPortable);
+  for (auto _ : state) {
+    kernels::Gemm(false, false, m, n, k, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  kernels::SetGemmPath(kernels::GemmPath::kAuto);
+  SetGemmCounters(state, 1, m, n, k);
+}
+
 // --- Raw kernel: BatchGemm vs a loop of Gemm calls ---------------------------
 
 void BM_BatchGemmKernel(benchmark::State& state) {
@@ -334,7 +382,7 @@ void BM_BatchGemmKernel(benchmark::State& state) {
                        false);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * batch * m * n * k);
+  SetGemmCounters(state, batch, m, n, k);
 }
 
 void BM_GemmSliceLoopKernel(benchmark::State& state) {
@@ -747,6 +795,14 @@ BENCHMARK(BM_SoftmaxFwdBwd)->Arg(32)->Arg(64)->Arg(128);
 // Attention at model shapes {B, T, D}: acceptance shape plus a larger scene.
 BENCHMARK(BM_AttentionFwdBwd_Loop)->Args({32, 8, 64})->Args({64, 12, 64});
 BENCHMARK(BM_AttentionFwdBwd_Batched)->Args({32, 8, 64})->Args({64, 12, 64});
+BENCHMARK(BM_GemmKernel)
+    ->Args({32, 64, 64})
+    ->Args({32, 128, 128})
+    ->Args({128, 64, 128});
+BENCHMARK(BM_GemmKernelPortable)
+    ->Args({32, 64, 64})
+    ->Args({32, 128, 128})
+    ->Args({128, 64, 128});
 BENCHMARK(BM_BatchGemmKernel)->Args({32, 8, 64, 8})->Args({32, 8, 8, 64});
 BENCHMARK(BM_GemmSliceLoopKernel)->Args({32, 8, 64, 8})->Args({32, 8, 8, 64});
 // Transcendental throughput: Arg(1) = SIMD path, Arg(0) = scalar libm.

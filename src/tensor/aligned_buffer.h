@@ -1,0 +1,57 @@
+// 64-byte-aligned float storage for tensor data, pooled scratch, and plan
+// arenas/constants.
+//
+// The GEMM micro-kernels issue full-width (up to 512-bit) vector loads and
+// stores against packed panels and tensor buffers. Correctness never depends
+// on alignment (the kernels use unaligned move forms), but a 64-byte-aligned
+// base guarantees no vector access straddles a cache line — on pool-recycled
+// buffers as much as on fresh ones — and lets packed B panels start on cache
+// line boundaries by construction. std::vector<float>'s default allocator
+// only guarantees alignof(float), so every buffer that can reach a kernel is
+// typed FloatBuffer instead.
+
+#ifndef ADAPTRAJ_TENSOR_ALIGNED_BUFFER_H_
+#define ADAPTRAJ_TENSOR_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace adaptraj {
+namespace internal {
+
+/// Cache-line / zmm-register alignment for all kernel-visible float storage.
+constexpr std::size_t kBufferAlignment = 64;
+
+/// Minimal C++17 aligned allocator: over-aligned operator new/delete. Equal
+/// to any other AlignedAllocator instance, so container moves stay cheap.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(kBufferAlignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kBufferAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept { return false; }
+};
+
+/// The storage type behind tensors, pooled buffers, plan arenas and packed
+/// plan constants: a float vector whose data() is always 64-byte aligned.
+using FloatBuffer = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace internal
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_ALIGNED_BUFFER_H_

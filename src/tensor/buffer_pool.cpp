@@ -40,7 +40,7 @@ constexpr int64_t kMaxPoolFloats = int64_t{1} << 24;  // 64 MiB of float32
 // on every single op output. The scan survives only as the fallback over
 // DISTINCT capacities when no exact bucket has a buffer.
 struct Bucket {
-  std::vector<std::vector<float>> bufs;
+  std::vector<FloatBuffer> bufs;
   /// Acquire-clock value of the last hit on this bucket; the eviction victim
   /// under cap pressure is the least-recently-useful size, so a pool full of
   /// stale shapes (a previous workload's) cannot pin itself forever by
@@ -67,9 +67,9 @@ using BucketMap = std::unordered_map<size_t, Bucket>;
 /// empties: the map must track only capacities actually cached, or a
 /// long-lived process that passes through many shapes would make the miss
 /// and eviction scans crawl an ever-growing set of dead keys.
-std::vector<float> TakeFrom(ThreadPool& pool, BucketMap::iterator it, int64_t n) {
+FloatBuffer TakeFrom(ThreadPool& pool, BucketMap::iterator it, int64_t n) {
   Bucket& bucket = it->second;
-  std::vector<float> buf = std::move(bucket.bufs.back());
+  FloatBuffer buf = std::move(bucket.bufs.back());
   bucket.bufs.pop_back();
   bucket.last_use = pool.clock;
   --pool.entries;
@@ -104,7 +104,7 @@ bool EvictOne(ThreadPool& pool) {
 
 }  // namespace
 
-std::vector<float> AcquireBuffer(int64_t n) {
+FloatBuffer AcquireBuffer(int64_t n) {
   ThreadPool& pool = LocalPool();
   ++pool.stats.acquires;
   ++pool.clock;
@@ -123,18 +123,18 @@ std::vector<float> AcquireBuffer(int64_t n) {
     }
   }
   if (best == pool.buckets.end()) {
-    return std::vector<float>(static_cast<size_t>(n));
+    return FloatBuffer(static_cast<size_t>(n));
   }
   return TakeFrom(pool, best, n);
 }
 
-std::vector<float> AcquireZeroedBuffer(int64_t n) {
-  std::vector<float> buf = AcquireBuffer(n);
+FloatBuffer AcquireZeroedBuffer(int64_t n) {
+  FloatBuffer buf = AcquireBuffer(n);
   std::fill(buf.begin(), buf.end(), 0.0f);
   return buf;
 }
 
-void ReleaseBuffer(std::vector<float>&& buf) {
+void ReleaseBuffer(FloatBuffer&& buf) {
   if (buf.capacity() == 0) return;
   ThreadPool& pool = LocalPool();
   // Oversized for the pool outright: let it free on scope exit.

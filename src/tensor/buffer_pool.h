@@ -15,19 +15,21 @@
 #define ADAPTRAJ_TENSOR_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <vector>
+
+#include "tensor/aligned_buffer.h"
 
 namespace adaptraj {
 namespace internal {
 
-/// Returns a buffer with size() == n and unspecified contents.
-std::vector<float> AcquireBuffer(int64_t n);
+/// Returns a buffer with size() == n and unspecified contents. The data()
+/// pointer is 64-byte aligned (FloatBuffer), including on pool reuse.
+FloatBuffer AcquireBuffer(int64_t n);
 
 /// Returns a zero-filled buffer with size() == n.
-std::vector<float> AcquireZeroedBuffer(int64_t n);
+FloatBuffer AcquireZeroedBuffer(int64_t n);
 
 /// Donates a buffer's capacity back to the calling thread's pool.
-void ReleaseBuffer(std::vector<float>&& buf);
+void ReleaseBuffer(FloatBuffer&& buf);
 
 /// Cumulative counters for introspection, tests, and the bench harness
 /// (bench_tensor_ops prints them so reuse rates are tracked per benchmark).

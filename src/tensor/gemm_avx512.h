@@ -1,0 +1,93 @@
+// Internal interface to the AVX-512 GEMM micro-kernels (kernels_avx512.cpp).
+//
+// The implementation lives in its own translation unit compiled with
+// -mavx512f (see CMakeLists.txt) so the rest of the library keeps its
+// baseline architecture flags; kernels.cpp consults CompiledIn() and
+// CpuSupported() plus a startup bit-exactness probe before routing any work
+// here (see kernels.h, "GEMM micro-kernel dispatch").
+//
+// Tile geometry: 8 C rows x 32 C columns per register tile — 16 zmm
+// accumulators held across the whole k loop, fed by 2 B loads and 8 scalar
+// broadcasts per k step (16 FMAs against 10 loads, FMA-throughput-bound,
+// where the portable 4x16 tile is load-bound). B is pre-packed panel-major:
+// ceil(n/32) panels of [PaddedK(k)][32] floats, zero-padded in both the
+// column tail and the k tail, so every panel row is one aligned pair of
+// cache lines and edge tiles can issue full-width loads. The k padding is
+// LAYOUT ONLY: compute always runs over the true k (ascending), never the
+// padded rows — accumulating a*0 terms over pad rows could flip a -0.0
+// result to +0.0 (all-zero LSTM initial states against negative weights)
+// and break bit-identity with the portable kernel.
+
+#ifndef ADAPTRAJ_TENSOR_GEMM_AVX512_H_
+#define ADAPTRAJ_TENSOR_GEMM_AVX512_H_
+
+#include <cstdint>
+
+namespace adaptraj {
+namespace kernels {
+namespace avx512 {
+
+/// Register-tile extents of the micro-kernel.
+constexpr int64_t kMR = 8;
+constexpr int64_t kNR = 32;
+/// k-loop unroll factor; packed panels pad k to this multiple (layout only).
+constexpr int64_t kKUnroll = 4;
+
+inline int64_t PaddedK(int64_t k) {
+  return (k + kKUnroll - 1) / kKUnroll * kKUnroll;
+}
+inline int64_t Panels(int64_t n) { return (n + kNR - 1) / kNR; }
+inline int64_t RoundUpNR(int64_t n) { return Panels(n) * kNR; }
+/// Total floats of a packed B operand: panel-major [Panels(n)][PaddedK(k)][32].
+inline int64_t PackedBSize(int64_t n, int64_t k) {
+  return Panels(n) * PaddedK(k) * kNR;
+}
+
+/// True when this binary contains the AVX-512 kernels (the TU was compiled
+/// with AVX-512F support) — independent of what the host CPU can execute.
+bool CompiledIn();
+
+/// True when the host CPU supports AVX-512F. Safe to call on any host.
+bool CpuSupported();
+
+/// C[i0:i1, 0:n] (+)= A[i0:i1, 0:k] · B with A row-major (leading dimension
+/// lda) and B packed panel-major (PackedBSize layout above). Serial over the
+/// row range — callers split rows across the thread pool. Accumulation is
+/// ascending-k per element, matching GemmNaive's order. Must only be called
+/// when CompiledIn() && CpuSupported().
+void GemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
+              int64_t lda, const float* bp, float* c, int64_t ldc,
+              bool accumulate);
+
+/// Same contract as GemmRows but with B row-major and UNPACKED (leading
+/// dimension ldb): full 32-column panels read B in place — eager calls skip
+/// the pack entirely when B needs no transpose. `tailp`, required when
+/// 32 does not divide n, is the last ragged panel pre-packed as
+/// [PaddedK(k)][32] (zero-padded columns) so the edge tile still issues
+/// full-width in-bounds loads. The per-element arithmetic order is identical
+/// to GemmRows on a packed operand — packing never changes results, only
+/// locality.
+void GemmRowsDirect(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                    const float* a, int64_t lda, const float* b, int64_t ldb,
+                    const float* tailp, float* c, int64_t ldc,
+                    bool accumulate);
+
+/// Fused plan tile over rows [i0, i1): C = act(A·B1 [+ A2·B2] + bias), the
+/// AVX-512 twin of kernels::PlanGemm's portable tile. B1/B2 are packed
+/// panel-major; bias is a flat row zero-padded to RoundUpNR(n). Both
+/// products accumulate into the same registers (k then k2, ascending) and
+/// the bias adds once at the end — the eager Gemm + accumulate-Gemm +
+/// AddRowBias order. act: 0 = none, 1 = relu. Transcendental epilogues are
+/// applied by the caller as a second pass so their arithmetic stays in
+/// kernels.cpp's translation unit (bit-identical to the eager
+/// TanhForward/SigmoidForward whatever this TU's contraction rules are).
+void PlanGemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
+                  int64_t lda, const float* bp, int64_t k2, const float* a2,
+                  int64_t lda2, const float* bp2, const float* biasp, int act,
+                  float* c, int64_t ldc);
+
+}  // namespace avx512
+}  // namespace kernels
+}  // namespace adaptraj
+
+#endif  // ADAPTRAJ_TENSOR_GEMM_AVX512_H_

@@ -12,6 +12,7 @@
 #endif
 
 #include "tensor/buffer_pool.h"
+#include "tensor/gemm_avx512.h"
 #include "tensor/parallel.h"
 
 namespace adaptraj {
@@ -250,6 +251,65 @@ void PackTranspose(const float* src, int64_t rows, int64_t cols, float* dst,
   }
 }
 
+/// Packs B (row-major [k, n], or [n, k] when trans_b) into the AVX-512
+/// panel-major layout (gemm_avx512.h): ceil(n/32) panels of [PaddedK(k)][32]
+/// floats, zero-filled in the column and k tails. The k padding is layout
+/// only — the kernels never accumulate over the pad rows.
+void PackBAvx512(const float* b, int64_t n, int64_t k, bool trans_b,
+                 float* dst) {
+  const int64_t kp = avx512::PaddedK(k);
+  for (int64_t j0 = 0, pj = 0; j0 < n; j0 += avx512::kNR, ++pj) {
+    float* panel = dst + pj * kp * avx512::kNR;
+    const int64_t nv = std::min(avx512::kNR, n - j0);
+    if (!trans_b) {
+      if (nv == avx512::kNR) {
+        for (int64_t p = 0; p < k; ++p) {
+          std::memcpy(panel + p * avx512::kNR, b + p * n + j0,
+                      sizeof(float) * static_cast<size_t>(avx512::kNR));
+        }
+      } else {
+        for (int64_t p = 0; p < k; ++p) {
+          std::memcpy(panel + p * avx512::kNR, b + p * n + j0,
+                      sizeof(float) * static_cast<size_t>(nv));
+          std::memset(panel + p * avx512::kNR + nv, 0,
+                      sizeof(float) * static_cast<size_t>(avx512::kNR - nv));
+        }
+      }
+    } else {
+      if (nv < avx512::kNR) {
+        std::memset(panel, 0,
+                    sizeof(float) * static_cast<size_t>(k * avx512::kNR));
+      }
+      for (int64_t lane = 0; lane < nv; ++lane) {
+        const float* src = b + (j0 + lane) * k;
+        float* d = panel + lane;
+        for (int64_t p = 0; p < k; ++p) d[p * avx512::kNR] = src[p];
+      }
+    }
+    // Zero the k-pad rows (layout only; compute never touches them beyond
+    // the prefetch lookahead).
+    std::memset(panel + k * avx512::kNR, 0,
+                sizeof(float) * static_cast<size_t>((kp - k) * avx512::kNR));
+  }
+}
+
+/// Packs just the ragged last panel of a row-major, non-transposed B (the
+/// columns from n rounded down to a 32 multiple): the direct-B kernel reads
+/// all full panels in place and only this zero-padded copy for the edge.
+void PackBTailAvx512(const float* b, int64_t n, int64_t k, float* dst) {
+  const int64_t j0 = n / avx512::kNR * avx512::kNR;
+  const int64_t nv = n - j0;
+  const int64_t kp = avx512::PaddedK(k);
+  for (int64_t p = 0; p < k; ++p) {
+    std::memcpy(dst + p * avx512::kNR, b + p * n + j0,
+                sizeof(float) * static_cast<size_t>(nv));
+    std::memset(dst + p * avx512::kNR + nv, 0,
+                sizeof(float) * static_cast<size_t>(avx512::kNR - nv));
+  }
+  std::memset(dst + k * avx512::kNR, 0,
+              sizeof(float) * static_cast<size_t>((kp - k) * avx512::kNR));
+}
+
 inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 // --- Vectorized transcendentals ----------------------------------------------
@@ -384,20 +444,16 @@ bool ResolveSimdDefault() {
 
 #endif  // ADAPTRAJ_HAVE_VEC16
 
-}  // namespace
-
-void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
-          const float* a, const float* b, float* c, bool accumulate) {
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
-    return;
-  }
+/// Portable-path Gemm body: the packed 4x16 register-tiled kernel.
+/// Degenerate extents (m/n/k == 0) are handled by the public dispatcher.
+void GemmPortableImpl(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                      int64_t k, const float* a, const float* b, float* c,
+                      bool accumulate) {
   // Pack transposed operands into unit-stride panels once, up front (on the
   // calling thread: the buffer pool is thread-local). The B panel is padded
   // to a 16-column multiple so edge tiles run full-width vector loads.
-  std::vector<float> a_packed;
-  std::vector<float> b_packed;
+  internal::FloatBuffer a_packed;
+  internal::FloatBuffer b_packed;
   int64_t ldb = n;
   bool b_padded = false;
   if (trans_a) {
@@ -414,7 +470,7 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
   // Plain-layout B with a ragged column count: pad the edge block once here
   // (calling thread) so the row panels below stay allocation-free.
-  std::vector<float> b_edge;
+  internal::FloatBuffer b_edge;
   if (kHaveVecEdge && !b_padded && (n % kNR) != 0) {
     b_edge = internal::AcquireBuffer(k * kNR);
     PackColumnEdge(b, n, k, b_edge.data());
@@ -426,6 +482,64 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   if (!a_packed.empty()) internal::ReleaseBuffer(std::move(a_packed));
   if (!b_packed.empty()) internal::ReleaseBuffer(std::move(b_packed));
   if (!b_edge.empty()) internal::ReleaseBuffer(std::move(b_edge));
+}
+
+/// AVX-512-path Gemm body: split row panels across the pool into the 8x32
+/// micro-kernel. Non-transposed B is read in place (only a ragged n tail is
+/// packed); transposed B is packed panel-major, transposed A row-major. Only
+/// reachable once the dispatcher has established CompiledIn() &&
+/// CpuSupported(). Packing is locality-only and never changes the
+/// per-element arithmetic order, so both B strategies produce identical
+/// bits.
+void GemmAvx512Impl(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, const float* a, const float* b, float* c,
+                    bool accumulate) {
+  internal::FloatBuffer a_packed;
+  if (trans_a) {
+    a_packed = internal::AcquireBuffer(m * k);
+    PackTranspose(a, m, k, a_packed.data(), k);
+    a = a_packed.data();
+  }
+  if (!trans_b) {
+    internal::FloatBuffer tail;
+    const float* tailp = nullptr;
+    if (n % avx512::kNR != 0) {
+      tail = internal::AcquireBuffer(avx512::PaddedK(k) * avx512::kNR);
+      PackBTailAvx512(b, n, k, tail.data());
+      tailp = tail.data();
+    }
+    parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+      avx512::GemmRowsDirect(i0, i1, n, k, a, k, b, n, tailp, c, n,
+                             accumulate);
+    });
+    if (!tail.empty()) internal::ReleaseBuffer(std::move(tail));
+  } else {
+    internal::FloatBuffer b_packed =
+        internal::AcquireBuffer(avx512::PackedBSize(n, k));
+    PackBAvx512(b, n, k, trans_b, b_packed.data());
+    const float* bp = b_packed.data();
+    parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+      avx512::GemmRows(i0, i1, n, k, a, k, bp, c, n, accumulate);
+    });
+    internal::ReleaseBuffer(std::move(b_packed));
+  }
+  if (!a_packed.empty()) internal::ReleaseBuffer(std::move(a_packed));
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<size_t>(m * n));
+    return;
+  }
+  if (GemmPathForShape(n) == GemmPath::kAvx512) {
+    GemmAvx512Impl(trans_a, trans_b, m, n, k, a, b, c, accumulate);
+  } else {
+    GemmPortableImpl(trans_a, trans_b, m, n, k, a, b, c, accumulate);
+  }
 }
 
 void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
@@ -443,24 +557,21 @@ void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
 }
 
-void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
-               int64_t k, const float* a, const float* b, float* c,
-               bool accumulate) {
-  if (batch == 0 || m == 0 || n == 0) return;
-  if (k == 0) {
-    if (!accumulate) {
-      std::memset(c, 0, sizeof(float) * static_cast<size_t>(batch * m * n));
-    }
-    return;
-  }
+namespace {
+
+/// Portable-path BatchGemm body (see BatchGemm). Degenerate extents are
+/// handled by the public dispatcher.
+void BatchGemmPortableImpl(bool trans_a, bool trans_b, int64_t batch,
+                           int64_t m, int64_t n, int64_t k, const float* a,
+                           const float* b, float* c, bool accumulate) {
   const int64_t a_stride = m * k;
   int64_t b_stride = k * n;
   const int64_t c_stride = m * n;
   // Pack every transposed slice up front (calling thread — the buffer pool is
   // thread-local), so the panel loop below reads unit-stride operands only.
   // Like Gemm, transposed B panels pad to a 16-column multiple.
-  std::vector<float> a_packed;
-  std::vector<float> b_packed;
+  internal::FloatBuffer a_packed;
+  internal::FloatBuffer b_packed;
   int64_t ldb = n;
   bool b_padded = false;
   if (trans_a) {
@@ -484,7 +595,7 @@ void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
   }
   // Plain-layout B with a ragged column count: pad each slice's edge block
   // once here (calling thread) so the panels below stay allocation-free.
-  std::vector<float> b_edge;
+  internal::FloatBuffer b_edge;
   if (kHaveVecEdge && !b_padded && (n % kNR) != 0) {
     b_edge = internal::AcquireBuffer(batch * k * kNR);
     for (int64_t bi = 0; bi < batch; ++bi) {
@@ -510,6 +621,202 @@ void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
   if (!b_packed.empty()) internal::ReleaseBuffer(std::move(b_packed));
   if (!b_edge.empty()) internal::ReleaseBuffer(std::move(b_edge));
 }
+
+/// AVX-512-path BatchGemm body: per-slice panel-major B packs up front, then
+/// (slice, row-panel) work items into the 8x32 micro-kernel.
+void BatchGemmAvx512Impl(bool trans_a, bool trans_b, int64_t batch, int64_t m,
+                         int64_t n, int64_t k, const float* a, const float* b,
+                         float* c, bool accumulate) {
+  const int64_t a_stride = m * k;
+  const int64_t b_stride = k * n;
+  const int64_t c_stride = m * n;
+  internal::FloatBuffer a_packed;
+  if (trans_a) {
+    a_packed = internal::AcquireBuffer(batch * a_stride);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      PackTranspose(a + bi * a_stride, m, k, a_packed.data() + bi * a_stride, k);
+    }
+    a = a_packed.data();
+  }
+  // Non-transposed B slices are read in place (ragged n tails packed per
+  // slice up front); transposed ones are packed panel-major per slice.
+  internal::FloatBuffer b_packed;
+  const float* bp = nullptr;
+  int64_t packed_stride = 0;
+  if (trans_b) {
+    packed_stride = avx512::PackedBSize(n, k);
+    b_packed = internal::AcquireBuffer(batch * packed_stride);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      PackBAvx512(b + bi * b_stride, n, k, trans_b,
+                  b_packed.data() + bi * packed_stride);
+    }
+    bp = b_packed.data();
+  } else if (n % avx512::kNR != 0) {
+    packed_stride = avx512::PaddedK(k) * avx512::kNR;
+    b_packed = internal::AcquireBuffer(batch * packed_stride);
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      PackBTailAvx512(b + bi * b_stride, n, k,
+                      b_packed.data() + bi * packed_stride);
+    }
+    bp = b_packed.data();
+  }
+  // One work item per (slice, row-panel) pair, as in the portable path:
+  // panel boundaries depend only on m, so any thread count produces the same
+  // per-panel serial compute.
+  const int64_t panels = (m + kRowGrain - 1) / kRowGrain;
+  parallel::ParallelFor(0, batch * panels, 1, [&](int64_t w0, int64_t w1) {
+    for (int64_t w = w0; w < w1; ++w) {
+      const int64_t bi = w / panels;
+      const int64_t i0 = (w % panels) * kRowGrain;
+      const int64_t i1 = std::min(m, i0 + kRowGrain);
+      if (trans_b) {
+        avx512::GemmRows(i0, i1, n, k, a + bi * a_stride, k,
+                         bp + bi * packed_stride, c + bi * c_stride, n,
+                         accumulate);
+      } else {
+        avx512::GemmRowsDirect(i0, i1, n, k, a + bi * a_stride, k,
+                               b + bi * b_stride, n,
+                               bp != nullptr ? bp + bi * packed_stride
+                                             : nullptr,
+                               c + bi * c_stride, n, accumulate);
+      }
+    }
+  });
+  if (!a_packed.empty()) internal::ReleaseBuffer(std::move(a_packed));
+  if (!b_packed.empty()) internal::ReleaseBuffer(std::move(b_packed));
+}
+
+// --- GEMM path resolution ----------------------------------------------------
+
+std::atomic<int> g_gemm_override{static_cast<int>(GemmPath::kAuto)};
+
+/// Bit-exactness probe run once before auto-enabling the AVX-512 path: both
+/// kernels over a ragged-shape battery (full tiles, m/n edges, single row,
+/// every transpose variant, accumulate) with sign-mixed data, compared
+/// bitwise. Ascending-k ordering makes the kernels geometry-independent, so
+/// the only way this can fail is the two translation units contracting
+/// multiply-adds differently (e.g. the main TU built without FMA); in that
+/// case auto resolution stays on the portable kernel and the AVX-512 path is
+/// opt-in via ADAPTRAJ_GEMM=avx512 / SetGemmPath.
+bool GemmPathsBitIdentical() {
+  struct Case {
+    int64_t m, n, k;
+    bool ta, tb, acc;
+  };
+  const Case cases[] = {
+      {5, 7, 3, false, false, false},  {5, 7, 3, true, false, false},
+      {5, 7, 3, false, true, false},   {5, 7, 3, true, true, false},
+      {9, 33, 17, false, false, true}, {1, 31, 4, false, true, false},
+      {8, 32, 8, true, false, false},  {33, 64, 63, false, false, false},
+  };
+  uint32_t state = 0x2545f491u;
+  const auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<float>(state >> 8) * (2.0f / 16777216.0f) - 1.0f;
+  };
+  for (const Case& t : cases) {
+    std::vector<float> va(t.m * t.k), vb(t.k * t.n);
+    std::vector<float> c_portable(t.m * t.n), c_avx(t.m * t.n);
+    for (auto& v : va) v = next();
+    for (auto& v : vb) v = next();
+    for (int64_t i = 0; i < t.m * t.n; ++i) {
+      c_portable[i] = c_avx[i] = t.acc ? next() : 0.0f;
+    }
+    GemmPortableImpl(t.ta, t.tb, t.m, t.n, t.k, va.data(), vb.data(),
+                     c_portable.data(), t.acc);
+    GemmAvx512Impl(t.ta, t.tb, t.m, t.n, t.k, va.data(), vb.data(),
+                   c_avx.data(), t.acc);
+    if (std::memcmp(c_portable.data(), c_avx.data(),
+                    sizeof(float) * static_cast<size_t>(t.m * t.n)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// How kAuto resolved: portable, env-forced AVX-512 (shape heuristic must
+/// not override an explicit force), or probe-enabled AVX-512 (shape-aware).
+enum class GemmDefault { kPortable, kAvx512Forced, kAvx512Probed };
+
+/// kAuto resolution: compiled-in + CPU support gate, then the ADAPTRAJ_GEMM
+/// kill-switch, then the bitwise probe. Resolved once per process.
+GemmDefault ResolveGemmDefault() {
+  if (!avx512::CompiledIn() || !avx512::CpuSupported()) {
+    return GemmDefault::kPortable;
+  }
+  if (const char* env = std::getenv("ADAPTRAJ_GEMM")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "portable") == 0) {
+      return GemmDefault::kPortable;
+    }
+    if (std::strcmp(env, "avx512") == 0 || std::strcmp(env, "force") == 0) {
+      return GemmDefault::kAvx512Forced;
+    }
+  }
+  return GemmPathsBitIdentical() ? GemmDefault::kAvx512Probed
+                                 : GemmDefault::kPortable;
+}
+
+GemmDefault GemmDefaultKind() {
+  static const GemmDefault kind = ResolveGemmDefault();
+  return kind;
+}
+
+}  // namespace
+
+void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
+               int64_t k, const float* a, const float* b, float* c,
+               bool accumulate) {
+  if (batch == 0 || m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      std::memset(c, 0, sizeof(float) * static_cast<size_t>(batch * m * n));
+    }
+    return;
+  }
+  if (GemmPathForShape(n) == GemmPath::kAvx512) {
+    BatchGemmAvx512Impl(trans_a, trans_b, batch, m, n, k, a, b, c, accumulate);
+  } else {
+    BatchGemmPortableImpl(trans_a, trans_b, batch, m, n, k, a, b, c,
+                          accumulate);
+  }
+}
+
+void SetGemmPath(GemmPath path) {
+  g_gemm_override.store(static_cast<int>(path), std::memory_order_relaxed);
+}
+
+GemmPath SelectGemmPath() {
+  const auto mode =
+      static_cast<GemmPath>(g_gemm_override.load(std::memory_order_relaxed));
+  if (mode == GemmPath::kPortable) return GemmPath::kPortable;
+  if (mode == GemmPath::kAvx512) {
+    return (avx512::CompiledIn() && avx512::CpuSupported())
+               ? GemmPath::kAvx512
+               : GemmPath::kPortable;
+  }
+  return GemmDefaultKind() != GemmDefault::kPortable ? GemmPath::kAvx512
+                                                     : GemmPath::kPortable;
+}
+
+GemmPath GemmPathForShape(int64_t n) {
+  const auto mode =
+      static_cast<GemmPath>(g_gemm_override.load(std::memory_order_relaxed));
+  if (mode != GemmPath::kAuto) return SelectGemmPath();
+  switch (GemmDefaultKind()) {
+    case GemmDefault::kAvx512Forced:
+      return GemmPath::kAvx512;
+    case GemmDefault::kAvx512Probed:
+      // Below one 32-column panel the 8x32 tile runs mostly masked lanes and
+      // the portable 4x16 kernel measures 2-6x faster (see kernels.h).
+      return n >= avx512::kNR ? GemmPath::kAvx512 : GemmPath::kPortable;
+    case GemmDefault::kPortable:
+      break;
+  }
+  return GemmPath::kPortable;
+}
+
+bool Avx512GemmCompiledIn() { return avx512::CompiledIn(); }
 
 void BatchGemmNaive(bool trans_a, bool trans_b, int64_t batch, int64_t m,
                     int64_t n, int64_t k, const float* a, const float* b,
@@ -1012,6 +1319,30 @@ void PlanPackWeight(const float* w, int64_t k, int64_t n, float* dst) {
   }
 }
 
+int64_t PlanPackedSize(int64_t k, int64_t n, GemmPath path) {
+  return path == GemmPath::kAvx512 ? avx512::PackedBSize(n, k)
+                                   : k * PlanPackedCols(n);
+}
+
+void PlanPackWeightFor(const float* w, int64_t k, int64_t n, GemmPath path,
+                       float* dst) {
+  if (path == GemmPath::kAvx512) {
+    PackBAvx512(w, n, k, /*trans_b=*/false, dst);
+  } else {
+    PlanPackWeight(w, k, n, dst);
+  }
+}
+
+int64_t PlanPackedBiasSize(int64_t n, GemmPath path) {
+  return path == GemmPath::kAvx512 ? avx512::RoundUpNR(n) : PlanPackedCols(n);
+}
+
+void PlanPackBiasFor(const float* b, int64_t n, GemmPath path, float* dst) {
+  const int64_t padded = PlanPackedBiasSize(n, path);
+  std::memcpy(dst, b, static_cast<size_t>(n) * sizeof(float));
+  std::fill(dst + n, dst + padded, 0.0f);
+}
+
 void LstmCellForwardCH(const float* gates, const float* c_prev, int64_t batch,
                        int64_t hidden, float* c_next, float* h_next) {
   const bool simd = SimdTranscendentalsActive();
@@ -1229,12 +1560,59 @@ inline void PlanTileRow(int64_t mw, int64_t k, const float* a, int64_t lda,
   }
 }
 
+/// AVX-512 PlanGemm body: the 8x32 fused tile computes products + bias +
+/// relu in registers (exact operations, safe across TUs); tanh/sigmoid
+/// epilogues run as a second pass over the stored pre-activations INSIDE the
+/// same row-panel worker, using this TU's transcendental code — the same
+/// VecTanh/VecSigmoid (or scalar libm) arithmetic as the eager
+/// TanhForward/SigmoidForward, so replay stays bit-identical to eager no
+/// matter how kernels_avx512.cpp's TU would have contracted them. The
+/// store/reload between passes is a bit-exact float identity, and VecMap's
+/// zero-padded remainder makes the per-row-panel application identical to
+/// the eager whole-tensor pass.
+void PlanGemmAvx512(int64_t m, int64_t n, int64_t k, const float* a,
+                    const float* bp, int64_t k2, const float* a2,
+                    const float* bp2, const float* biasp, PlanAct act,
+                    float* c) {
+  const int tile_act = act == PlanAct::kRelu ? 1 : 0;
+  const bool transcendental = act == PlanAct::kTanh || act == PlanAct::kSigmoid;
+#ifdef ADAPTRAJ_HAVE_VEC16
+  const bool simd_act = transcendental && SimdTranscendentalsActive();
+#endif
+  parallel::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
+    avx512::PlanGemmRows(i0, i1, n, k, a, k, bp, k2, a2, k2, bp2, biasp,
+                         tile_act, c, n);
+    if (!transcendental) return;
+    float* cr = c + i0 * n;
+    const int64_t elems = (i1 - i0) * n;
+#ifdef ADAPTRAJ_HAVE_VEC16
+    if (simd_act) {
+      if (act == PlanAct::kTanh) {
+        VecMap(cr, cr, elems, [](Vec16 v) { return VecTanh(v); });
+      } else {
+        VecMap(cr, cr, elems, [](Vec16 v) { return VecSigmoid(v); });
+      }
+      return;
+    }
+#endif
+    if (act == PlanAct::kTanh) {
+      for (int64_t i = 0; i < elems; ++i) cr[i] = std::tanh(cr[i]);
+    } else {
+      for (int64_t i = 0; i < elems; ++i) cr[i] = SigmoidF(cr[i]);
+    }
+  });
+}
+
 }  // namespace
 
 void PlanGemm(int64_t m, int64_t n, int64_t k, const float* a, const float* bp,
               int64_t k2, const float* a2, const float* bp2,
-              const float* biasp, PlanAct act, float* c) {
+              const float* biasp, PlanAct act, float* c, GemmPath packed_for) {
   if (m == 0 || n == 0) return;
+  if (packed_for == GemmPath::kAvx512) {
+    PlanGemmAvx512(m, n, k, a, bp, k2, a2, bp2, biasp, act, c);
+    return;
+  }
 #ifdef ADAPTRAJ_HAVE_VEC16
   const int64_t np = PlanPackedCols(n);
   const int64_t np2 = a2 != nullptr ? np : 0;

@@ -4,11 +4,13 @@
 // serves MatMul's forward pass and both of its backward passes (dA = dY·Bᵀ,
 // dB = Aᵀ·dY accumulate straight into gradient storage — no scratch, no
 // transposed temporaries at the op layer). Gemm packs transposed operands
-// into contiguous panels and tiles the output into 4x16 register
-// micro-kernels (explicit vector accumulators held across the whole k loop),
-// splitting row panels across the parallel::ParallelFor pool. The reduction
-// order over k is ascending in every variant and independent of the thread
-// count, so results are bit-identical to the serial reference run to run.
+// into contiguous panels and tiles the output into register micro-kernels
+// (explicit vector accumulators held across the whole k loop) — an 8x32
+// AVX-512 tile or the portable 4x16 tile, chosen at runtime (see "GEMM
+// micro-kernel dispatch" below) — splitting row panels across the
+// parallel::ParallelFor pool. The reduction order over k is ascending in
+// every variant and independent of the thread count and tile geometry, so
+// results are bit-identical to the serial reference run to run.
 //
 // The LstmCell* kernels fuse the per-gate sigmoid/tanh activations (and
 // their backward forms) into single passes over the [B, 4H] gate buffer,
@@ -55,6 +57,69 @@ void BatchGemm(bool trans_a, bool trans_b, int64_t batch, int64_t m, int64_t n,
 void BatchGemmNaive(bool trans_a, bool trans_b, int64_t batch, int64_t m,
                     int64_t n, int64_t k, const float* a, const float* b,
                     float* c, bool accumulate);
+
+// --- GEMM micro-kernel dispatch ----------------------------------------------
+//
+// Gemm/BatchGemm/PlanGemm run one of two register-tiled kernels:
+//
+//   kAvx512   8x32 tiles (16 zmm accumulators), k-unrolled FMA under
+//             row/k cache blocking; non-transposed eager B is read in place
+//             (only the ragged column tail is packed), other layouts go
+//             through panel-major packed B (gemm_avx512.h). Lives in its own
+//             TU compiled with -mavx512f.
+//   kPortable 4x16 tiles on GCC vector extensions — compiles everywhere and
+//             is the fallback and the reference for the probe below.
+//
+// Both kernels accumulate each output element over ascending k, so tile
+// geometry never changes results; the only cross-kernel bit hazard is FMA
+// contraction differing between translation units. The auto resolution
+// therefore runs a one-time startup probe — both kernels over a ragged shape
+// battery (edges, transposes, accumulate), compared bitwise — and enables
+// the AVX-512 path only when it is bit-identical to the portable kernel on
+// this build/host. Resolution order:
+//
+//   1. SetGemmPath override (tests/benches), if not kAuto;
+//   2. ADAPTRAJ_GEMM env: "0" / "off" / "portable" force the portable
+//      kernel; "avx512" / "force" force the AVX-512 path (skipping the
+//      probe; still requires compiled-in + CPU support); unset or "auto"
+//      fall through;
+//   3. compiled-in + CPU support + the bitwise probe.
+//
+// The resolved path is process-wide, but probe-resolved auto mode is
+// additionally SHAPE-AWARE: the 8x32 tile wastes more than half its vector
+// lanes below one panel width, and measured crossover puts the portable
+// 4x16 kernel 2-6x ahead for n < 32 (LSTM gate slivers, tiny heads), so
+// auto routes n < 32 to the portable kernel and n >= 32 to AVX-512. An
+// explicit SetGemmPath override or ADAPTRAJ_GEMM=avx512/force bypasses the
+// heuristic (tests rely on forcing the micro-kernel at sub-panel shapes).
+// Mixing paths by shape cannot perturb results: auto only enables AVX-512
+// when the probe proved it bit-identical to the portable kernel. Compiled
+// plans record the per-step path their weights were packed for and replay
+// with that path, so flipping the override between capture and replay
+// cannot misread a packed layout.
+
+enum class GemmPath {
+  kAuto = 0,    // env + probe resolution (the default)
+  kAvx512,      // force the 8x32 AVX-512 micro-kernel (if compiled + CPU)
+  kPortable,    // force the portable 4x16 kernel
+};
+
+/// Overrides the path used by Gemm/BatchGemm and for packing NEW plans.
+/// kAuto restores the env/probe-resolved default. Not thread-safe against
+/// in-flight kernels; call between steps (tests and benchmarks only).
+void SetGemmPath(GemmPath path);
+
+/// The process-wide resolved path: always kAvx512 or kPortable. Shape-blind —
+/// Gemm/BatchGemm/plan capture consult GemmPathForShape.
+GemmPath SelectGemmPath();
+
+/// The path a product with n output columns will take: SelectGemmPath
+/// narrowed by the n >= 32 auto-mode heuristic above. Explicit overrides and
+/// ADAPTRAJ_GEMM=avx512/force win over the heuristic.
+GemmPath GemmPathForShape(int64_t n);
+
+/// True when this binary contains the AVX-512 kernels at all.
+bool Avx512GemmCompiledIn();
 
 // --- SIMD transcendentals ----------------------------------------------------
 //
@@ -150,21 +215,40 @@ void SgdUpdate(float* param, const float* grad, float* velocity, int64_t n,
 /// Activation folded into PlanGemm's register epilogue.
 enum class PlanAct : int { kNone = 0, kRelu = 1, kTanh = 2, kSigmoid = 3 };
 
-/// Packed width of a plan weight: n rounded up to the 16-lane vector width.
+/// Packed width of a PORTABLE-path plan weight: n rounded up to the 16-lane
+/// vector width.
 int64_t PlanPackedCols(int64_t n);
 
-/// Packs a row-major [k, n] weight (or a [n] bias with k == 1) into
+/// Packs a row-major [k, n] weight into the portable layout
 /// [k, PlanPackedCols(n)] with zero-filled tail columns.
 void PlanPackWeight(const float* w, int64_t k, int64_t n, float* dst);
 
-/// C[m, n] = act(A·B1 (+ A2·B2) + bias). B1/B2/bias are pre-packed to the
-/// padded width (PlanPackWeight); the second product is skipped when a2 is
-/// null, the bias when biasp is null. Row panels split across the thread
+/// Total floats of a [k, n] weight packed for `path`. Portable: row-major
+/// k x PlanPackedCols(n). kAvx512: panel-major ceil(n/32) panels of
+/// [PaddedK(k)][32] (gemm_avx512.h). kAuto is not a valid pack target.
+int64_t PlanPackedSize(int64_t k, int64_t n, GemmPath path);
+
+/// Packs a row-major [k, n] weight into the `path` layout (PlanPackedSize
+/// floats, zero-padded tails).
+void PlanPackWeightFor(const float* w, int64_t k, int64_t n, GemmPath path,
+                       float* dst);
+
+/// Total floats of an [n] bias packed for `path`: one flat row zero-padded
+/// to the path's column-tile multiple (16 portable, 32 AVX-512).
+int64_t PlanPackedBiasSize(int64_t n, GemmPath path);
+
+/// Packs an [n] bias row into the `path` layout.
+void PlanPackBiasFor(const float* b, int64_t n, GemmPath path, float* dst);
+
+/// C[m, n] = act(A·B1 (+ A2·B2) + bias). B1/B2/bias are pre-packed for
+/// `packed_for` (PlanPackWeightFor/PlanPackBiasFor with the same path — the
+/// plan records it at capture time); the second product is skipped when a2
+/// is null, the bias when biasp is null. Row panels split across the thread
 /// pool; the per-row reduction runs k then k2 ascending, matching the eager
-/// Gemm + accumulate-Gemm + AddRowBias order bit for bit.
+/// Gemm + accumulate-Gemm + AddRowBias order bit for bit on either path.
 void PlanGemm(int64_t m, int64_t n, int64_t k, const float* a,
               const float* bp, int64_t k2, const float* a2, const float* bp2,
-              const float* biasp, PlanAct act, float* c);
+              const float* biasp, PlanAct act, float* c, GemmPath packed_for);
 
 /// Fused LstmCellForwardC + LstmCellForwardH: one pass over the [B, 4H] gate
 /// buffer producing both c_next and h_next, with tanh(c_next) computed from

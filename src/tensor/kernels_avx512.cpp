@@ -1,0 +1,367 @@
+// AVX-512 GEMM micro-kernels: 8x32 register tiles, k-unrolled FMA, row/k
+// cache blocking. See gemm_avx512.h for the packed-B layout and the dispatch
+// contract; kernels.cpp routes here only after CompiledIn()/CpuSupported()
+// and the startup bit-exactness probe pass.
+//
+// This TU is compiled with -mavx512f (CMake source property) while the rest
+// of the library keeps its baseline flags, so everything below is guarded on
+// __AVX512F__ — without it the entry points become stubs and CompiledIn()
+// reports false.
+//
+// The kernels are written with GCC vector extensions rather than intrinsics:
+// a 64-byte vector type lowers to zmm registers, `acc += x * b` contracts to
+// vfmadd under the default contraction rules, and the same source doubles as
+// documentation of the arithmetic order. Per output element the accumulation
+// is ascending-k fused multiply-adds — the identical sequence the portable
+// 4x16 kernel produces when its TU also contracts, which is what the probe
+// in kernels.cpp verifies bitwise before enabling this path.
+
+#include "tensor/gemm_avx512.h"
+
+#include <cstring>
+
+namespace adaptraj {
+namespace kernels {
+namespace avx512 {
+
+bool CpuSupported() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX512F__)
+
+bool CompiledIn() { return true; }
+
+namespace {
+
+typedef float V16 __attribute__((vector_size(16 * sizeof(float))));
+
+inline V16 Load16(const float* p) {
+  V16 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void Store16(float* p, V16 v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// Loads nv <= 16 floats zero-padded to a full vector.
+inline V16 LoadPartial16(const float* p, int64_t nv) {
+  float tmp[16] = {0};
+  std::memcpy(tmp, p, static_cast<size_t>(nv) * sizeof(float));
+  return Load16(tmp);
+}
+
+/// Stores the first nv <= 16 lanes.
+inline void StorePartial16(float* p, V16 v, int64_t nv) {
+  float tmp[16];
+  Store16(tmp, v);
+  std::memcpy(p, tmp, static_cast<size_t>(nv) * sizeof(float));
+}
+
+/// Stores a 32-wide accumulator pair's first nv <= 32 lanes.
+inline void StoreCols(float* c, V16 lo, V16 hi, int64_t nv) {
+  if (nv >= 32) {
+    Store16(c, lo);
+    Store16(c + 16, hi);
+  } else if (nv > 16) {
+    Store16(c, lo);
+    StorePartial16(c + 16, hi, nv - 16);
+  } else {
+    StorePartial16(c, lo, nv);
+  }
+}
+
+/// Loads up to 32 C columns into an accumulator pair (zero beyond nv; those
+/// lanes only ever see zero-padded B products and are never stored back).
+inline void LoadCols(const float* c, V16* lo, V16* hi, int64_t nv) {
+  if (nv >= 32) {
+    *lo = Load16(c);
+    *hi = Load16(c + 16);
+  } else if (nv > 16) {
+    *lo = Load16(c);
+    *hi = LoadPartial16(c + 16, nv - 16);
+  } else {
+    *lo = LoadPartial16(c, nv);
+    *hi = V16{} * 0.0f;
+  }
+}
+
+/// One MR x 32 register tile: C[0:MR, 0:nv] (+)= A[0:MR, 0:k] · panel.
+/// `panel` is the first B row chunk, either inside a packed panel (ldb =
+/// kNR, zero-padded columns) or directly inside row-major B (ldb = full row
+/// stride; callers guarantee 32 in-bounds floats per row). 2*MR accumulators
+/// live in registers for the whole k loop; each k step is two B loads + MR
+/// broadcast-FMA pairs, unrolled by kKUnroll. No software prefetch: callers
+/// block rows/k so the operands are L1-resident, where prefetch is pure
+/// issue-slot overhead (measurably slower on the tile harness).
+template <int MR>
+void Tile(int64_t k, const float* a, int64_t lda, const float* panel,
+          int64_t ldb, float* c, int64_t ldc, bool accumulate, int64_t nv) {
+  V16 lo[MR], hi[MR];
+  const V16 zero = V16{} * 0.0f;
+  for (int r = 0; r < MR; ++r) {
+    if (accumulate) {
+      LoadCols(c + r * ldc, &lo[r], &hi[r], nv);
+    } else {
+      lo[r] = zero;
+      hi[r] = zero;
+    }
+  }
+  int64_t p = 0;
+  for (; p + kKUnroll <= k; p += kKUnroll) {
+    for (int64_t u = 0; u < kKUnroll; ++u) {
+      const float* br = panel + (p + u) * ldb;
+      const V16 b0 = Load16(br);
+      const V16 b1 = Load16(br + 16);
+      for (int r = 0; r < MR; ++r) {
+        const float x = a[r * lda + p + u];
+        lo[r] += x * b0;
+        hi[r] += x * b1;
+      }
+    }
+  }
+  for (; p < k; ++p) {
+    const float* br = panel + p * ldb;
+    const V16 b0 = Load16(br);
+    const V16 b1 = Load16(br + 16);
+    for (int r = 0; r < MR; ++r) {
+      const float x = a[r * lda + p];
+      lo[r] += x * b0;
+      hi[r] += x * b1;
+    }
+  }
+  for (int r = 0; r < MR; ++r) StoreCols(c + r * ldc, lo[r], hi[r], nv);
+}
+
+/// Row-remainder ladder: full 8-row tiles, then 4/2/1 for m % 8. Each row's
+/// element chain is independent of the grouping, so the split cannot perturb
+/// results.
+void TileRows(int64_t i0, int64_t i1, int64_t k, const float* a, int64_t lda,
+              const float* panel, int64_t ldb, float* c, int64_t ldc,
+              bool accumulate, int64_t nv) {
+  int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    // Prefetch the next row block's A into L1 while this block computes.
+    if (i + 8 < i1) __builtin_prefetch(a + (i + 8) * lda);
+    Tile<8>(k, a + i * lda, lda, panel, ldb, c + i * ldc, ldc, accumulate, nv);
+  }
+  if (i1 - i >= 4) {
+    Tile<4>(k, a + i * lda, lda, panel, ldb, c + i * ldc, ldc, accumulate, nv);
+    i += 4;
+  }
+  if (i1 - i >= 2) {
+    Tile<2>(k, a + i * lda, lda, panel, ldb, c + i * ldc, ldc, accumulate, nv);
+    i += 2;
+  }
+  if (i1 - i >= 1) {
+    Tile<1>(k, a + i * lda, lda, panel, ldb, c + i * ldc, ldc, accumulate, nv);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Cache-blocking extents. A serial call may cover the whole matrix (the
+/// thread pool hands one thread the full row range), so the kernels block
+/// rows and k here: per (row-block, k-block) the A slab, the active B panel
+/// slice and the C slab all stay L1-resident. Blocking is bit-safe — each
+/// C element's multiply-add chain still runs over ascending k (later k
+/// blocks accumulate on the stored partial, and a float store/reload is
+/// exact), so any block size produces identical bits.
+constexpr int64_t kRowBlock = 32;
+constexpr int64_t kKBlock = 64;
+
+}  // namespace
+
+void GemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
+              int64_t lda, const float* bp, float* c, int64_t ldc,
+              bool accumulate) {
+  if (i0 >= i1 || n <= 0 || k <= 0) return;  // degenerate: caller's contract
+  const int64_t kp = PaddedK(k);
+  for (int64_t r0 = i0; r0 < i1; r0 += kRowBlock) {
+    const int64_t r1 = r0 + kRowBlock < i1 ? r0 + kRowBlock : i1;
+    for (int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+      const int64_t kb = p0 + kKBlock < k ? kKBlock : k - p0;
+      const bool acc = accumulate || p0 > 0;
+      for (int64_t j = 0, pj = 0; j < n; j += kNR, ++pj) {
+        const float* panel = bp + pj * kp * kNR + p0 * kNR;
+        const int64_t nv = n - j < kNR ? n - j : kNR;
+        TileRows(r0, r1, kb, a + p0, lda, panel, kNR, c + j, ldc, acc, nv);
+      }
+    }
+  }
+}
+
+void GemmRowsDirect(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                    const float* a, int64_t lda, const float* b, int64_t ldb,
+                    const float* tailp, float* c, int64_t ldc,
+                    bool accumulate) {
+  if (i0 >= i1 || n <= 0 || k <= 0) return;  // degenerate: caller's contract
+  for (int64_t r0 = i0; r0 < i1; r0 += kRowBlock) {
+    const int64_t r1 = r0 + kRowBlock < i1 ? r0 + kRowBlock : i1;
+    for (int64_t p0 = 0; p0 < k; p0 += kKBlock) {
+      const int64_t kb = p0 + kKBlock < k ? kKBlock : k - p0;
+      const bool acc = accumulate || p0 > 0;
+      int64_t j = 0;
+      for (; j + kNR <= n; j += kNR) {
+        TileRows(r0, r1, kb, a + p0, lda, b + p0 * ldb + j, ldb, c + j, ldc,
+                 acc, kNR);
+      }
+      if (j < n) {
+        // Ragged last panel: read the caller's pre-packed zero-padded copy
+        // so loads stay full-width without running past the end of a B row.
+        TileRows(r0, r1, kb, a + p0, lda, tailp + p0 * kNR, kNR, c + j, ldc,
+                 acc, n - j);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Fused plan tile: both products chain into the same accumulators (k then
+/// k2, ascending), bias adds once at the end, optional relu — exactly the
+/// eager Gemm + accumulate-Gemm + AddRowBias + Relu per-element order. The
+/// adds in the epilogue are lone operations (nothing to contract with), so
+/// they are bit-safe across translation units.
+template <int MR>
+void PlanTile(int64_t k, const float* a, int64_t lda, const float* panel,
+              int64_t k2, const float* a2, int64_t lda2, const float* panel2,
+              const float* biasp, int act, float* c, int64_t ldc, int64_t nv) {
+  V16 lo[MR], hi[MR];
+  const V16 zero = V16{} * 0.0f;
+  for (int r = 0; r < MR; ++r) {
+    lo[r] = zero;
+    hi[r] = zero;
+  }
+  int64_t p = 0;
+  for (; p + kKUnroll <= k; p += kKUnroll) {
+    for (int64_t u = 0; u < kKUnroll; ++u) {
+      const float* br = panel + (p + u) * kNR;
+      const V16 b0 = Load16(br);
+      const V16 b1 = Load16(br + 16);
+      for (int r = 0; r < MR; ++r) {
+        const float x = a[r * lda + p + u];
+        lo[r] += x * b0;
+        hi[r] += x * b1;
+      }
+    }
+  }
+  for (; p < k; ++p) {
+    const float* br = panel + p * kNR;
+    const V16 b0 = Load16(br);
+    const V16 b1 = Load16(br + 16);
+    for (int r = 0; r < MR; ++r) {
+      const float x = a[r * lda + p];
+      lo[r] += x * b0;
+      hi[r] += x * b1;
+    }
+  }
+  if (a2 != nullptr) {
+    int64_t q = 0;
+    for (; q + kKUnroll <= k2; q += kKUnroll) {
+      for (int64_t u = 0; u < kKUnroll; ++u) {
+        const float* br = panel2 + (q + u) * kNR;
+        const V16 b0 = Load16(br);
+        const V16 b1 = Load16(br + 16);
+        for (int r = 0; r < MR; ++r) {
+          const float x = a2[r * lda2 + q + u];
+          lo[r] += x * b0;
+          hi[r] += x * b1;
+        }
+      }
+    }
+    for (; q < k2; ++q) {
+      const float* br = panel2 + q * kNR;
+      const V16 b0 = Load16(br);
+      const V16 b1 = Load16(br + 16);
+      for (int r = 0; r < MR; ++r) {
+        const float x = a2[r * lda2 + q];
+        lo[r] += x * b0;
+        hi[r] += x * b1;
+      }
+    }
+  }
+  if (biasp != nullptr) {
+    // The bias row is zero-padded to a 32 multiple, so full loads are safe.
+    const V16 b0 = Load16(biasp);
+    const V16 b1 = Load16(biasp + 16);
+    for (int r = 0; r < MR; ++r) {
+      lo[r] += b0;
+      hi[r] += b1;
+    }
+  }
+  if (act == 1) {
+    for (int r = 0; r < MR; ++r) {
+      lo[r] = lo[r] > 0.0f ? lo[r] : zero;
+      hi[r] = hi[r] > 0.0f ? hi[r] : zero;
+    }
+  }
+  for (int r = 0; r < MR; ++r) StoreCols(c + r * ldc, lo[r], hi[r], nv);
+}
+
+}  // namespace
+
+void PlanGemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, const float* a,
+                  int64_t lda, const float* bp, int64_t k2, const float* a2,
+                  int64_t lda2, const float* bp2, const float* biasp, int act,
+                  float* c, int64_t ldc) {
+  if (i0 >= i1 || n <= 0) return;
+  const int64_t kp = PaddedK(k);
+  const int64_t kp2 = PaddedK(k2);
+  for (int64_t j = 0, pj = 0; j < n; j += kNR, ++pj) {
+    const float* panel = bp + pj * kp * kNR;
+    const float* panel2 = a2 != nullptr ? bp2 + pj * kp2 * kNR : nullptr;
+    const float* bias = biasp != nullptr ? biasp + j : nullptr;
+    const int64_t nv = n - j < kNR ? n - j : kNR;
+    int64_t i = i0;
+    for (; i + 8 <= i1; i += 8) {
+      PlanTile<8>(k, a + i * lda, lda, panel, k2,
+                  a2 != nullptr ? a2 + i * lda2 : nullptr, lda2, panel2, bias,
+                  act, c + i * ldc + j, ldc, nv);
+    }
+    if (i1 - i >= 4) {
+      PlanTile<4>(k, a + i * lda, lda, panel, k2,
+                  a2 != nullptr ? a2 + i * lda2 : nullptr, lda2, panel2, bias,
+                  act, c + i * ldc + j, ldc, nv);
+      i += 4;
+    }
+    if (i1 - i >= 2) {
+      PlanTile<2>(k, a + i * lda, lda, panel, k2,
+                  a2 != nullptr ? a2 + i * lda2 : nullptr, lda2, panel2, bias,
+                  act, c + i * ldc + j, ldc, nv);
+      i += 2;
+    }
+    if (i1 - i >= 1) {
+      PlanTile<1>(k, a + i * lda, lda, panel, k2,
+                  a2 != nullptr ? a2 + i * lda2 : nullptr, lda2, panel2, bias,
+                  act, c + i * ldc + j, ldc, nv);
+    }
+  }
+}
+
+#else  // !__AVX512F__: stubs so the library links on any toolchain.
+
+bool CompiledIn() { return false; }
+
+void GemmRows(int64_t, int64_t, int64_t, int64_t, const float*, int64_t,
+              const float*, float*, int64_t, bool) {}
+
+void GemmRowsDirect(int64_t, int64_t, int64_t, int64_t, const float*, int64_t,
+                    const float*, int64_t, const float*, float*, int64_t,
+                    bool) {}
+
+void PlanGemmRows(int64_t, int64_t, int64_t, int64_t, const float*, int64_t,
+                  const float*, int64_t, const float*, int64_t, const float*,
+                  const float*, int, float*, int64_t) {}
+
+#endif  // __AVX512F__
+
+}  // namespace avx512
+}  // namespace kernels
+}  // namespace adaptraj

@@ -48,7 +48,15 @@
 //                        support and a startup accuracy sweep — see
 //                        kernels::TranscendentalPath in tensor/kernels.h for
 //                        the per-process override used by tests/benchmarks.
-// Both paths are deterministic: for a fixed input, a fixed binary, and a
+//   ADAPTRAJ_GEMM        "0" / "off" / "portable" force Gemm/BatchGemm/
+//                        PlanGemm onto the portable 4x16 register-tile
+//                        kernel; "avx512" / "force" force the AVX-512 8x32
+//                        micro-kernel (still requires compiled-in + CPU
+//                        support); unset or "auto" runs a one-time bitwise
+//                        probe and enables AVX-512 only when it matches the
+//                        portable kernel exactly. See kernels::GemmPath in
+//                        tensor/kernels.h ("GEMM micro-kernel dispatch").
+// All paths are deterministic: for a fixed input, a fixed binary, and a
 // fixed path selection, results are bit-identical for any thread count.
 
 #ifndef ADAPTRAJ_TENSOR_PARALLEL_H_

@@ -90,6 +90,10 @@ struct Step {
   Shape b_shape, out_shape;      // broadcast operand / output shapes
   std::vector<int64_t> extents;  // concat part extents
   int64_t c0 = -1, c1 = -1, c2 = -1;  // constants offsets (W, W2, bias)
+  /// kPlanGemm: the kernel path the packed constants were laid out for at
+  /// capture time. Replay always uses this path, so flipping the global GEMM
+  /// path between capture and replay cannot misread the packing.
+  kernels::GemmPath gpath = kernels::GemmPath::kPortable;
   void (*run)(ReplayCtx&, const Step&) = nullptr;
 };
 
@@ -104,7 +108,7 @@ struct SlotDef {
 struct CompiledPlan {
   std::vector<SlotDef> slots;
   std::vector<Step> steps;
-  std::vector<float> constants;
+  internal::FloatBuffer constants;
   int64_t arena_elems = 0;
   int result_slot = -1;
   Shape result_shape;
@@ -120,7 +124,7 @@ Tensor CompiledPlan::Execute(const std::vector<const Tensor*>& inputs,
   ADAPTRAJ_CHECK_MSG(inputs.size() == n_inputs,
                      "plan replay: input count " << inputs.size() << " != "
                                                  << n_inputs);
-  std::vector<float> arena = internal::AcquireBuffer(arena_elems);
+  internal::FloatBuffer arena = internal::AcquireBuffer(arena_elems);
   auto rimpl = std::make_shared<TensorImpl>();
   rimpl->shape = result_shape;
   rimpl->data = internal::AcquireBuffer(NumElements(result_shape));
@@ -480,7 +484,7 @@ void RunPlanGemm(ReplayCtx& c, const Step& s) {
   kernels::PlanGemm(s.m, s.n, s.k, c.p[s.in[0]], c.consts + s.c0, s.k2, a2,
                     s.c1 >= 0 ? c.consts + s.c1 : nullptr,
                     s.c2 >= 0 ? c.consts + s.c2 : nullptr,
-                    static_cast<kernels::PlanAct>(s.iop), c.p[s.out]);
+                    static_cast<kernels::PlanAct>(s.iop), c.p[s.out], s.gpath);
 }
 
 void RunScaledSoftmax(ReplayCtx& c, const Step& s) {
@@ -676,7 +680,7 @@ int64_t FuseLayerNorm(std::vector<Step>& steps, std::vector<bool>& dead,
     const int sd = steps[pi].in[1];
     if (slots[ones].kind != SlotDef::kExternal) continue;
     {
-      const std::vector<float>& od = slots[ones].external->data;
+      const internal::FloatBuffer& od = slots[ones].external->data;
       if (!std::all_of(od.begin(), od.end(),
                        [](float v) { return v == 1.0f; })) {
         continue;
@@ -749,15 +753,30 @@ int64_t FuseLayerNorm(std::vector<Step>& steps, std::vector<bool>& dead,
 /// Sigmoid epilogue.
 int64_t FuseGemmEpilogues(std::vector<Step>& steps, std::vector<bool>& dead,
                           std::vector<SlotDef>& slots, int result_slot,
-                          std::vector<float>& constants) {
+                          internal::FloatBuffer& constants) {
   int64_t fused = 0;
   Analysis a = Analyze(steps, slots.size(), result_slot);
-  auto pack = [&constants](const SlotDef& slot, int64_t k, int64_t n) {
+  // Weights pack into the layout of the GEMM path active at capture time —
+  // resolved PER STEP via GemmPathForShape (sub-panel products pack for and
+  // replay on the portable kernel; full-width ones for AVX-512). Each
+  // kPlanGemm step records its path so replay reads the layout it was packed
+  // for even if the global path is flipped afterwards.
+  auto pack = [&constants](const SlotDef& slot, int64_t k, int64_t n,
+                           kernels::GemmPath gpath) {
     const int64_t off = static_cast<int64_t>(constants.size());
     constants.resize(constants.size() +
-                     static_cast<size_t>(k * kernels::PlanPackedCols(n)));
-    kernels::PlanPackWeight(slot.external->data.data(), k, n,
-                            constants.data() + off);
+                     static_cast<size_t>(kernels::PlanPackedSize(k, n, gpath)));
+    kernels::PlanPackWeightFor(slot.external->data.data(), k, n, gpath,
+                               constants.data() + off);
+    return off;
+  };
+  auto pack_bias = [&constants](const SlotDef& slot, int64_t n,
+                                kernels::GemmPath gpath) {
+    const int64_t off = static_cast<int64_t>(constants.size());
+    constants.resize(constants.size() +
+                     static_cast<size_t>(kernels::PlanPackedBiasSize(n, gpath)));
+    kernels::PlanPackBiasFor(slot.external->data.data(), n, gpath,
+                             constants.data() + off);
     return off;
   };
   for (size_t i = 0; i < steps.size(); ++i) {
@@ -797,9 +816,10 @@ int64_t FuseGemmEpilogues(std::vector<Step>& steps, std::vector<bool>& dead,
         break;
       }
     }
-    s.c0 = pack(slots[w1], s.k, s.n);
-    if (w2 >= 0) s.c1 = pack(slots[w2], s.k2, s.n);
-    if (bias >= 0) s.c2 = pack(slots[bias], 1, s.n);
+    const kernels::GemmPath gpath = kernels::GemmPathForShape(s.n);
+    s.c0 = pack(slots[w1], s.k, s.n, gpath);
+    if (w2 >= 0) s.c1 = pack(slots[w2], s.k2, s.n, gpath);
+    if (bias >= 0) s.c2 = pack_bias(slots[bias], s.n, gpath);
     const int a1 = s.in[0];
     const int a2 = is_dual ? s.in[2] : -1;
     s.in.clear();
@@ -807,6 +827,7 @@ int64_t FuseGemmEpilogues(std::vector<Step>& steps, std::vector<bool>& dead,
     if (a2 >= 0) s.in.push_back(a2);
     s.kind = K::kPlanGemm;
     s.iop = static_cast<int>(act);
+    s.gpath = gpath;
     if (!is_dual) s.k2 = 0;
     ++fused;  // the packed conversion itself removes the bias/pack traffic
   }

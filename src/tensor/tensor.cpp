@@ -125,7 +125,11 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
                               << values.size());
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data = std::move(values);
+  // Copy into pooled (64B-aligned) storage: adopting the caller's vector
+  // would hand the kernels — and eventually the buffer pool — an allocation
+  // with only alignof(float) guaranteed.
+  impl->data = internal::AcquireBuffer(static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), impl->data.begin());
   impl->requires_grad = requires_grad;
   return FromImpl(std::move(impl));
 }

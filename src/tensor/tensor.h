@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned_buffer.h"
 #include "tensor/rng.h"
 #include "tensor/status.h"
 
@@ -108,8 +109,8 @@ int64_t GradNodesCreated();
 /// Shared tensor storage plus autograd bookkeeping.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // empty until first accumulation
+  internal::FloatBuffer data;   // 64B-aligned (see aligned_buffer.h)
+  internal::FloatBuffer grad;   // empty until first accumulation
   bool requires_grad = false;
   /// Set on op results whose graph was suppressed by a NoGradGuard; makes a
   /// later Backward() a checked error instead of a silent zero-grad no-op.

@@ -32,6 +32,12 @@ TRACKED_PREFIXES = (
     "BM_MatMulFwdBwd_Fast",
     "BM_AttentionFwdBwd_Batched",
     "BM_BatchGemmKernel",
+    # The single-product GEMM micro-kernel at model shapes, on the dispatched
+    # (AVX-512 where available) path and on the forced-portable path. Both
+    # are tracked: the dispatched entry guards the micro-kernel itself, the
+    # portable entry guards the fallback every non-AVX-512 host serves from.
+    "BM_GemmKernel/",
+    "BM_GemmKernelPortable/",
     "BM_LstmStepFused/",  # trailing slash: excludes the ScalarAct baseline
     "BM_SoftmaxFwdBwd",
     "BM_AdamUpdate_Fast",
