@@ -717,6 +717,82 @@ void BM_InferenceEngineAsync(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * scenes);
 }
 
+// Repeat-heavy serving traffic vs the cross-request encoder cache. Arg(0) is
+// the repeat percentage of a seeded 32-request schedule (request i resubmits
+// a uniformly chosen earlier scene with that probability, else advances to a
+// fresh scene); Arg(1) pins the cache on or off. The schedule is fixed per
+// case, so the on/off pair serves byte-identical traffic and their
+// scenes/sec ratio isolates the cache win; hit_pct reports the realized
+// cross-batch hit rate (within-batch duplicates are deduplicated before the
+// cache is consulted and do not count as hits).
+void BM_EngineRepeatTraffic(benchmark::State& state) {
+  PredictFixture f;
+  // A dedicated pool with more distinct scenes than the schedule needs:
+  // TrainBenchData's 19-scene test split would wrap the fresh stream and
+  // manufacture hits at repeat=0.
+  static const data::Dataset* scene_pool = [] {
+    data::CorpusConfig cfg;
+    cfg.num_scenes = 28;
+    cfg.steps_per_scene = 45;
+    cfg.seed = 20240612;
+    auto d = data::BuildDomainGeneralizationData(
+        {sim::Domain::kEthUcy, sim::Domain::kLcas, sim::Domain::kSyi},
+        sim::Domain::kSdd, cfg);
+    return new data::Dataset(std::move(d.target.test));
+  }();
+  const double repeat = static_cast<double>(state.range(0)) / 100.0;
+  const bool cached = state.range(1) != 0;
+  // Long enough that per-iteration fixed cost (engine construction, thread
+  // spawn) is amortized and the measurement is steady-state serving.
+  constexpr int64_t kRequests = 256;
+  const int64_t pool =
+      std::min<int64_t>(kRequests, static_cast<int64_t>(scene_pool->size()));
+  std::vector<int64_t> schedule;
+  schedule.reserve(kRequests);
+  {
+    Rng coin(1234);
+    int64_t fresh = 0;
+    for (int64_t i = 0; i < kRequests; ++i) {
+      const bool resubmit =
+          fresh > 0 &&
+          static_cast<double>(coin.Uniform(0.0f, 1.0f)) < repeat;
+      if (resubmit) {
+        const int64_t j = std::min<int64_t>(
+            fresh - 1, static_cast<int64_t>(
+                           static_cast<double>(coin.Uniform(0.0f, 1.0f)) *
+                           static_cast<double>(fresh)));
+        schedule.push_back(j % pool);
+      } else {
+        schedule.push_back(fresh++ % pool);
+      }
+    }
+  }
+  serve::InferenceEngineOptions options;
+  options.batch_size = 8;
+  options.seed = 1;
+  options.encode_cache =
+      cached ? serve::EncodeCacheMode::kOn : serve::EncodeCacheMode::kOff;
+  int64_t hits = 0, lookups = 0;
+  for (auto _ : state) {
+    serve::InferenceEngine engine(&f.method, options);
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(static_cast<size_t>(kRequests));
+    for (int64_t idx : schedule) {
+      futures.push_back(engine.Submit(scene_pool->sequences[static_cast<size_t>(idx)]));
+    }
+    engine.Drain();
+    for (auto& fut : futures) benchmark::DoNotOptimize(fut.get().data());
+    const auto cache_stats = engine.stats().encode_cache;
+    hits += cache_stats.hits;
+    lookups += cache_stats.lookups;
+  }
+  state.SetItemsProcessed(state.iterations() * kRequests);
+  state.counters["hit_pct"] =
+      lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+}
+
 // Open-loop Poisson overload at ~2x the engine's measured capacity, with
 // admission control shedding. What it gates: the total CPU spent per
 // iteration on the overload path — queue management at the bound, shed
@@ -839,6 +915,19 @@ BENCHMARK(BM_InferenceEnginePlanned)
 BENCHMARK(BM_InferenceEngineAsync)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+// Repeat-heavy traffic A/B over the encoder cache: repeat% in {0, 50, 90},
+// cache off/on per repeat level. The 90/1-vs-90/0 scenes/sec ratio is the
+// tracked cache win at high hit rate.
+BENCHMARK(BM_EngineRepeatTraffic)
+    ->ArgNames({"repeat", "cache"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({90, 0})
+    ->Args({90, 1})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime();
 // SLO-guarded overload: open-loop Poisson at 2x capacity with shedding.

@@ -163,6 +163,7 @@ void AdapTrajMethod::Train(const data::DomainGeneralizationData& dgd,
   trainer.Flush();
   for (AdapTrajModel* m : rt.models) m->eval();
   plan_cache_.Invalidate();  // fused plans packed the pre-training weights
+  BumpWeightsVersion();      // serving-side encoder caches must drop too
 }
 
 Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
@@ -173,6 +174,35 @@ Tensor AdapTrajMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) 
   // Unseen domain: every sequence routes through the aggregator (label -1).
   std::vector<int> labels(batch.batch_size, -1);
   models::EncodeResult enc = model_->backbone().Encode(batch);
+  AdapTrajFeatures f = ApplyVariant(model_->ExtractFeatures(enc, labels));
+  return session.Finish(model_->backbone().Predict(batch, enc, f.Extra(), rng, sample));
+}
+
+int64_t AdapTrajMethod::predict_encode_width() const {
+  const models::BackboneConfig& cfg = model_->backbone().config();
+  return cfg.hidden_dim + cfg.social_dim;
+}
+
+Tensor AdapTrajMethod::PredictEncode(const data::Batch& batch) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, EncodePlanKey(batch),
+                               PredictPlanInputs(batch), /*rng=*/nullptr);
+  if (session.CanReplay()) return session.Replay();
+  return session.Finish(PackEncodeResult(model_->backbone().Encode(batch)));
+}
+
+Tensor AdapTrajMethod::PredictDecode(const data::Batch& batch, const Tensor& enc_rows,
+                                     Rng* rng, bool sample) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, DecodePlanKey(batch, sample),
+                               DecodePlanInputs(batch, enc_rows), rng);
+  if (session.CanReplay()) return session.Replay();
+  // Feature extraction lives in the decode half: it mixes encoder rows
+  // through the aggregator, but always over the full batch, so the per-row
+  // purity requirement only binds on PredictEncode.
+  std::vector<int> labels(batch.batch_size, -1);
+  models::EncodeResult enc =
+      UnpackEncodeResult(enc_rows, model_->backbone().config().hidden_dim);
   AdapTrajFeatures f = ApplyVariant(model_->ExtractFeatures(enc, labels));
   return session.Finish(model_->backbone().Predict(batch, enc, f.Extra(), rng, sample));
 }

@@ -51,6 +51,10 @@ class AdapTrajMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  int64_t predict_encode_width() const override;
+  Tensor PredictEncode(const data::Batch& batch) const override;
+  Tensor PredictDecode(const data::Batch& batch, const Tensor& enc_rows, Rng* rng,
+                       bool sample) const override;
   bool reentrant_predict() const override {
     return model_->backbone().reentrant_predict();
   }

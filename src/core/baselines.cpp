@@ -85,6 +85,7 @@ void VanillaMethod::Train(const data::DomainGeneralizationData& dgd,
   trainer.Flush();
   for (models::Backbone* m : rt.models) m->eval();
   plan_cache_.Invalidate();  // fused plans packed the pre-training weights
+  BumpWeightsVersion();      // serving-side encoder caches must drop too
 }
 
 Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
@@ -93,6 +94,29 @@ Tensor VanillaMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) c
                                PredictPlanInputs(batch), rng);
   if (session.CanReplay()) return session.Replay();
   models::EncodeResult enc = backbone_->Encode(batch);
+  return session.Finish(backbone_->Predict(batch, enc, Tensor(), rng, sample));
+}
+
+int64_t VanillaMethod::predict_encode_width() const {
+  return backbone_->config().hidden_dim + backbone_->config().social_dim;
+}
+
+Tensor VanillaMethod::PredictEncode(const data::Batch& batch) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, EncodePlanKey(batch),
+                               PredictPlanInputs(batch), /*rng=*/nullptr);
+  if (session.CanReplay()) return session.Replay();
+  return session.Finish(PackEncodeResult(backbone_->Encode(batch)));
+}
+
+Tensor VanillaMethod::PredictDecode(const data::Batch& batch, const Tensor& enc_rows,
+                                    Rng* rng, bool sample) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, DecodePlanKey(batch, sample),
+                               DecodePlanInputs(batch, enc_rows), rng);
+  if (session.CanReplay()) return session.Replay();
+  models::EncodeResult enc =
+      UnpackEncodeResult(enc_rows, backbone_->config().hidden_dim);
   return session.Finish(backbone_->Predict(batch, enc, Tensor(), rng, sample));
 }
 
@@ -152,6 +176,7 @@ void CounterMethod::Train(const data::DomainGeneralizationData& dgd,
   trainer.Flush();
   for (models::Backbone* m : rt.models) m->eval();
   plan_cache_.Invalidate();  // fused plans packed the pre-training weights
+  BumpWeightsVersion();      // serving-side encoder caches must drop too
 }
 
 Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) const {
@@ -164,6 +189,35 @@ Tensor CounterMethod::Predict(const data::Batch& batch, Rng* rng, bool sample) c
   // bit-identically (their contents never depend on the batch).
   data::Batch cf = CounterfactualBatch(batch);
   models::EncodeResult enc = backbone_->Encode(cf);
+  return session.Finish(backbone_->Predict(cf, enc, Tensor(), rng, sample));
+}
+
+int64_t CounterMethod::predict_encode_width() const {
+  return backbone_->config().hidden_dim + backbone_->config().social_dim;
+}
+
+Tensor CounterMethod::PredictEncode(const data::Batch& batch) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, EncodePlanKey(batch),
+                               PredictPlanInputs(batch), /*rng=*/nullptr);
+  if (session.CanReplay()) return session.Replay();
+  // Encode the counterfactual scene, mirroring Predict. The output depends
+  // only on the focal history (encode_reads_neighbors() is false).
+  data::Batch cf = CounterfactualBatch(batch);
+  return session.Finish(PackEncodeResult(backbone_->Encode(cf)));
+}
+
+Tensor CounterMethod::PredictDecode(const data::Batch& batch, const Tensor& enc_rows,
+                                    Rng* rng, bool sample) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, DecodePlanKey(batch, sample),
+                               DecodePlanInputs(batch, enc_rows), rng);
+  if (session.CanReplay()) return session.Replay();
+  // The combined Predict decodes the counterfactual batch, so the split
+  // decode must too — its zeroed fields replay as all-zero constants.
+  data::Batch cf = CounterfactualBatch(batch);
+  models::EncodeResult enc =
+      UnpackEncodeResult(enc_rows, backbone_->config().hidden_dim);
   return session.Finish(backbone_->Predict(cf, enc, Tensor(), rng, sample));
 }
 
@@ -257,6 +311,7 @@ void CausalMotionMethod::Train(const data::DomainGeneralizationData& dgd,
   trainer.Flush();
   for (models::Backbone* m : rt.models) m->eval();
   plan_cache_.Invalidate();  // fused plans packed the pre-training weights
+  BumpWeightsVersion();      // serving-side encoder caches must drop too
 }
 
 Tensor CausalMotionMethod::Predict(const data::Batch& batch, Rng* rng,
@@ -266,6 +321,30 @@ Tensor CausalMotionMethod::Predict(const data::Batch& batch, Rng* rng,
                                PredictPlanInputs(batch), rng);
   if (session.CanReplay()) return session.Replay();
   models::EncodeResult enc = backbone_->Encode(batch);
+  return session.Finish(backbone_->Predict(batch, enc, Tensor(), rng, sample));
+}
+
+int64_t CausalMotionMethod::predict_encode_width() const {
+  return backbone_->config().hidden_dim + backbone_->config().social_dim;
+}
+
+Tensor CausalMotionMethod::PredictEncode(const data::Batch& batch) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, EncodePlanKey(batch),
+                               PredictPlanInputs(batch), /*rng=*/nullptr);
+  if (session.CanReplay()) return session.Replay();
+  return session.Finish(PackEncodeResult(backbone_->Encode(batch)));
+}
+
+Tensor CausalMotionMethod::PredictDecode(const data::Batch& batch,
+                                         const Tensor& enc_rows, Rng* rng,
+                                         bool sample) const {
+  NoGradGuard no_grad;
+  plan::PredictSession session(&plan_cache_, DecodePlanKey(batch, sample),
+                               DecodePlanInputs(batch, enc_rows), rng);
+  if (session.CanReplay()) return session.Replay();
+  models::EncodeResult enc =
+      UnpackEncodeResult(enc_rows, backbone_->config().hidden_dim);
   return session.Finish(backbone_->Predict(batch, enc, Tensor(), rng, sample));
 }
 

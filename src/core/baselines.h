@@ -32,6 +32,10 @@ class VanillaMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  int64_t predict_encode_width() const override;
+  Tensor PredictEncode(const data::Batch& batch) const override;
+  Tensor PredictDecode(const data::Batch& batch, const Tensor& enc_rows, Rng* rng,
+                       bool sample) const override;
   bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
   std::unique_ptr<Method> CloneForServing() const override;
 
@@ -60,6 +64,14 @@ class CounterMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  int64_t predict_encode_width() const override;
+  /// Counter encodes the counterfactual scene (neighbors zeroed), so the
+  /// encoder output never depends on the batch's neighbor fields: a content
+  /// cache can key on the focal history alone.
+  bool encode_reads_neighbors() const override { return false; }
+  Tensor PredictEncode(const data::Batch& batch) const override;
+  Tensor PredictDecode(const data::Batch& batch, const Tensor& enc_rows, Rng* rng,
+                       bool sample) const override;
   bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
   std::unique_ptr<Method> CloneForServing() const override;
 
@@ -85,6 +97,10 @@ class CausalMotionMethod : public Method {
   void Train(const data::DomainGeneralizationData& dgd,
              const TrainConfig& config) override;
   Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const override;
+  int64_t predict_encode_width() const override;
+  Tensor PredictEncode(const data::Batch& batch) const override;
+  Tensor PredictDecode(const data::Batch& batch, const Tensor& enc_rows, Rng* rng,
+                       bool sample) const override;
   bool reentrant_predict() const override { return backbone_->reentrant_predict(); }
   std::unique_ptr<Method> CloneForServing() const override;
 

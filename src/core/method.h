@@ -4,6 +4,8 @@
 #ifndef ADAPTRAJ_CORE_METHOD_H_
 #define ADAPTRAJ_CORE_METHOD_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -55,6 +57,59 @@ class Method {
   /// pass (asserted by tests/core/test_inference_mode.cpp).
   virtual Tensor Predict(const data::Batch& batch, Rng* rng, bool sample) const = 0;
 
+  // --- Encode/decode split (cross-request encoder caching) -------------------
+  //
+  // Methods that can split Predict at the backbone's Encode seam expose the
+  // two halves so serve::InferenceEngine's encoder cache (serve/
+  // encode_cache.h) can gather cached encoder rows and run Encode only for
+  // the rows it has never seen. The contract, for any batch and rng:
+  //
+  //   PredictDecode(batch, PredictEncode(batch), rng, sample)
+  //       == Predict(batch, rng, sample)     (bit-identical)
+  //
+  // and PredictEncode is rng-free with row r a pure function of row r's
+  // input bytes (at a fixed neighbor-slot width M), so rows computed in
+  // different batches are interchangeable. All rng draws happen in the
+  // decode half, in the same stream order as the combined Predict.
+
+  /// Column count of PredictEncode's packed output (hidden_dim +
+  /// social_dim for the built-in methods). 0 — the default — means the
+  /// method does not support the split; callers must use Predict.
+  virtual int64_t predict_encode_width() const { return 0; }
+
+  /// False when the encoder ignores the batch's neighbor fields (Counter
+  /// encodes the counterfactual scene), letting a content cache key on the
+  /// focal history alone.
+  virtual bool encode_reads_neighbors() const { return true; }
+
+  /// Encoder half: packed per-scene rows [B, predict_encode_width()].
+  virtual Tensor PredictEncode(const data::Batch& batch) const {
+    (void)batch;
+    ADAPTRAJ_CHECK_MSG(false, "PredictEncode on a method without the "
+                              "encode/decode split (predict_encode_width() == 0)");
+    return Tensor();
+  }
+
+  /// Decoder half over precomputed (possibly cache-gathered) encoder rows.
+  virtual Tensor PredictDecode(const data::Batch& batch, const Tensor& enc_rows,
+                               Rng* rng, bool sample) const {
+    (void)batch;
+    (void)enc_rows;
+    (void)rng;
+    (void)sample;
+    ADAPTRAJ_CHECK_MSG(false, "PredictDecode on a method without the "
+                              "encode/decode split (predict_encode_width() == 0)");
+    return Tensor();
+  }
+
+  /// Monotone counter bumped by every Train(): lets a serving-side cache
+  /// detect in-place weight mutation of a live method and drop entries
+  /// computed under the old weights. Structural copies (CloneForServing)
+  /// start at 0 — version values are comparable only on one instance.
+  int64_t weights_version() const {
+    return weights_version_.load(std::memory_order_acquire);
+  }
+
   /// True when concurrent Predict() calls on this instance are safe (see
   /// models::Backbone::reentrant_predict). serve::InferenceEngine runs
   /// non-reentrant methods on private replicas (CloneForServing) — or one
@@ -85,6 +140,15 @@ class Method {
   /// into a live method — must call plan_cache_.Invalidate(), because fused
   /// GEMM steps pack weight values into the compiled plan at capture time.
   mutable plan::PlanCache plan_cache_;
+
+  /// Called beside plan_cache_.Invalidate() wherever parameters mutate in
+  /// place (the Train bodies): advances weights_version().
+  void BumpWeightsVersion() {
+    weights_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> weights_version_{0};
 };
 
 }  // namespace core

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "data/batch.h"
+#include "models/backbone.h"
+#include "tensor/ops.h"
 #include "tensor/plan.h"
 
 namespace adaptraj {
@@ -53,6 +55,49 @@ inline std::string PredictPlanKey(const data::Batch& batch, bool sample) {
   key += std::to_string(batch.pred_len);
   key += sample ? ":s1" : ":s0";
   return key;
+}
+
+// --- Encode/decode split support (Method::PredictEncode/PredictDecode) ------
+//
+// The split halves plan under their own keys: "e:"/"d:" prefixes keep them
+// disjoint from each other and from the combined Predict's keys (which start
+// with "B"). The encode key drops the sample flag (encoding never samples);
+// the decode plan registers the packed encoder rows as an extra rebind-input
+// so a replay picks up whatever mix of cached and fresh rows the caller
+// gathered.
+
+/// Plan key of the encoder half.
+inline std::string EncodePlanKey(const data::Batch& batch) {
+  return "e:" + PredictPlanKey(batch, /*sample=*/false);
+}
+
+/// Plan key of the decoder half.
+inline std::string DecodePlanKey(const data::Batch& batch, bool sample) {
+  return "d:" + PredictPlanKey(batch, sample);
+}
+
+/// Decode-plan inputs: the batch fields plus the packed encoder rows.
+inline std::vector<const Tensor*> DecodePlanInputs(const data::Batch& batch,
+                                                   const Tensor& enc_rows) {
+  std::vector<const Tensor*> inputs = PredictPlanInputs(batch);
+  inputs.push_back(&enc_rows);
+  return inputs;
+}
+
+/// Packs an EncodeResult into the cache transport format: one row-contiguous
+/// [B, hidden_dim + social_dim] tensor.
+inline Tensor PackEncodeResult(const models::EncodeResult& enc) {
+  return ops::Concat({enc.h_focal, enc.pooled}, 1);
+}
+
+/// Inverse of PackEncodeResult. Slice copies reproduce the packed bytes
+/// exactly, so the decoder consumes values bit-identical to a direct Encode.
+inline models::EncodeResult UnpackEncodeResult(const Tensor& enc_rows,
+                                               int64_t hidden_dim) {
+  models::EncodeResult enc;
+  enc.h_focal = ops::Slice(enc_rows, 1, 0, hidden_dim);
+  enc.pooled = ops::Slice(enc_rows, 1, hidden_dim, enc_rows.size(1));
+  return enc;
 }
 
 }  // namespace core

@@ -7,7 +7,7 @@ namespace adaptraj {
 namespace data {
 
 Batch MakeBatch(const std::vector<const TrajectorySequence*>& sequences,
-                const SequenceConfig& config) {
+                const SequenceConfig& config, int64_t min_neighbor_slots) {
   // An empty list is valid and yields a well-formed B = 0 batch (every
   // tensor keeps its documented rank with a zero batch extent): empty tail
   // batches and an idle serving engine produce these.
@@ -15,7 +15,9 @@ Batch MakeBatch(const std::vector<const TrajectorySequence*>& sequences,
   const int obs_len = config.obs_len;
   const int pred_len = config.pred_len;
 
-  int64_t max_nbr = 1;  // keep at least one (masked) slot so shapes are stable
+  // Keep at least one (masked) slot so shapes are stable; a caller-supplied
+  // floor widens padding to match an enclosing batch (see the declaration).
+  int64_t max_nbr = std::max<int64_t>(1, min_neighbor_slots);
   for (const TrajectorySequence* s : sequences) {
     ADAPTRAJ_CHECK_MSG(static_cast<int>(s->focal.size()) == config.total_len(),
                        "sequence length mismatch");

@@ -50,8 +50,12 @@ struct Batch {
 
 /// Assembles a batch from sequence pointers (all must share the config's
 /// window lengths). An empty list yields a well-formed B = 0 batch.
+/// `min_neighbor_slots` forces at least that many padded neighbor slots (M):
+/// callers re-batching a subset of scenes pass the original batch's M so the
+/// sub-batch's padded rows stay byte-identical to the full batch's (the
+/// encoder-cache keys hash those bytes).
 Batch MakeBatch(const std::vector<const TrajectorySequence*>& sequences,
-                const SequenceConfig& config);
+                const SequenceConfig& config, int64_t min_neighbor_slots = 1);
 
 /// Epoch iterator over a dataset with optional shuffling.
 class BatchLoader {

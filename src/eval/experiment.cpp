@@ -172,6 +172,7 @@ PoissonLoadReport MeasureEnginePoissonLoad(const core::Method& method,
   options.max_batch_delay_ms = load.max_batch_delay_ms;
   options.max_queued_requests = load.max_queued_requests;
   options.overflow_policy = load.overflow_policy;
+  options.encode_cache = load.encode_cache;
 
   serve::SubmitOptions submit_options;
   submit_options.timeout_ms = load.request_timeout_ms;
@@ -209,19 +210,44 @@ PoissonLoadReport MeasureEnginePoissonLoad(const core::Method& method,
 
   // Open loop: the arrival SCHEDULE is fixed by the seed before the run; a
   // slow engine does not slow the offered load down (sleep_until against
-  // absolute times, so scheduling jitter never accumulates).
+  // absolute times, so scheduling jitter never accumulates). The scene
+  // stream draws from a separate seeded Rng so the repeat coin never
+  // perturbs the inter-arrival gaps (and vice versa).
   Rng arrivals(load.seed + 0x9e3779b9);
+  Rng scene_picker(load.seed + 0x7f4a7c15);
+  const double on_rate = load.burst_on_requests > 0
+                             ? load.arrivals_per_sec * load.burst_rate_multiplier
+                             : load.arrivals_per_sec;
+  int64_t fresh_offered = 0;  // distinct dataset scenes offered so far
   const auto t0 = Clock::now();
   auto next_arrival = t0;
   for (int i = 0; i < load.num_requests; ++i) {
+    if (load.burst_on_requests > 0 && i > 0 && i % load.burst_on_requests == 0) {
+      // OFF phase between bursts: a silent gap in the offered schedule.
+      next_arrival += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(load.burst_off_seconds));
+    }
     const double u = static_cast<double>(arrivals.Uniform(0.0f, 1.0f));
-    const double gap_s =
-        -std::log(std::max(1e-12, 1.0 - u)) / load.arrivals_per_sec;
+    const double gap_s = -std::log(std::max(1e-12, 1.0 - u)) / on_rate;
     next_arrival += std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(gap_s));
     std::this_thread::sleep_until(next_arrival);
+    // Repeat coin: resubmit a uniformly chosen earlier scene, or advance the
+    // fresh cursor (cycling the dataset once it is exhausted).
+    int64_t scene_index;
+    const bool repeat =
+        fresh_offered > 0 &&
+        static_cast<double>(scene_picker.Uniform(0.0f, 1.0f)) < load.repeat_fraction;
+    if (repeat) {
+      scene_index = static_cast<int64_t>(
+          static_cast<double>(scene_picker.Uniform(0.0f, 1.0f)) *
+          static_cast<double>(fresh_offered));
+      scene_index = std::min<int64_t>(scene_index, fresh_offered - 1);
+    } else {
+      scene_index = fresh_offered++;
+    }
     futures.push_back(engine.Submit(
-        dataset.sequences[static_cast<size_t>(i) % dataset.size()],
+        dataset.sequences[static_cast<size_t>(scene_index) % dataset.size()],
         submit_options));
   }
   for (auto& f : futures) {
@@ -250,6 +276,10 @@ PoissonLoadReport MeasureEnginePoissonLoad(const core::Method& method,
   report.batch_exec_p50_ms = stats.batch_exec.Quantile(0.50) * 1e3;
   report.batch_exec_p95_ms = stats.batch_exec.Quantile(0.95) * 1e3;
   report.batch_exec_p99_ms = stats.batch_exec.Quantile(0.99) * 1e3;
+  report.encode_lookups = stats.encode_cache.lookups;
+  report.encode_hits = stats.encode_cache.hits;
+  report.encode_misses = stats.encode_cache.misses;
+  report.encode_evictions = stats.encode_cache.evictions;
   return report;
 }
 

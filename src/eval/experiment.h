@@ -16,8 +16,9 @@
 
 namespace adaptraj {
 namespace serve {
-class InferenceEngine;      // full definition only needed by experiment.cpp
-enum class OverflowPolicy;  // serve/inference_engine.h
+class InferenceEngine;       // full definition only needed by experiment.cpp
+enum class OverflowPolicy;   // serve/inference_engine.h
+enum class EncodeCacheMode;  // serve/encode_cache.h
 }  // namespace serve
 }  // namespace adaptraj
 
@@ -128,6 +129,26 @@ struct PoissonLoadOptions {
   serve::OverflowPolicy overflow_policy{};
   /// Per-request queued-time deadline (SubmitOptions::timeout_ms); 0 = none.
   int request_timeout_ms = 0;
+  /// Fraction of arrivals that RESUBMIT an already-offered scene instead of
+  /// advancing to a fresh one — a seeded per-arrival coin, so the offered
+  /// scene schedule is reproducible. This is the knob that drives the
+  /// cross-request encoder cache's hit rate open-loop: 0 offers all-fresh
+  /// traffic (every row a cache miss), 0.9 models a fleet of consumers
+  /// polling a mostly-stable set of live agents.
+  double repeat_fraction = 0.0;
+  /// Bursty on/off arrival modulation: when burst_on_requests > 0 the
+  /// schedule alternates an ON phase of that many arrivals — offered at
+  /// burst_rate_multiplier x arrivals_per_sec — with a silent OFF gap of
+  /// burst_off_seconds. The long-run offered rate still averages out near
+  /// arrivals_per_sec when burst_off_seconds matches the time the multiplier
+  /// saves, but queue depth and deadline-flush behavior see the bursts.
+  /// 0 keeps the plain (memoryless) Poisson process.
+  int burst_on_requests = 0;
+  double burst_off_seconds = 0.0;
+  double burst_rate_multiplier = 4.0;
+  /// Value-initialized to EncodeCacheMode::kAuto (follow the
+  /// ADAPTRAJ_ENCODE_CACHE env var); sweeps pin kOn/kOff for A/B runs.
+  serve::EncodeCacheMode encode_cache{};
   /// Seeds both the inter-arrival stream and the engine's noise streams.
   uint64_t seed = 0;
 };
@@ -153,6 +174,12 @@ struct PoissonLoadReport {
   double batch_exec_p50_ms = 0.0;
   double batch_exec_p95_ms = 0.0;
   double batch_exec_p99_ms = 0.0;
+  // Cross-request encoder cache disposition (serve/encode_cache.h stats,
+  // surfaced as plain counters); all zero when the engine serves uncached.
+  int64_t encode_lookups = 0;
+  int64_t encode_hits = 0;
+  int64_t encode_misses = 0;
+  int64_t encode_evictions = 0;
 };
 
 /// Drives a fresh engine over `method` with Poisson arrivals (seeded, so the
@@ -162,14 +189,17 @@ struct PoissonLoadReport {
 /// the reported queue-wait/exec quantiles measure replayed batches, not the
 /// one-time capture. (Partial batches from deadline flushes use other plan
 /// keys and may still capture on first sight; that cost is real per-shape
-/// serving behavior, not a harness artifact.) Scene i % dataset.size()
-/// arrives after
-/// an Exp(arrivals_per_sec) gap and is submitted immediately regardless of
-/// how far behind the engine is. Returns the disposition counts and the
+/// serving behavior, not a harness artifact.) Each arrival waits out an
+/// Exp(arrivals_per_sec) gap and is submitted immediately regardless of how
+/// far behind the engine is; a seeded coin picks between the next fresh
+/// scene (cycling the dataset) and a resubmission of an earlier one
+/// (repeat_fraction), and the burst knobs modulate the gaps into on/off
+/// phases — see PoissonLoadOptions. Returns the disposition counts, the
 /// p50/p95/p99 queue-wait and batch-execution quantiles from the engine's
-/// histograms. Sweeping arrivals_per_sec across capacity yields the
-/// throughput-vs-latency curve; at ~2x capacity with kShed and a queue
-/// bound, achieved_per_sec holds near capacity while shed absorbs the rest.
+/// histograms, and the encoder-cache counters. Sweeping arrivals_per_sec
+/// across capacity yields the throughput-vs-latency curve; at ~2x capacity
+/// with kShed and a queue bound, achieved_per_sec holds near capacity while
+/// shed absorbs the rest.
 PoissonLoadReport MeasureEnginePoissonLoad(const core::Method& method,
                                            const data::Dataset& dataset,
                                            const data::SequenceConfig& config,

@@ -1,0 +1,223 @@
+#include "serve/encode_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace adaptraj {
+namespace serve {
+
+namespace {
+
+/// Fixed accounting overhead per entry: list/node plumbing, index slot, and
+/// the string/vector headers. An estimate, not an exact heap measurement —
+/// the budget is a watermark, not an allocator contract.
+constexpr int64_t kEntryOverheadBytes = 128;
+
+/// Seeded 64-bit FNV-1a over the key bytes, folding 8 bytes per round: the
+/// byte-at-a-time variant serializes one multiply per byte through the
+/// loop-carried dependency, which at ~1 KiB scene keys costs more than the
+/// hit it indexes. One round per word keeps the avalanche good enough for a
+/// table index that is always confirmed by a full-key byte compare. The seed
+/// perturbs the offset basis so an attacker (or an unlucky workload) cannot
+/// pre-compute colliding scene histories against a published constant.
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  size_t i = 0;
+  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
+    uint64_t word;
+    std::memcpy(&word, p + i, sizeof(word));
+    h ^= word;
+    h *= 0x100000001b3ull;
+  }
+  for (; i < n; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void AppendInt64(std::string* out, int64_t v) { AppendBytes(out, &v, sizeof(v)); }
+
+}  // namespace
+
+bool EncodeCacheEnabledByEnv() {
+  static const bool resolved = [] {
+    const char* env = std::getenv("ADAPTRAJ_ENCODE_CACHE");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+  }();
+  return resolved;
+}
+
+EncodeCache::EncodeCache(const EncodeCacheOptions& options) : options_(options) {
+  ADAPTRAJ_CHECK_MSG(options_.max_bytes > 0,
+                     "EncodeCache max_bytes must be > 0; got " << options_.max_bytes);
+}
+
+uint64_t EncodeCache::HashKey(const std::string& key) const {
+  if (hasher_override_) return hasher_override_(key);
+  return Fnv1a64(key.data(), key.size(), options_.hash_seed);
+}
+
+int64_t EncodeCache::EntryBytes(const Entry& entry) const {
+  return static_cast<int64_t>(entry.key.size()) +
+         static_cast<int64_t>(entry.value.size() * sizeof(float)) +
+         kEntryOverheadBytes;
+}
+
+bool EncodeCache::Lookup(const std::string& key, float* out, int64_t width) {
+  const uint64_t hash = HashKey(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto range = index_.equal_range(hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    Entry& entry = *it->second;
+    if (entry.key != key) {
+      // Same hash, different content: the full-key byte compare is what
+      // makes a collision cost one probe instead of one wrong prediction.
+      ++stats_.hash_conflicts;
+      continue;
+    }
+    ADAPTRAJ_CHECK_MSG(static_cast<int64_t>(entry.value.size()) == width,
+                       "EncodeCache width mismatch: cached "
+                           << entry.value.size() << " floats, caller expects "
+                           << width);
+    std::memcpy(out, entry.value.data(), static_cast<size_t>(width) * sizeof(float));
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU front
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void EncodeCache::Insert(const std::string& key, const float* value, int64_t width) {
+  ADAPTRAJ_CHECK_MSG(width >= 0, "EncodeCache insert with negative width");
+  const uint64_t hash = HashKey(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto range = index_.equal_range(hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second->key == key) return;  // raced miss: values are bit-equal
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.key = key;
+  entry.value.assign(value, value + width);
+  const int64_t cost = EntryBytes(entry);
+  if (cost > options_.max_bytes) return;  // one entry over budget: never admit
+  while (!lru_.empty() && stats_.bytes + cost > options_.max_bytes) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+  lru_.push_front(std::move(entry));
+  index_.emplace(hash, lru_.begin());
+  ++stats_.insertions;
+  ++stats_.entries;
+  stats_.bytes += cost;
+}
+
+void EncodeCache::EraseLocked(std::list<Entry>::iterator it) {
+  auto range = index_.equal_range(it->hash);
+  for (auto idx = range.first; idx != range.second; ++idx) {
+    if (idx->second == it) {
+      index_.erase(idx);
+      break;
+    }
+  }
+  stats_.bytes -= EntryBytes(*it);
+  --stats_.entries;
+  lru_.erase(it);
+}
+
+void EncodeCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!lru_.empty()) ++stats_.invalidations;
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+  // The next InvalidateIfVersionChanged re-adopts the served method's
+  // version without clearing again.
+  has_weights_version_ = false;
+}
+
+void EncodeCache::InvalidateIfVersionChanged(int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (has_weights_version_ && version == weights_version_) return;
+  if (has_weights_version_ && !lru_.empty()) {
+    // Weights mutated in place under the live method (Train on a served
+    // instance): every cached latent is stale.
+    ++stats_.invalidations;
+  }
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+  weights_version_ = version;
+  has_weights_version_ = true;
+}
+
+EncodeCacheStats EncodeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void EncodeCache::set_hasher_for_test(
+    std::function<uint64_t(const std::string&)> hasher) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADAPTRAJ_CHECK_MSG(lru_.empty(),
+                     "set_hasher_for_test on a non-empty cache: existing "
+                     "entries are indexed under the old hash");
+  hasher_override_ = std::move(hasher);
+}
+
+std::string SceneEncodeKey(const std::string& identity, const data::Batch& batch,
+                           int64_t row, bool include_neighbors) {
+  ADAPTRAJ_CHECK_MSG(row >= 0 && row < batch.batch_size,
+                     "SceneEncodeKey row " << row << " out of range for batch of "
+                                           << batch.batch_size);
+  const int64_t m = batch.max_neighbors;
+  std::string key;
+  // Header: identity + the extents that shape the encoder input. The float
+  // sections below are fixed-width given these extents, so no two distinct
+  // inputs can serialize to the same byte string.
+  key.reserve(identity.size() + 3 * sizeof(int64_t) +
+              static_cast<size_t>(batch.obs_len) * 2 * sizeof(float) +
+              (include_neighbors
+                   ? static_cast<size_t>(m) *
+                         (static_cast<size_t>(batch.obs_len) * 2 + 3) * sizeof(float)
+                   : 0));
+  key += identity;
+  key += '\0';
+  AppendInt64(&key, batch.obs_len);
+  AppendInt64(&key, include_neighbors ? m : -1);
+  // Focal observed history: obs_flat row `row` carries the same obs_len*2
+  // displacement floats as the per-step tensors, contiguously.
+  AppendBytes(&key, batch.obs_flat.data() + row * batch.obs_len * 2,
+              static_cast<size_t>(batch.obs_len) * 2 * sizeof(float));
+  if (include_neighbors) {
+    // Everything the interaction layer reads for this scene: per-step
+    // neighbor displacements (rows row*M .. row*M+M-1 of each step),
+    // offsets, and the validity mask row. Padded slots contribute their
+    // zero bytes — the slot width M is thereby part of the key content.
+    for (const Tensor& step : batch.nbr_steps) {
+      AppendBytes(&key, step.data() + row * m * 2,
+                  static_cast<size_t>(m) * 2 * sizeof(float));
+    }
+    AppendBytes(&key, batch.nbr_offsets.data() + row * m * 2,
+                static_cast<size_t>(m) * 2 * sizeof(float));
+    AppendBytes(&key, batch.nbr_mask.data() + row * m,
+                static_cast<size_t>(m) * sizeof(float));
+  }
+  return key;
+}
+
+}  // namespace serve
+}  // namespace adaptraj

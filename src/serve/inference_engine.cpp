@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/parallel_trainer.h"
 #include "tensor/ops.h"
@@ -36,6 +39,19 @@ void ValidateOptions(const InferenceEngineOptions& options) {
                      "InferenceEngine max_queued_requests must be >= 0");
   ADAPTRAJ_CHECK_MSG(options.stuck_batch_warn_ms >= 0,
                      "InferenceEngine stuck_batch_warn_ms must be >= 0");
+  ADAPTRAJ_CHECK_MSG(options.encode_cache_bytes > 0,
+                     "InferenceEngine encode_cache_bytes must be > 0; got "
+                         << options.encode_cache_bytes);
+}
+
+/// Resolves the engine's tri-state cache switch to on/off.
+bool EncodeCacheResolvedOn(EncodeCacheMode mode) {
+  switch (mode) {
+    case EncodeCacheMode::kOn: return true;
+    case EncodeCacheMode::kOff: return false;
+    case EncodeCacheMode::kAuto: return EncodeCacheEnabledByEnv();
+  }
+  return false;
 }
 
 }  // namespace
@@ -46,6 +62,14 @@ InferenceEngine::InferenceEngine(const core::Method* method,
   ADAPTRAJ_CHECK_MSG(method != nullptr, "InferenceEngine over null method");
   ValidateOptions(options_);
   replicas_ = MakeReplicaPool(method_);
+  if (EncodeCacheResolvedOn(options_.encode_cache) &&
+      method_->predict_encode_width() > 0) {
+    EncodeCacheOptions cache_options;
+    cache_options.max_bytes = options_.encode_cache_bytes;
+    cache_options.identity = method_->name() + ":" +
+                             std::to_string(method_->predict_encode_width());
+    encode_cache_ = std::make_unique<EncodeCache>(cache_options);
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
@@ -120,6 +144,7 @@ InferenceEngineStats InferenceEngine::stats() const {
       snapshot.plan += replicas_->method(slot)->plan_stats();
     }
   }
+  if (encode_cache_ != nullptr) snapshot.encode_cache = encode_cache_->stats();
   return snapshot;
 }
 
@@ -331,6 +356,11 @@ void InferenceEngine::SwapWeights(const core::Method& source) {
     method_ = standby.get();
     owned_method_ = std::move(standby);
     replicas_ = std::move(standby_pool);
+    if (encode_cache_ != nullptr) {
+      // Atomic with the flip: we hold mu_ and no group is executing, so no
+      // lookup can observe an old-weights entry after the new method serves.
+      encode_cache_->Invalidate();
+    }
     ++stats_.weight_swaps;
   }
   // The retired method and pool are destroyed here, outside the lock.
@@ -442,7 +472,7 @@ void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) co
     }
     data::Batch batch = data::MakeBatch(slots, options_.sequence);
     Rng rng(core::TaskSeed(options_.seed, rb->index));
-    Tensor pred = method->Predict(batch, &rng, options_.sample);
+    Tensor pred = PredictThroughCache(batch, slots, method, &rng);
     rb->results.assign(rows, Tensor());
     for (size_t r : live) {
       // Slice copies the row into fresh storage, and under no-grad attaches
@@ -460,6 +490,87 @@ void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) co
     rb->error = std::current_exception();
   }
   rb->exec_seconds = Seconds(t0, Clock::now());
+}
+
+Tensor InferenceEngine::PredictThroughCache(
+    const data::Batch& batch,
+    const std::vector<const data::TrajectorySequence*>& slots,
+    const core::Method* method, Rng* rng) const {
+  if (encode_cache_ == nullptr || batch.batch_size == 0) {
+    return method->Predict(batch, rng, options_.sample);
+  }
+  // Version of the served MASTER, not the per-batch replica: replicas are
+  // structural clones whose counter stays 0, while an in-place Train() on a
+  // live served method — the staleness this guards against — bumps the
+  // master's. Concurrent batches pass the same value; the first clears.
+  encode_cache_->InvalidateIfVersionChanged(method_->weights_version());
+
+  const int64_t width = method->predict_encode_width();
+  const int64_t rows = batch.batch_size;
+  const bool with_neighbors = method->encode_reads_neighbors();
+  const std::string& identity = encode_cache_->options().identity;
+  Tensor enc_rows = Tensor::Zeros({rows, width});
+
+  // One key per row; duplicate keys (padding cycles the live scenes, and
+  // identical scenes can land in one batch) are resolved to a single
+  // representative row so each distinct encoder input is looked up — and on
+  // a miss, encoded — exactly once per batch.
+  std::vector<std::string> keys(static_cast<size_t>(rows));
+  std::unordered_map<std::string, int64_t> first_of_key;
+  first_of_key.reserve(static_cast<size_t>(rows));
+  std::vector<std::pair<int64_t, int64_t>> aliases;  // (row, representative)
+  std::vector<int64_t> miss_rows;                    // representatives to encode
+  int64_t hit_count = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    keys[r] = SceneEncodeKey(identity, batch, r, with_neighbors);
+    auto inserted = first_of_key.emplace(keys[r], r);
+    if (!inserted.second) {
+      aliases.emplace_back(r, inserted.first->second);
+      continue;
+    }
+    if (encode_cache_->Lookup(keys[r], enc_rows.data() + r * width, width)) {
+      ++hit_count;
+    } else {
+      miss_rows.push_back(r);
+    }
+  }
+
+  if (!miss_rows.empty()) {
+    if (hit_count == 0 && aliases.empty()) {
+      // Nothing cached and every row distinct: encode the original batch
+      // directly — the cold-traffic path costs no re-batching over an
+      // uncached engine.
+      enc_rows = method->PredictEncode(batch);
+    } else {
+      // Re-batch only the unseen scenes, padded to the full batch's
+      // neighbor-slot width so each sub-batch row is byte-identical to its
+      // key (row r of Encode(sub-batch) == row r of Encode(full batch) at
+      // equal bytes and equal M — the per-row purity contract).
+      std::vector<const data::TrajectorySequence*> miss_slots;
+      miss_slots.reserve(miss_rows.size());
+      for (int64_t r : miss_rows) {
+        miss_slots.push_back(slots[static_cast<size_t>(r)]);
+      }
+      data::Batch miss_batch = data::MakeBatch(miss_slots, options_.sequence,
+                                               batch.max_neighbors);
+      Tensor packed = method->PredictEncode(miss_batch);
+      for (size_t i = 0; i < miss_rows.size(); ++i) {
+        std::memcpy(enc_rows.data() + miss_rows[i] * width,
+                    packed.data() + static_cast<int64_t>(i) * width,
+                    static_cast<size_t>(width) * sizeof(float));
+      }
+    }
+    for (int64_t r : miss_rows) {
+      encode_cache_->Insert(keys[static_cast<size_t>(r)],
+                            enc_rows.data() + r * width, width);
+    }
+  }
+  for (const auto& alias : aliases) {
+    std::memcpy(enc_rows.data() + alias.first * width,
+                enc_rows.data() + alias.second * width,
+                static_cast<size_t>(width) * sizeof(float));
+  }
+  return method->PredictDecode(batch, enc_rows, rng, options_.sample);
 }
 
 void InferenceEngine::ExecuteGroup(std::vector<ReadyBatch>* group) {

@@ -141,6 +141,22 @@
 //     cloned (Method::CloneForServing returns nullptr) or the pool is capped
 //     at one slot, batches run one at a time as before.
 //
+// Encoder caching: when the served method supports the encode/decode split
+// (core::Method::predict_encode_width() > 0) and the cache is enabled
+// (options.encode_cache, kAuto following ADAPTRAJ_ENCODE_CACHE), the engine
+// keys every batch row by its encoder-input bytes in a serve::EncodeCache
+// and runs the encoder only for rows it has never seen: cached rows are
+// gathered, miss rows are encoded in a sub-batch padded to the same
+// neighbor-slot width, and the decode half runs over the full batch. Served
+// bytes are IDENTICAL with the cache on or off — the cache stores exact
+// encoder outputs keyed by exact encoder inputs, and every kernel is
+// bit-deterministic (see serve/encode_cache.h for the correctness model).
+// One cache is shared by the master and all replica clones (their weights
+// are byte-identical). The cache invalidates when the served master's
+// weights_version moves (an in-place Train) and at every SwapWeights flip.
+// Methods without the split (e.g. fault-injection wrappers) serve through
+// the combined Predict, cache or no cache.
+//
 // Memory: per-request results are materialized as independent [1,
 // pred_len*2] tensors (ops::Slice copies rows into fresh storage and no-grad
 // mode attaches no graph back to the batch output), so a caller that holds a
@@ -164,6 +180,7 @@
 #include <vector>
 
 #include "core/method.h"
+#include "serve/encode_cache.h"
 #include "serve/errors.h"
 #include "serve/latency_histogram.h"
 #include "serve/replica_pool.h"
@@ -220,6 +237,12 @@ struct InferenceEngineOptions {
   /// stuck_batch_warn_ms, with the group's elapsed milliseconds. Use it for
   /// graceful degradation above the engine: alert, reroute, pre-shed.
   std::function<void(int64_t elapsed_ms)> on_stuck_batch;
+  /// Cross-request encoder cache (see the file comment): kAuto follows the
+  /// ADAPTRAJ_ENCODE_CACHE kill-switch; kOn/kOff pin it programmatically.
+  /// Only effective for methods supporting the encode/decode split.
+  EncodeCacheMode encode_cache = EncodeCacheMode::kAuto;
+  /// LRU byte budget of the encoder cache.
+  int64_t encode_cache_bytes = 64ll << 20;
 };
 
 /// Per-request Submit options (the parameterless Submit overloads use the
@@ -272,6 +295,11 @@ struct InferenceEngineStats {
   /// plan hits/misses describe the currently served instance, not the
   /// engine's lifetime.
   plan::CacheStats plan;
+  /// Encoder-cache telemetry (all zeros when the cache is disabled or the
+  /// method lacks the encode/decode split). Unlike `plan`, these counters
+  /// are engine-lifetime: the cache object survives SwapWeights (its
+  /// entries are invalidated, the counters keep accumulating).
+  EncodeCacheStats encode_cache;
 };
 
 /// Coalescing async batch server over one trained Method. See the file
@@ -422,6 +450,14 @@ class InferenceEngine {
   /// dispatcher then updates stats and fulfills the promises under mu_.
   void ExecuteGroup(std::vector<ReadyBatch>* group);
   void RunOneBatch(ReadyBatch* rb, const core::Method* method) const;
+  /// Predict with the encoder cache in front of the Encode half: gathers
+  /// cached rows, encodes only unseen rows (in a sub-batch padded to the
+  /// full batch's neighbor-slot width), and decodes the full batch. Falls
+  /// back to the combined Predict when the cache is off. `slots` is the
+  /// padded scene-pointer row list the batch was built from.
+  Tensor PredictThroughCache(const data::Batch& batch,
+                             const std::vector<const data::TrajectorySequence*>& slots,
+                             const core::Method* method, Rng* rng) const;
   /// Builds the replica pool an engine over `method` needs (null when the
   /// method is reentrant or pooling is disabled/impossible).
   std::unique_ptr<ReplicaPool> MakeReplicaPool(const core::Method* method) const;
@@ -432,6 +468,11 @@ class InferenceEngine {
   /// Private model copies for non-reentrant methods; null when the master is
   /// shared (reentrant) or serialization is requested (num_replicas == 1).
   std::unique_ptr<ReplicaPool> replicas_;
+  /// Cross-request encoder cache, shared by the master and every replica
+  /// (byte-identical weights). Null when disabled or unsupported by the
+  /// method. Constructed once; survives SwapWeights (invalidated at the
+  /// flip). Internally mutex-guarded — safe from concurrent batches.
+  std::unique_ptr<EncodeCache> encode_cache_;
 
   mutable std::mutex mu_;
   /// Wakes the dispatcher (new work, drain, shutdown).

@@ -632,6 +632,38 @@ TEST(PoissonLoadTest, OverloadWithSheddingKeepsTheQueueBounded) {
   EXPECT_LE(report.peak_queue_depth, 8);
 }
 
+TEST(PoissonLoadTest, RepeatHeavyBurstyLoadDrivesEncodeCacheHits) {
+  core::VanillaMethod method(models::BackboneKind::kSeq2Seq, TinyBackbone(), 5);
+  eval::PoissonLoadOptions load;
+  load.arrivals_per_sec = 400.0;
+  load.num_requests = 80;
+  load.batch_size = 4;
+  load.max_batch_delay_ms = 2;
+  load.seed = 31;
+  // Mostly-repeat traffic in on/off bursts: 16 arrivals at 4x rate, then a
+  // silent gap. Every offered request must still be fulfilled (no SLO knobs
+  // set), and the resubmissions must land as encoder-cache hits.
+  load.repeat_fraction = 0.9;
+  load.burst_on_requests = 16;
+  load.burst_off_seconds = 0.02;
+  load.encode_cache = EncodeCacheMode::kOn;
+
+  const auto report = eval::MeasureEnginePoissonLoad(
+      method, TestData().target.test, data::SequenceConfig(), load);
+  EXPECT_EQ(report.fulfilled, 80);
+  EXPECT_GT(report.encode_lookups, 0);
+  EXPECT_GT(report.encode_hits, 0);
+  EXPECT_EQ(report.encode_lookups, report.encode_hits + report.encode_misses);
+
+  // The same schedule with the cache pinned off reports zeroed counters.
+  load.encode_cache = EncodeCacheMode::kOff;
+  const auto uncached = eval::MeasureEnginePoissonLoad(
+      method, TestData().target.test, data::SequenceConfig(), load);
+  EXPECT_EQ(uncached.fulfilled, 80);
+  EXPECT_EQ(uncached.encode_lookups, 0);
+  EXPECT_EQ(uncached.encode_hits, 0);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace adaptraj

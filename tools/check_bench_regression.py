@@ -65,6 +65,13 @@ TRACKED_PREFIXES = (
     # control shedding at ~2x capacity). Gates the overload path's total
     # CPU per offered request: queue management, shedding, histograms.
     "BM_EngineOverload",
+    # Repeat-heavy serving through the cross-request encoder cache
+    # (serve/encode_cache.h): the same seeded schedule with the cache off and
+    # on at repeat in {0, 50, 90}%. Gates both sides — the off rows pin the
+    # uncached serving path, the repeat:0/cache:1 row bounds the all-miss
+    # overhead (key hashing + lookups that never hit), and repeat:90/cache:1
+    # carries the >=2x cache win this PR's headline claims.
+    "BM_EngineRepeatTraffic",
 )
 
 
