@@ -139,6 +139,9 @@ class Method {
   /// anything that mutates parameters in place — Train, a checkpoint load
   /// into a live method — must call plan_cache_.Invalidate(), because fused
   /// GEMM steps pack weight values into the compiled plan at capture time.
+  /// Internally synchronized (its CacheState holds the annotated mutex —
+  /// see tensor/plan.cpp), so no ADAPTRAJ_GUARDED_BY here: concurrent
+  /// Predicts on a reentrant method share it safely.
   mutable plan::PlanCache plan_cache_;
 
   /// Called beside plan_cache_.Invalidate() wherever parameters mutate in
@@ -148,6 +151,10 @@ class Method {
   }
 
  private:
+  /// Lock-free by design (read on every cached serving batch, written only
+  /// by Train); the Clang thread-safety analysis treats std::atomic as
+  /// unguarded, so there is deliberately no ADAPTRAJ_GUARDED_BY — the
+  /// acquire/release pairing above is TSan-checked instead.
   std::atomic<int64_t> weights_version_{0};
 };
 

@@ -56,7 +56,7 @@ bool EncodeCacheEnabledByEnv() {
   return resolved;
 }
 
-EncodeCache::EncodeCache(const EncodeCacheOptions& options) : options_(options) {
+EncodeCache::EncodeCache(EncodeCacheOptions options) : options_(std::move(options)) {
   ADAPTRAJ_CHECK_MSG(options_.max_bytes > 0,
                      "EncodeCache max_bytes must be > 0; got " << options_.max_bytes);
 }
@@ -73,8 +73,11 @@ int64_t EncodeCache::EntryBytes(const Entry& entry) const {
 }
 
 bool EncodeCache::Lookup(const std::string& key, float* out, int64_t width) {
+  support::MutexLock lock(mu_);
+  // Hash under the lock: HashKey consults hasher_override_, which
+  // set_hasher_for_test replaces under mu_. Hashing before acquiring the
+  // lock raced that write (pre-lock read surfaced by -Wthread-safety).
   const uint64_t hash = HashKey(key);
-  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
   auto range = index_.equal_range(hash);
   for (auto it = range.first; it != range.second; ++it) {
@@ -100,8 +103,8 @@ bool EncodeCache::Lookup(const std::string& key, float* out, int64_t width) {
 
 void EncodeCache::Insert(const std::string& key, const float* value, int64_t width) {
   ADAPTRAJ_CHECK_MSG(width >= 0, "EncodeCache insert with negative width");
-  const uint64_t hash = HashKey(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
+  const uint64_t hash = HashKey(key);  // under mu_, same as Lookup
   auto range = index_.equal_range(hash);
   for (auto it = range.first; it != range.second; ++it) {
     if (it->second->key == key) return;  // raced miss: values are bit-equal
@@ -137,7 +140,7 @@ void EncodeCache::EraseLocked(std::list<Entry>::iterator it) {
 }
 
 void EncodeCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   if (!lru_.empty()) ++stats_.invalidations;
   lru_.clear();
   index_.clear();
@@ -149,7 +152,7 @@ void EncodeCache::Invalidate() {
 }
 
 void EncodeCache::InvalidateIfVersionChanged(int64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   if (has_weights_version_ && version == weights_version_) return;
   if (has_weights_version_ && !lru_.empty()) {
     // Weights mutated in place under the live method (Train on a served
@@ -165,13 +168,13 @@ void EncodeCache::InvalidateIfVersionChanged(int64_t version) {
 }
 
 EncodeCacheStats EncodeCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   return stats_;
 }
 
 void EncodeCache::set_hasher_for_test(
     std::function<uint64_t(const std::string&)> hasher) {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   ADAPTRAJ_CHECK_MSG(lru_.empty(),
                      "set_hasher_for_test on a non-empty cache: existing "
                      "entries are indexed under the old hash");

@@ -51,12 +51,13 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "data/batch.h"
+#include "support/sync.h"
+#include "support/thread_annotations.h"
 
 namespace adaptraj {
 namespace serve {
@@ -103,33 +104,36 @@ struct EncodeCacheStats {
 /// encoder output row ([hidden_dim + social_dim] floats).
 class EncodeCache {
  public:
-  explicit EncodeCache(const EncodeCacheOptions& options);
+  explicit EncodeCache(EncodeCacheOptions options);
 
   /// Copies the cached row for `key` into out[0, width) and returns true;
   /// false on miss. Touches the entry to the LRU front on hit.
-  bool Lookup(const std::string& key, float* out, int64_t width);
+  bool Lookup(const std::string& key, float* out, int64_t width)
+      ADAPTRAJ_EXCLUDES(mu_);
 
   /// Admits a copy of value[0, width) under `key`, evicting LRU entries
   /// until the byte budget holds. Dropped silently when the key is already
   /// present (a concurrent batch encoded it first — the values are
   /// bit-identical by the determinism contract) or when one entry alone
   /// exceeds the budget.
-  void Insert(const std::string& key, const float* value, int64_t width);
+  void Insert(const std::string& key, const float* value, int64_t width)
+      ADAPTRAJ_EXCLUDES(mu_);
 
   /// Drops every entry.
-  void Invalidate();
+  void Invalidate() ADAPTRAJ_EXCLUDES(mu_);
 
   /// Clears when `version` differs from the last adopted weights version
   /// (first call adopts without clearing an empty cache's stats).
-  void InvalidateIfVersionChanged(int64_t version);
+  void InvalidateIfVersionChanged(int64_t version) ADAPTRAJ_EXCLUDES(mu_);
 
-  EncodeCacheStats stats() const;
+  EncodeCacheStats stats() const ADAPTRAJ_EXCLUDES(mu_);
   const EncodeCacheOptions& options() const { return options_; }
 
   /// Test hook: replaces the content hash (e.g. with a constant, forcing
   /// every key into one bucket to exercise the full-key compare fallback).
   /// Call only on an empty cache — existing entries keep their old hash.
-  void set_hasher_for_test(std::function<uint64_t(const std::string&)> hasher);
+  void set_hasher_for_test(std::function<uint64_t(const std::string&)> hasher)
+      ADAPTRAJ_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -138,21 +142,26 @@ class EncodeCache {
     std::vector<float> value;
   };
 
-  uint64_t HashKey(const std::string& key) const;
+  /// Reads hasher_override_, which set_hasher_for_test writes under mu_ —
+  /// so hashing happens inside the critical section, not before it.
+  uint64_t HashKey(const std::string& key) const ADAPTRAJ_REQUIRES(mu_);
   int64_t EntryBytes(const Entry& entry) const;
-  /// Removes `it` from the index and the LRU list. Caller holds mu_.
-  void EraseLocked(std::list<Entry>::iterator it);
+  /// Removes `it` from the index and the LRU list.
+  void EraseLocked(std::list<Entry>::iterator it) ADAPTRAJ_REQUIRES(mu_);
 
+  /// Immutable after construction; readable without mu_.
   EncodeCacheOptions options_;
-  mutable std::mutex mu_;
+  mutable support::Mutex mu_;
   /// MRU-first recency list owning the entries.
-  std::list<Entry> lru_;
+  std::list<Entry> lru_ ADAPTRAJ_GUARDED_BY(mu_);
   /// Hash -> entries with that hash (several after a collision).
-  std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index_;
-  EncodeCacheStats stats_;
-  int64_t weights_version_ = 0;
-  bool has_weights_version_ = false;
-  std::function<uint64_t(const std::string&)> hasher_override_;
+  std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index_
+      ADAPTRAJ_GUARDED_BY(mu_);
+  EncodeCacheStats stats_ ADAPTRAJ_GUARDED_BY(mu_);
+  int64_t weights_version_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
+  bool has_weights_version_ ADAPTRAJ_GUARDED_BY(mu_) = false;
+  std::function<uint64_t(const std::string&)> hasher_override_
+      ADAPTRAJ_GUARDED_BY(mu_);
 };
 
 /// Builds the content key for row `row` of `batch`: identity header, the

@@ -97,6 +97,13 @@ class FaultInjectingMethod : public core::Method {
 
  private:
   /// Counter + schedule shared between a wrapper and its serving clones.
+  /// Thread-safety contract (no mutex, so nothing for the Clang
+  /// thread-safety analysis to check — deliberately): the two counters are
+  /// lock-free atomics (fetch_add claims a call index uniquely even across
+  /// a replica wave), and `schedule` is written only by the constructor
+  /// before any Predict can run, then read-only for the wrapper's lifetime.
+  /// Atomics ordering stays the TSan legs' job — the analysis treats
+  /// std::atomic as unguarded by design (see support/thread_annotations.h).
   struct SharedState {
     std::atomic<int64_t> next_call{0};
     std::atomic<int64_t> faults{0};

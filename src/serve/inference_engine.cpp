@@ -61,14 +61,19 @@ InferenceEngine::InferenceEngine(const core::Method* method,
     : method_(method), options_(options) {
   ADAPTRAJ_CHECK_MSG(method != nullptr, "InferenceEngine over null method");
   ValidateOptions(options_);
-  replicas_ = MakeReplicaPool(method_);
-  if (EncodeCacheResolvedOn(options_.encode_cache) &&
-      method_->predict_encode_width() > 0) {
-    EncodeCacheOptions cache_options;
-    cache_options.max_bytes = options_.encode_cache_bytes;
-    cache_options.identity = method_->name() + ":" +
-                             std::to_string(method_->predict_encode_width());
-    encode_cache_ = std::make_unique<EncodeCache>(cache_options);
+  {
+    // Uncontended (the service threads start below); taken so the guarded
+    // members are initialized under their capability like everywhere else.
+    support::MutexLock lock(mu_);
+    replicas_ = MakeReplicaPool(method_);
+    if (EncodeCacheResolvedOn(options_.encode_cache) &&
+        method_->predict_encode_width() > 0) {
+      EncodeCacheOptions cache_options;
+      cache_options.max_bytes = options_.encode_cache_bytes;
+      cache_options.identity = method_->name() + ":" +
+                               std::to_string(method_->predict_encode_width());
+      encode_cache_ = std::make_unique<EncodeCache>(cache_options);
+    }
   }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   watchdog_ = std::thread([this] { WatchdogLoop(); });
@@ -77,6 +82,7 @@ InferenceEngine::InferenceEngine(const core::Method* method,
 InferenceEngine::InferenceEngine(std::unique_ptr<core::Method> method,
                                  const InferenceEngineOptions& options)
     : InferenceEngine(method.get(), options) {
+  support::MutexLock lock(mu_);
   owned_method_ = std::move(method);
 }
 
@@ -86,8 +92,8 @@ InferenceEngine::~InferenceEngine() {
     // Blocked Drain/Submit/SwapWeights callers woke at Shutdown; wait for
     // the last of them to leave our condition variables before tearing the
     // synchronization primitives down.
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return blocked_callers_ == 0; });
+    support::MutexLock lock(mu_);
+    while (blocked_callers_ != 0) idle_cv_.Wait(lock);
   }
   if (dispatcher_.joinable()) dispatcher_.join();
   if (watchdog_.joinable()) watchdog_.join();
@@ -95,7 +101,7 @@ InferenceEngine::~InferenceEngine() {
 
 void InferenceEngine::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     if (!shutdown_) {
       shutdown_ = true;
       // Lossless error delivery even on teardown: queued requests that never
@@ -114,10 +120,10 @@ void InferenceEngine::Shutdown() {
       armed_deadlines_ = 0;
     }
   }
-  dispatch_cv_.notify_all();
-  watchdog_cv_.notify_all();
-  space_cv_.notify_all();
-  drained_cv_.notify_all();
+  dispatch_cv_.NotifyAll();
+  watchdog_cv_.NotifyAll();
+  space_cv_.NotifyAll();
+  drained_cv_.NotifyAll();
 }
 
 std::unique_ptr<ReplicaPool> InferenceEngine::MakeReplicaPool(
@@ -130,11 +136,15 @@ std::unique_ptr<ReplicaPool> InferenceEngine::MakeReplicaPool(
 }
 
 int InferenceEngine::num_replica_slots() const {
+  // Under mu_: SwapWeights replaces the pool at the flip (the unlocked read
+  // this used to do was benign only while no caller overlapped a swap —
+  // surfaced by -Wthread-safety, fixed by locking).
+  support::MutexLock lock(mu_);
   return replicas_ != nullptr ? replicas_->size() : 1;
 }
 
 InferenceEngineStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   InferenceEngineStats snapshot = stats_;
   // method_/replicas_ are stable under mu_ (SwapWeights flips them under the
   // same lock); replica slot 0 aliases method_, so start the sum at slot 1.
@@ -183,7 +193,7 @@ std::future<Tensor> InferenceEngine::SubmitImpl(bool has_explicit_id,
                          << submit_options.timeout_ms);
   std::future<Tensor> future;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     const size_t bound = static_cast<size_t>(options_.max_queued_requests);
     if (!shutdown_ && bound > 0 && pending_.size() >= bound) {
       if (options_.overflow_policy == OverflowPolicy::kShed) {
@@ -199,11 +209,9 @@ std::future<Tensor> InferenceEngine::SubmitImpl(bool has_explicit_id,
       // Backpressure: park the producer until the dispatcher retires queue
       // entries — or shutdown turns the wait into a typed failure.
       ++blocked_callers_;
-      space_cv_.wait(lock, [this, bound] {
-        return shutdown_ || pending_.size() < bound;
-      });
+      while (!shutdown_ && pending_.size() >= bound) space_cv_.Wait(lock);
       --blocked_callers_;
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
     if (shutdown_) {
       ++stats_.requests;
@@ -214,8 +222,8 @@ std::future<Tensor> InferenceEngine::SubmitImpl(bool has_explicit_id,
     future = SubmitLocked(has_explicit_id ? request_id : next_auto_id_, scene,
                           submit_options);
   }
-  dispatch_cv_.notify_one();
-  if (submit_options.timeout_ms > 0) watchdog_cv_.notify_one();
+  dispatch_cv_.NotifyOne();
+  if (submit_options.timeout_ms > 0) watchdog_cv_.NotifyOne();
   return future;
 }
 
@@ -290,7 +298,7 @@ Clock::time_point InferenceEngine::NextRequestDeadlineLocked() const {
 }
 
 void InferenceEngine::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   if (shutdown_) {
     throw EngineStoppedError("Drain on a stopped InferenceEngine");
   }
@@ -307,15 +315,15 @@ void InferenceEngine::Drain() {
     drain_until_slot_ = std::max(drain_until_slot_, last + 1);
   }
   const uint64_t target = drain_until_slot_;
-  dispatch_cv_.notify_one();
+  dispatch_cv_.NotifyOne();
   ++blocked_callers_;
-  drained_cv_.wait(lock, [this, target] {
-    return shutdown_ ||
-           (next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
-            !executing_);
-  });
+  while (!shutdown_ &&
+         !(next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
+           !executing_)) {
+    drained_cv_.Wait(lock);
+  }
   --blocked_callers_;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   const bool complete =
       next_batch_ * static_cast<uint64_t>(options_.batch_size) >= target &&
       !executing_;
@@ -339,15 +347,16 @@ void InferenceEngine::SwapWeights(const core::Method& source) {
   std::unique_ptr<core::Method> retired_method;
   std::unique_ptr<ReplicaPool> retired_pool;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    // Flip at a batch boundary: ExecuteGroup reads method_/replicas_ only
-    // while executing_ is true, so writing them while !executing_ under mu_
-    // can never race an in-flight group — and every batch collected after
-    // the flip sees the new weights. Queued requests are untouched.
+    support::MutexLock lock(mu_);
+    // Flip at a batch boundary: the dispatcher captures method_/replicas_
+    // under mu_ before releasing it to execute a group, so writing them
+    // while !executing_ under mu_ can never race an in-flight group — and
+    // every batch collected after the flip sees the new weights. Queued
+    // requests are untouched.
     ++blocked_callers_;
-    drained_cv_.wait(lock, [this] { return shutdown_ || !executing_; });
+    while (!shutdown_ && executing_) drained_cv_.Wait(lock);
     --blocked_callers_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
     if (shutdown_) {
       throw EngineStoppedError("SwapWeights on a stopped InferenceEngine");
     }
@@ -438,7 +447,8 @@ std::vector<InferenceEngine::ReadyBatch> InferenceEngine::CollectGroupLocked(
   return group;
 }
 
-void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) const {
+void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method,
+                                  const core::Method* master) const {
   const Clock::time_point t0 = Clock::now();
   try {
     NoGradGuard no_grad;
@@ -472,7 +482,7 @@ void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) co
     }
     data::Batch batch = data::MakeBatch(slots, options_.sequence);
     Rng rng(core::TaskSeed(options_.seed, rb->index));
-    Tensor pred = PredictThroughCache(batch, slots, method, &rng);
+    Tensor pred = PredictThroughCache(batch, slots, method, master, &rng);
     rb->results.assign(rows, Tensor());
     for (size_t r : live) {
       // Slice copies the row into fresh storage, and under no-grad attaches
@@ -495,7 +505,7 @@ void InferenceEngine::RunOneBatch(ReadyBatch* rb, const core::Method* method) co
 Tensor InferenceEngine::PredictThroughCache(
     const data::Batch& batch,
     const std::vector<const data::TrajectorySequence*>& slots,
-    const core::Method* method, Rng* rng) const {
+    const core::Method* method, const core::Method* master, Rng* rng) const {
   if (encode_cache_ == nullptr || batch.batch_size == 0) {
     return method->Predict(batch, rng, options_.sample);
   }
@@ -503,7 +513,9 @@ Tensor InferenceEngine::PredictThroughCache(
   // structural clones whose counter stays 0, while an in-place Train() on a
   // live served method — the staleness this guards against — bumps the
   // master's. Concurrent batches pass the same value; the first clears.
-  encode_cache_->InvalidateIfVersionChanged(method_->weights_version());
+  // `master` is the dispatcher's under-mu_ capture of method_, stable for
+  // the whole group (SwapWeights flips only at a batch boundary).
+  encode_cache_->InvalidateIfVersionChanged(master->weights_version());
 
   const int64_t width = method->predict_encode_width();
   const int64_t rows = batch.batch_size;
@@ -573,36 +585,39 @@ Tensor InferenceEngine::PredictThroughCache(
   return method->PredictDecode(batch, enc_rows, rng, options_.sample);
 }
 
-void InferenceEngine::ExecuteGroup(std::vector<ReadyBatch>* group) {
-  if (method_->reentrant_predict()) {
+void InferenceEngine::ExecuteGroup(std::vector<ReadyBatch>* group,
+                                   const core::Method* master,
+                                   const ReplicaPool* replicas) const {
+  if (master->reentrant_predict()) {
     // Reentrant Predict: every batch shares the master model; full
     // cross-batch concurrency on the training-worker pool.
     std::vector<std::function<void()>> tasks;
     tasks.reserve(group->size());
     for (ReadyBatch& rb : *group) {
-      tasks.push_back([this, &rb] { RunOneBatch(&rb, method_); });
+      tasks.push_back([this, &rb, master] { RunOneBatch(&rb, master, master); });
     }
     parallel::RunTaskGroup(tasks);
-  } else if (replicas_ != nullptr && replicas_->size() > 1) {
+  } else if (replicas != nullptr && replicas->size() > 1) {
     // Non-reentrant Predict with a replica pool: waves of consecutive batch
     // indices. Batch b is pinned to replica b % R, so wave members never
     // share an instance and the non-reentrant body never runs concurrently
     // on one model.
-    const size_t width = static_cast<size_t>(replicas_->size());
+    const size_t width = static_cast<size_t>(replicas->size());
     for (size_t base = 0; base < group->size(); base += width) {
       const size_t end = std::min(group->size(), base + width);
       std::vector<std::function<void()>> wave;
       wave.reserve(end - base);
       for (size_t i = base; i < end; ++i) {
         ReadyBatch& rb = (*group)[i];
-        wave.push_back(
-            [this, &rb] { RunOneBatch(&rb, replicas_->MethodForBatch(rb.index)); });
+        wave.push_back([this, &rb, master, replicas] {
+          RunOneBatch(&rb, replicas->MethodForBatch(rb.index), master);
+        });
       }
       parallel::RunTaskGroup(wave);
     }
   } else {
     // Non-reentrant and not clonable (or replicas disabled): one at a time.
-    for (ReadyBatch& rb : *group) RunOneBatch(&rb, method_);
+    for (ReadyBatch& rb : *group) RunOneBatch(&rb, master, master);
   }
 }
 
@@ -613,7 +628,7 @@ void InferenceEngine::DispatcherLoop() {
                                         : parallel::NumTrainWorkers());
   const auto delay = std::chrono::milliseconds(options_.max_batch_delay_ms);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   while (!shutdown_) {
     // Expire BEFORE batch formation: a request whose deadline has passed
     // must never enter a batch. (The watchdog covers the window where the
@@ -634,9 +649,9 @@ void InferenceEngine::DispatcherLoop() {
 
     if (!drain_needed && !full_ready && !deadline_due) {
       if (options_.max_batch_delay_ms > 0 && run > 0) {
-        dispatch_cv_.wait_until(lock, deadline);
+        dispatch_cv_.WaitUntil(lock, deadline);
       } else {
-        dispatch_cv_.wait(lock);
+        dispatch_cv_.Wait(lock);
       }
       continue;  // re-evaluate everything after any wakeup
     }
@@ -654,13 +669,19 @@ void InferenceEngine::DispatcherLoop() {
     stuck_reported_ = false;
     stats_.inflight_batches = static_cast<int64_t>(group.size());
     const int64_t deadline_hits = (deadline_due && !drain_needed) ? 1 : 0;
+    // Capture the served instance while still under mu_: SwapWeights flips
+    // method_/replicas_ only while !executing_, so these stay valid for the
+    // whole group, and the execution path below never reads the guarded
+    // fields unlocked.
+    const core::Method* master = method_;
+    const ReplicaPool* replicas = replicas_.get();
     // Collection retired queue entries: admit blocked producers, and arm the
     // watchdog's stuck-batch timer.
-    space_cv_.notify_all();
-    watchdog_cv_.notify_all();
-    lock.unlock();
-    ExecuteGroup(&group);
-    lock.lock();
+    space_cv_.NotifyAll();
+    watchdog_cv_.NotifyAll();
+    lock.Unlock();
+    ExecuteGroup(&group, master, replicas);
+    lock.Lock();
     // Count first, fulfil second, both under mu_: a caller that wakes on a
     // ready future (or returns from Drain) observes counters that already
     // include its batch. Fully-expired batches retired without executing
@@ -693,13 +714,13 @@ void InferenceEngine::DispatcherLoop() {
     }
     executing_ = false;
     stats_.inflight_batches = 0;
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 
 void InferenceEngine::WatchdogLoop() {
   const auto warn = std::chrono::milliseconds(options_.stuck_batch_warn_ms);
-  std::unique_lock<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   while (!shutdown_) {
     const Clock::time_point now = Clock::now();
     // Deadline expiry must make progress even while the dispatcher is
@@ -717,9 +738,9 @@ void InferenceEngine::WatchdogLoop() {
         // Mutex released around user code: the callback may call stats(),
         // Submit, or anything else on this engine.
         auto callback = options_.on_stuck_batch;
-        lock.unlock();
+        lock.Unlock();
         callback(elapsed_ms);
-        lock.lock();
+        lock.Lock();
       }
       continue;  // re-evaluate: the group may have finished meanwhile
     }
@@ -728,9 +749,9 @@ void InferenceEngine::WatchdogLoop() {
       wake = std::min(wake, exec_start_ + warn);
     }
     if (wake == Clock::time_point::max()) {
-      watchdog_cv_.wait(lock);
+      watchdog_cv_.Wait(lock);
     } else {
-      watchdog_cv_.wait_until(lock, wake);
+      watchdog_cv_.WaitUntil(lock, wake);
     }
   }
 }

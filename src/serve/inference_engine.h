@@ -169,13 +169,11 @@
 #define ADAPTRAJ_SERVE_INFERENCE_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -184,6 +182,8 @@
 #include "serve/errors.h"
 #include "serve/latency_histogram.h"
 #include "serve/replica_pool.h"
+#include "support/sync.h"
+#include "support/thread_annotations.h"
 
 namespace adaptraj {
 namespace serve {
@@ -330,10 +330,12 @@ class InferenceEngine {
   /// producer threads the slot a request gets depends on lock acquisition
   /// order — use the explicit-id overload when the slot must be
   /// reproducible.
-  std::future<Tensor> Submit(const data::TrajectorySequence& scene);
+  std::future<Tensor> Submit(const data::TrajectorySequence& scene)
+      ADAPTRAJ_EXCLUDES(mu_);
   /// As above with per-request options (deadline).
   std::future<Tensor> Submit(const data::TrajectorySequence& scene,
-                             const SubmitOptions& submit_options);
+                             const SubmitOptions& submit_options)
+      ADAPTRAJ_EXCLUDES(mu_);
 
   /// Enqueues a scene at an explicit slot, for request streams that arrive
   /// out of order or from several producer threads. Slots must be unique and
@@ -343,10 +345,12 @@ class InferenceEngine {
   /// race is rejected through its future instead, as is an already-pending
   /// id stranded behind a slot hole the deadline padded past). The engine
   /// holds a batch until every one of its slots has arrived.
-  std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene);
+  std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene)
+      ADAPTRAJ_EXCLUDES(mu_);
   /// As above with per-request options (deadline).
   std::future<Tensor> Submit(uint64_t request_id, const data::TrajectorySequence& scene,
-                             const SubmitOptions& submit_options);
+                             const SubmitOptions& submit_options)
+      ADAPTRAJ_EXCLUDES(mu_);
 
   /// Flushes everything pending — including a padded partial tail — and
   /// blocks until every request submitted before this call has its future
@@ -360,14 +364,14 @@ class InferenceEngine {
   /// flush is then timing-dependent, as the file comment describes).
   /// Throws EngineStoppedError if the engine shuts down before (or while)
   /// the drain completes.
-  void Drain();
+  void Drain() ADAPTRAJ_EXCLUDES(mu_);
 
   /// Stops the engine: admission closes (Submit returns EngineStoppedError
   /// futures), queued requests fail with EngineStoppedError, blocked
   /// submitters and drainers wake (drainers throw), the dispatcher exits
   /// after the in-flight group delivers its results. Idempotent;
   /// thread-safe; called by the destructor.
-  void Shutdown();
+  void Shutdown() ADAPTRAJ_EXCLUDES(mu_);
 
   /// Atomically replaces the served weights with a warm-standby clone of
   /// `source` (source.CloneForServing(); for non-reentrant methods a fresh
@@ -379,18 +383,23 @@ class InferenceEngine {
   /// engine's options (typically: the same method type, trained further).
   /// Throws EngineStoppedError if the engine is (or becomes) shut down, and
   /// ServeError if `source` cannot be cloned.
-  void SwapWeights(const core::Method& source);
+  void SwapWeights(const core::Method& source) ADAPTRAJ_EXCLUDES(mu_);
 
   /// Coherent snapshot of the cumulative counters and histograms.
-  InferenceEngineStats stats() const;
+  InferenceEngineStats stats() const ADAPTRAJ_EXCLUDES(mu_);
   const InferenceEngineOptions& options() const { return options_; }
   /// The currently served method (the standby clone after a SwapWeights).
-  /// Do not call concurrently with SwapWeights.
-  const core::Method& method() const { return *method_; }
+  /// Do not call concurrently with SwapWeights — that caller-side contract,
+  /// not a lock, is what makes the unguarded read safe (annotated as the
+  /// audited exception; taking mu_ here would only shrink, not close, the
+  /// race window, since the reference outlives the accessor anyway).
+  const core::Method& method() const ADAPTRAJ_NO_THREAD_SAFETY_ANALYSIS {
+    return *method_;
+  }
   /// Concurrency slots for non-reentrant methods: the replica-pool size, or
   /// 1 when batches are serialized. Reentrant methods report 1 (they share
   /// the master without a pool).
-  int num_replica_slots() const;
+  int num_replica_slots() const ADAPTRAJ_EXCLUDES(mu_);
 
  private:
   struct PendingRequest {
@@ -418,38 +427,49 @@ class InferenceEngine {
     double exec_seconds = 0.0;    // filled by RunOneBatch when executed
   };
 
-  void DispatcherLoop();
-  void WatchdogLoop();
+  void DispatcherLoop() ADAPTRAJ_EXCLUDES(mu_);
+  void WatchdogLoop() ADAPTRAJ_EXCLUDES(mu_);
   /// Shared body of the four Submit overloads.
   std::future<Tensor> SubmitImpl(bool has_explicit_id, uint64_t request_id,
                                  const data::TrajectorySequence& scene,
-                                 const SubmitOptions& submit_options);
+                                 const SubmitOptions& submit_options)
+      ADAPTRAJ_EXCLUDES(mu_);
   /// Validates the slot, records the request, and returns its future.
-  /// Caller holds mu_.
   std::future<Tensor> SubmitLocked(uint64_t request_id,
                                    const data::TrajectorySequence& scene,
-                                   const SubmitOptions& submit_options);
-  /// Builds an already-failed future carrying `error`, bumping
-  /// rejected/shed accounting is the caller's job. Caller holds mu_.
+                                   const SubmitOptions& submit_options)
+      ADAPTRAJ_REQUIRES(mu_);
+  /// Builds an already-failed future carrying `error`; bumping
+  /// rejected/shed accounting is the caller's job.
   static std::future<Tensor> FailedFuture(std::exception_ptr error);
   /// Fails every queued request whose deadline has passed
-  /// (DeadlineExceededError), leaving slot tombstones. Caller holds mu_.
-  void ExpireOverdueLocked(std::chrono::steady_clock::time_point now);
-  /// Earliest pending per-request deadline, or time_point::max(). Caller
-  /// holds mu_.
-  std::chrono::steady_clock::time_point NextRequestDeadlineLocked() const;
+  /// (DeadlineExceededError), leaving slot tombstones.
+  void ExpireOverdueLocked(std::chrono::steady_clock::time_point now)
+      ADAPTRAJ_REQUIRES(mu_);
+  /// Earliest pending per-request deadline, or time_point::max().
+  std::chrono::steady_clock::time_point NextRequestDeadlineLocked() const
+      ADAPTRAJ_REQUIRES(mu_);
   /// Length of the contiguous pending-slot run starting at the next
-  /// unexecuted batch boundary. Caller holds mu_.
-  uint64_t ContiguousRunLocked() const;
+  /// unexecuted batch boundary.
+  uint64_t ContiguousRunLocked() const ADAPTRAJ_REQUIRES(mu_);
   /// Moves the ready prefix (full batches; with `include_partial_tail` also
   /// the underfull tail) out of the pending map, records queue-wait
-  /// samples, and advances the slot cursors. Caller holds mu_.
-  std::vector<ReadyBatch> CollectGroupLocked(bool include_partial_tail);
+  /// samples, and advances the slot cursors.
+  std::vector<ReadyBatch> CollectGroupLocked(bool include_partial_tail)
+      ADAPTRAJ_REQUIRES(mu_);
   /// Executes a collected group on the worker pool, filling each batch's
   /// results or error. Runs on the dispatcher with mu_ released; the
   /// dispatcher then updates stats and fulfills the promises under mu_.
-  void ExecuteGroup(std::vector<ReadyBatch>* group);
-  void RunOneBatch(ReadyBatch* rb, const core::Method* method) const;
+  /// `master`/`replicas` are the served instance captured under mu_ at the
+  /// batch boundary — passing them (rather than re-reading method_ /
+  /// replicas_ unlocked) makes the SwapWeights flip protocol visible to the
+  /// thread-safety analysis instead of relying on it implicitly.
+  void ExecuteGroup(std::vector<ReadyBatch>* group, const core::Method* master,
+                    const ReplicaPool* replicas) const;
+  /// `master` is the served master (for weights_version); `method` the
+  /// instance this batch runs on (a replica, or the master itself).
+  void RunOneBatch(ReadyBatch* rb, const core::Method* method,
+                   const core::Method* master) const;
   /// Predict with the encoder cache in front of the Encode half: gathers
   /// cached rows, encodes only unseen rows (in a sub-batch padded to the
   /// full batch's neighbor-slot width), and decodes the full batch. Falls
@@ -457,58 +477,64 @@ class InferenceEngine {
   /// padded scene-pointer row list the batch was built from.
   Tensor PredictThroughCache(const data::Batch& batch,
                              const std::vector<const data::TrajectorySequence*>& slots,
-                             const core::Method* method, Rng* rng) const;
+                             const core::Method* method, const core::Method* master,
+                             Rng* rng) const;
   /// Builds the replica pool an engine over `method` needs (null when the
   /// method is reentrant or pooling is disabled/impossible).
   std::unique_ptr<ReplicaPool> MakeReplicaPool(const core::Method* method) const;
 
-  const core::Method* method_;
-  std::unique_ptr<core::Method> owned_method_;
+  /// The served master. Flipped by SwapWeights under mu_ at a batch
+  /// boundary; the execution path reads a copy captured under mu_ (see
+  /// ExecuteGroup), never this field directly.
+  const core::Method* method_ ADAPTRAJ_GUARDED_BY(mu_);
+  std::unique_ptr<core::Method> owned_method_ ADAPTRAJ_GUARDED_BY(mu_);
   InferenceEngineOptions options_;
   /// Private model copies for non-reentrant methods; null when the master is
   /// shared (reentrant) or serialization is requested (num_replicas == 1).
-  std::unique_ptr<ReplicaPool> replicas_;
+  std::unique_ptr<ReplicaPool> replicas_ ADAPTRAJ_GUARDED_BY(mu_);
   /// Cross-request encoder cache, shared by the master and every replica
   /// (byte-identical weights). Null when disabled or unsupported by the
-  /// method. Constructed once; survives SwapWeights (invalidated at the
-  /// flip). Internally mutex-guarded — safe from concurrent batches.
+  /// method. The POINTER is set once in the constructor before the service
+  /// threads start and never reassigned, so it is readable without mu_; the
+  /// pointed-to cache is internally mutex-guarded — safe from concurrent
+  /// batches. Survives SwapWeights (invalidated at the flip).
   std::unique_ptr<EncodeCache> encode_cache_;
 
-  mutable std::mutex mu_;
+  mutable support::Mutex mu_;
   /// Wakes the dispatcher (new work, drain, shutdown).
-  std::condition_variable dispatch_cv_;
+  support::CondVar dispatch_cv_;
   /// Wakes Drain waiters and SwapWeights (a group finished executing) —
   /// and, on shutdown, anyone parked on it.
-  std::condition_variable drained_cv_;
+  support::CondVar drained_cv_;
   /// Wakes the watchdog (new deadline, execution started, shutdown).
-  std::condition_variable watchdog_cv_;
+  support::CondVar watchdog_cv_;
   /// Wakes kBlock submitters when queue entries retire.
-  std::condition_variable space_cv_;
+  support::CondVar space_cv_;
   /// Wakes the destructor when the last blocked caller leaves.
-  std::condition_variable idle_cv_;
+  support::CondVar idle_cv_;
   /// Requests keyed by slot id; entries move out when their batch is
   /// collected for execution.
-  std::map<uint64_t, PendingRequest> pending_;
+  std::map<uint64_t, PendingRequest> pending_ ADAPTRAJ_GUARDED_BY(mu_);
   /// Queued entries carrying a live (unexpired) deadline; lets the hot path
   /// skip deadline scans entirely when nobody uses deadlines.
-  int64_t armed_deadlines_ = 0;
+  int64_t armed_deadlines_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
   /// External threads currently blocked inside Drain/Submit/SwapWeights.
-  int blocked_callers_ = 0;
+  int blocked_callers_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
   /// Next slot assigned by the implicit Submit overload.
-  uint64_t next_auto_id_ = 0;
+  uint64_t next_auto_id_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
   /// First batch index that has not been collected for execution yet.
-  uint64_t next_batch_ = 0;
+  uint64_t next_batch_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
   /// Exclusive slot bound the dispatcher must flush through (max over
   /// outstanding Drain calls).
-  uint64_t drain_until_slot_ = 0;
+  uint64_t drain_until_slot_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
   /// True while the dispatcher is executing a group outside the mutex.
-  bool executing_ = false;
+  bool executing_ ADAPTRAJ_GUARDED_BY(mu_) = false;
   /// When the in-flight group started, and whether the watchdog already
   /// counted it as stuck.
-  std::chrono::steady_clock::time_point exec_start_{};
-  bool stuck_reported_ = false;
-  bool shutdown_ = false;
-  InferenceEngineStats stats_;
+  std::chrono::steady_clock::time_point exec_start_ ADAPTRAJ_GUARDED_BY(mu_){};
+  bool stuck_reported_ ADAPTRAJ_GUARDED_BY(mu_) = false;
+  bool shutdown_ ADAPTRAJ_GUARDED_BY(mu_) = false;
+  InferenceEngineStats stats_ ADAPTRAJ_GUARDED_BY(mu_);
   std::thread dispatcher_;
   std::thread watchdog_;
 };

@@ -38,6 +38,14 @@ namespace adaptraj {
 namespace serve {
 
 /// Fixed set of interchangeable serving replicas; see the file comment.
+///
+/// Thread-safety contract (no mutex, so nothing for the Clang thread-safety
+/// analysis to check — deliberately): `master_` and `clones_` are written
+/// only by the constructor and read-only afterwards, and every accessor is
+/// const. Concurrent MethodForBatch calls from a dispatcher wave are safe
+/// because they never mutate the pool; exclusive use of each REPLICA within
+/// a wave is the engine's pinning schedule (batch b -> slot b % size()),
+/// a protocol the analysis cannot express and TSan verifies instead.
 class ReplicaPool {
  public:
   /// Builds up to `target_slots` slots (>= 1). Slot 0 aliases `master`

@@ -1,0 +1,123 @@
+// Clang thread-safety annotation macros, no-ops on every other compiler.
+//
+// The repo's determinism contract (bit-identical outputs across thread
+// counts, worker counts, and cache on/off) rests on a lock discipline that
+// until now was only *observed* by the TSan CI legs — a race had to be
+// scheduled by a test to be caught. These macros move the discipline into
+// the type system: every mutex-guarded field is annotated with the mutex
+// that protects it, every hold-the-lock helper declares its requirement,
+// and the CI `static-analysis` leg compiles the tree with Clang's
+// `-Werror=thread-safety`, so an unguarded access is a BUILD BREAK, not a
+// TSan roll of the dice.
+//
+// What the analysis guarantees (and what it cannot see):
+//   - GUARANTEED: every read/write of an ADAPTRAJ_GUARDED_BY(mu) field in
+//     analyzed code happens while `mu` is held (per Clang's flow-sensitive,
+//     intraprocedural capability analysis); every ADAPTRAJ_REQUIRES(mu)
+//     function is only called with `mu` held; ADAPTRAJ_EXCLUDES(mu)
+//     functions are never called with `mu` held (self-deadlock).
+//   - NOT SEEN: condition-variable wait/wake pairing (a wait's predicate
+//     can still be wrong), atomics ordering (the analysis treats
+//     std::atomic as unguarded by design), lock-free publication
+//     protocols, and anything crossing a type-erased boundary
+//     (std::function, virtual calls into un-annotated code). Those remain
+//     the TSan legs' job — the two layers are complementary, not
+//     redundant.
+//
+// Conventions (see also the threading-contract table in tensor/parallel.h):
+//   - Guarded members are declared with ADAPTRAJ_GUARDED_BY(mu_) directly
+//     on the member, next to the mutex that owns them.
+//   - Private helpers that assume the lock carry ADAPTRAJ_REQUIRES(mu_)
+//     and keep the repo's existing `*Locked` naming suffix.
+//   - Public entry points of internally-synchronized classes carry
+//     ADAPTRAJ_EXCLUDES(mu_) so a re-entrant call deadlock is a compile
+//     error.
+//   - Deliberate protocol-based accesses (safe for reasons the analysis
+//     cannot express, e.g. "only flipped at a batch boundary while no
+//     group executes") use ADAPTRAJ_NO_THREAD_SAFETY_ANALYSIS with a
+//     comment explaining the protocol; they are the audited exceptions,
+//     not the rule.
+//
+// The macros expand to GNU attributes under Clang (which implements the
+// analysis) and to NOTHING under GCC or any compiler without the
+// attributes, so the annotated tree builds identically everywhere — the
+// GCC leg of the build matrix asserts the no-op expansion
+// (tests/support/test_thread_annotations.cpp).
+
+#ifndef ADAPTRAJ_SUPPORT_THREAD_ANNOTATIONS_H_
+#define ADAPTRAJ_SUPPORT_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ADAPTRAJ_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define ADAPTRAJ_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Declares a type (a mutex wrapper) to BE a capability the analysis
+/// tracks. `name` appears in diagnostics ("mutex", "role", ...).
+#define ADAPTRAJ_CAPABILITY(name) \
+  ADAPTRAJ_THREAD_ANNOTATION__(capability(name))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (std::scoped_lock-shaped types).
+#define ADAPTRAJ_SCOPED_CAPABILITY \
+  ADAPTRAJ_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define ADAPTRAJ_GUARDED_BY(x) ADAPTRAJ_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer-field annotation: the POINTED-TO data requires holding `x`
+/// (the pointer itself may be read freely).
+#define ADAPTRAJ_PT_GUARDED_BY(x) \
+  ADAPTRAJ_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function annotation: callers must hold the listed capabilities
+/// exclusively (the `*Locked` helper contract).
+#define ADAPTRAJ_REQUIRES(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function annotation: callers must hold the listed capabilities at least
+/// shared.
+#define ADAPTRAJ_REQUIRES_SHARED(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (held on return).
+#define ADAPTRAJ_ACQUIRE(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities (held on entry).
+#define ADAPTRAJ_RELEASE(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capabilities when returning `ret`.
+#define ADAPTRAJ_TRY_ACQUIRE(ret, ...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function annotation: callers must NOT hold the listed capabilities
+/// (the anti-deadlock contract of internally-locking public methods).
+#define ADAPTRAJ_EXCLUDES(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares a required lock-acquisition order between two mutexes.
+#define ADAPTRAJ_ACQUIRED_BEFORE(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ADAPTRAJ_ACQUIRED_AFTER(...) \
+  ADAPTRAJ_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the given capability
+/// (accessor functions exposing a member mutex).
+#define ADAPTRAJ_RETURN_CAPABILITY(x) \
+  ADAPTRAJ_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Tells the analysis the capability is held without acquiring it
+/// (runtime-checked assertions).
+#define ADAPTRAJ_ASSERT_CAPABILITY(x) \
+  ADAPTRAJ_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use in this
+/// repo documents the protocol that makes the unguarded access safe — this
+/// is the audited exception list, greppable as a review surface.
+#define ADAPTRAJ_NO_THREAD_SAFETY_ANALYSIS \
+  ADAPTRAJ_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // ADAPTRAJ_SUPPORT_THREAD_ANNOTATIONS_H_

@@ -56,6 +56,10 @@ struct ThreadPool {
   BufferPoolStats stats;
 };
 
+/// Strictly per-thread state: thread_local storage IS the synchronization
+/// (no mutex, nothing for the Clang thread-safety analysis to guard).
+/// References to a ThreadPool must never escape to another thread — every
+/// caller goes through this accessor and uses the result within one call.
 ThreadPool& LocalPool() {
   static thread_local ThreadPool pool;
   return pool;

@@ -396,6 +396,13 @@ inline void VecMap(const float* x, float* y, int64_t n, F f) {
 
 // --- Transcendental path resolution ------------------------------------------
 
+/// Dispatch override globals (this one and g_gemm_override below) are
+/// lock-free atomics, not mutex-guarded state: the Clang thread-safety
+/// analysis treats std::atomic as unguarded by design, so there is
+/// deliberately no ADAPTRAJ_GUARDED_BY. Relaxed ordering suffices — each is
+/// an independent flag whose readers need no other writes published with it
+/// (tests set them before launching work; the one-time probes below
+/// synchronize through their local statics' init guard).
 std::atomic<int> g_transcendental_override{static_cast<int>(TranscendentalPath::kAuto)};
 
 #ifdef ADAPTRAJ_HAVE_VEC16
@@ -688,6 +695,8 @@ void BatchGemmAvx512Impl(bool trans_a, bool trans_b, int64_t batch, int64_t m,
 
 // --- GEMM path resolution ----------------------------------------------------
 
+/// Lock-free dispatch flag; see the thread-safety note on
+/// g_transcendental_override above.
 std::atomic<int> g_gemm_override{static_cast<int>(GemmPath::kAuto)};
 
 /// Bit-exactness probe run once before auto-enabling the AVX-512 path: both

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/sync.h"
+#include "support/thread_annotations.h"
 #include "tensor/status.h"
 
 namespace adaptraj {
@@ -48,7 +48,7 @@ class Pool {
     job->fn = &chunk_fn;
     job->total = num_chunks;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      support::MutexLock lock(mu_);
       current_job_ = job;
       ++job_id_;
     }
@@ -61,28 +61,28 @@ class Pool {
     // RESULTS never depend on which thread claims them (see file comment).
     const size_t wake = std::min(workers_.size(), static_cast<size_t>(num_chunks - 1));
     if (wake == workers_.size()) {
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else {
-      for (size_t i = 0; i < wake; ++i) cv_.notify_one();
+      for (size_t i = 0; i < wake; ++i) cv_.NotifyOne();
     }
     // The calling thread participates in the drain.
     DrainChunks(*job);
     // Wait for stragglers still inside chunk_fn on worker threads. chunk_fn
     // must stay alive until done == total, i.e. until this wait returns.
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&job] {
-      return job->done.load(std::memory_order_acquire) >= job->total;
-    });
+    support::MutexLock lock(mu_);
+    while (job->done.load(std::memory_order_acquire) < job->total) {
+      done_cv_.Wait(lock);
+    }
     if (current_job_ == job) current_job_.reset();
   }
 
   void Shutdown() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      support::MutexLock lock(mu_);
       shutdown_ = true;
       ++job_id_;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -106,8 +106,8 @@ class Pool {
         // Notify under the mutex: the waiter either hasn't evaluated its
         // predicate yet (and will now see done == total), or is blocked in
         // wait and receives this notification — no lost wakeup.
-        std::lock_guard<std::mutex> lock(mu_);
-        done_cv_.notify_all();
+        support::MutexLock lock(mu_);
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -118,8 +118,8 @@ class Pool {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this, seen_job] { return shutdown_ || job_id_ != seen_job; });
+        support::MutexLock lock(mu_);
+        while (!shutdown_ && job_id_ == seen_job) cv_.Wait(lock);
         if (shutdown_) return;
         seen_job = job_id_;
         job = current_job_;
@@ -130,12 +130,12 @@ class Pool {
 
   const int requested_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> current_job_;
-  uint64_t job_id_ = 0;
-  bool shutdown_ = false;
+  support::Mutex mu_;
+  support::CondVar cv_;
+  support::CondVar done_cv_;
+  std::shared_ptr<Job> current_job_ ADAPTRAJ_GUARDED_BY(mu_);
+  uint64_t job_id_ ADAPTRAJ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ADAPTRAJ_GUARDED_BY(mu_) = false;
 };
 
 int EnvThreads(const char* name) {
@@ -149,11 +149,11 @@ int EnvThreads(const char* name) {
 
 int DefaultThreads() { return EnvThreads("ADAPTRAJ_NUM_THREADS"); }
 
-std::mutex g_pool_mu;
-Pool* g_pool = nullptr;
+support::Mutex g_pool_mu;
+Pool* g_pool ADAPTRAJ_GUARDED_BY(g_pool_mu) = nullptr;
 
 Pool& GetPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  support::MutexLock lock(g_pool_mu);
   if (g_pool == nullptr) g_pool = new Pool(DefaultThreads());
   return *g_pool;
 }
@@ -168,11 +168,11 @@ Pool& GetPool() {
 // taken as-is.
 constexpr int kDefaultTrainWorkerCap = 8;
 
-std::mutex g_train_pool_mu;
-Pool* g_train_pool = nullptr;
+support::Mutex g_train_pool_mu;
+Pool* g_train_pool ADAPTRAJ_GUARDED_BY(g_train_pool_mu) = nullptr;
 
 Pool& GetTrainPool() {
-  std::lock_guard<std::mutex> lock(g_train_pool_mu);
+  support::MutexLock lock(g_train_pool_mu);
   if (g_train_pool == nullptr) {
     // Only a valid explicit count (>= 1) escapes the cap; unset, zero, or
     // garbage values all take the capped hardware default.
@@ -195,7 +195,7 @@ int NumThreads() { return GetPool().num_threads(); }
 
 void Configure(int n) {
   ADAPTRAJ_CHECK_MSG(n >= 1, "thread pool needs at least one thread; got " << n);
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  support::MutexLock lock(g_pool_mu);
   delete g_pool;
   g_pool = new Pool(n);
 }
@@ -206,7 +206,7 @@ int NumTrainWorkers() { return GetTrainPool().num_threads(); }
 
 void ConfigureTrainWorkers(int n) {
   ADAPTRAJ_CHECK_MSG(n >= 1, "training pool needs at least one worker; got " << n);
-  std::lock_guard<std::mutex> lock(g_train_pool_mu);
+  support::MutexLock lock(g_train_pool_mu);
   delete g_train_pool;
   g_train_pool = new Pool(n);
 }

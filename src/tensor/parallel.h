@@ -58,6 +58,20 @@
 //                        tensor/kernels.h ("GEMM micro-kernel dispatch").
 // All paths are deterministic: for a fixed input, a fixed binary, and a
 // fixed path selection, results are bit-identical for any thread count.
+//
+// Lock-discipline annotations: every mutex-guarded structure in the repo
+// (this file's pools, serve::InferenceEngine, serve::EncodeCache, the plan
+// cache) is annotated with the Clang thread-safety macros from
+// support/thread_annotations.h and compiled with -Werror=thread-safety on
+// the CI static-analysis leg. Conventions: mutexes are support::Mutex,
+// critical sections are support::MutexLock, guarded members carry
+// ADAPTRAJ_GUARDED_BY(mu_), hold-the-lock helpers keep the `*Locked` name
+// suffix plus ADAPTRAJ_REQUIRES(mu_), public entry points of internally
+// synchronized classes carry ADAPTRAJ_EXCLUDES(mu_), and condition-variable
+// waits are explicit `while (!cond) cv.Wait(lock);` loops (see
+// support/sync.h for why the predicate-lambda overload is avoided). What
+// the analysis cannot see — cv wait/wake pairing, atomics ordering, chunk
+// disjointness — remains the TSan legs' job.
 
 #ifndef ADAPTRAJ_TENSOR_PARALLEL_H_
 #define ADAPTRAJ_TENSOR_PARALLEL_H_

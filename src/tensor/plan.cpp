@@ -20,10 +20,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "support/sync.h"
+#include "support/thread_annotations.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/parallel.h"
@@ -995,15 +996,15 @@ Mode EffectiveMode() {
 namespace internal_plan {
 
 struct CacheState {
-  mutable std::mutex mu;
+  mutable support::Mutex mu;
   struct Entry {
     std::shared_ptr<const CompiledPlan> plan;
     bool unplannable = false;
     bool capturing = false;
     uint64_t last_used = 0;
   };
-  std::map<std::string, Entry> entries;
-  uint64_t tick = 0;
+  std::map<std::string, Entry> entries ADAPTRAJ_GUARDED_BY(mu);
+  uint64_t tick ADAPTRAJ_GUARDED_BY(mu) = 0;
   std::atomic<int64_t> hits{0};
   std::atomic<int64_t> misses{0};
   std::atomic<int64_t> captures{0};
@@ -1023,7 +1024,7 @@ CacheStats PlanCache::stats() const {
   s.misses = state_->misses.load(std::memory_order_relaxed);
   s.captures = state_->captures.load(std::memory_order_relaxed);
   s.aborted = state_->aborted.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(state_->mu);
+  support::MutexLock lock(state_->mu);
   for (const auto& [key, entry] : state_->entries) {
     (void)key;
     if (entry.plan == nullptr) continue;
@@ -1038,7 +1039,7 @@ CacheStats PlanCache::stats() const {
 }
 
 void PlanCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  support::MutexLock lock(state_->mu);
   // Entries mid-capture keep their marker; the capturing session's Finish
   // still runs and stores a plan compiled from post-mutation values, which
   // is exactly what the caller wants after an in-place update.
@@ -1097,7 +1098,7 @@ PredictSession::PredictSession(PlanCache* cache, std::string key,
   }
 
   CacheState* cs = cache->state_.get();
-  std::lock_guard<std::mutex> lock(cs->mu);
+  support::MutexLock lock(cs->mu);
   auto& entry = cs->entries[state_->key];
   entry.last_used = ++cs->tick;
   if (entry.plan != nullptr) {
@@ -1138,7 +1139,7 @@ PredictSession::~PredictSession() {
     // marker so a later call can retry.
     g_recorder = nullptr;
     CacheState* cs = state_->cache->state_.get();
-    std::lock_guard<std::mutex> lock(cs->mu);
+    support::MutexLock lock(cs->mu);
     auto it = cs->entries.find(state_->key);
     if (it != cs->entries.end()) it->second.capturing = false;
     cs->aborted.fetch_add(1, std::memory_order_relaxed);
@@ -1171,7 +1172,7 @@ Tensor PredictSession::Finish(Tensor eager_result) {
       error = "undefined result tensor";
     }
     CacheState* cs = st.cache->state_.get();
-    std::lock_guard<std::mutex> lock(cs->mu);
+    support::MutexLock lock(cs->mu);
     auto& entry = cs->entries[st.key];
     entry.capturing = false;
     if (plan != nullptr) {

@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py BASELINE.json NEW.json [--threshold 0.30]
+    check_bench_regression.py --json-schema BENCH.json   # validate shape only
 
 Compares cpu_time for the tracked kernel benchmarks and fails (exit 1) when
 any of them regresses by more than the threshold (default 30%). Because the
@@ -75,17 +76,82 @@ TRACKED_PREFIXES = (
 )
 
 
+class BenchFormatError(Exception):
+    """BENCH JSON that is not a well-formed google-benchmark report. Raised
+    with a message naming the file and every problem found, so a truncated
+    upload or a hand-edited baseline fails with 'what is wrong where' instead
+    of the raw KeyError this script used to die with."""
+
+
+def validate_doc(doc, path):
+    """Returns the list of schema problems in a parsed BENCH document (empty
+    when it matches the subset of google-benchmark's --benchmark_format=json
+    output this checker consumes)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["%s: top level must be a JSON object, got %s"
+                % (path, type(doc).__name__)]
+    benches = doc.get("benchmarks")
+    if benches is None:
+        return ["%s: missing the \"benchmarks\" array — is this really a "
+                "google-benchmark JSON report?" % path]
+    if not isinstance(benches, list):
+        return ["%s: \"benchmarks\" must be an array, got %s"
+                % (path, type(benches).__name__)]
+    for i, bench in enumerate(benches):
+        where = "%s: benchmarks[%d]" % (path, i)
+        if not isinstance(bench, dict):
+            problems.append("%s: must be an object, got %s"
+                            % (where, type(bench).__name__))
+            continue
+        run_type = bench.get("run_type", "iteration")
+        is_median = (run_type == "aggregate"
+                     and bench.get("aggregate_name") == "median")
+        if run_type == "iteration" and "name" not in bench:
+            problems.append("%s: iteration row without a \"name\"" % where)
+        if is_median and "run_name" not in bench:
+            problems.append("%s: median aggregate without a \"run_name\""
+                            % where)
+        if run_type == "iteration" or is_median:
+            cpu = bench.get("cpu_time")
+            label = bench.get("name", bench.get("run_name", "<unnamed>"))
+            if cpu is None:
+                problems.append("%s (%s): missing \"cpu_time\""
+                                % (where, label))
+            elif not isinstance(cpu, (int, float)) or isinstance(cpu, bool):
+                problems.append("%s (%s): \"cpu_time\" must be a number, got "
+                                "%r" % (where, label, cpu))
+    return problems
+
+
+def load_doc(path):
+    """Parses and schema-checks one BENCH JSON file; raises BenchFormatError
+    with every problem rather than surfacing raw json/KeyError tracebacks."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise BenchFormatError("%s: cannot read: %s" % (path, e)) from e
+    except json.JSONDecodeError as e:
+        raise BenchFormatError(
+            "%s: not valid JSON (%s) — truncated bench run or a non-JSON "
+            "format flag?" % (path, e)) from e
+    problems = validate_doc(doc, path)
+    if problems:
+        raise BenchFormatError("\n".join(problems))
+    return doc
+
+
 def load_times(path):
     """Maps benchmark name -> cpu_time ns. When a run used
     --benchmark_repetitions, the median aggregate overrides the per-repetition
     samples (that's the noise-robust value CI should gate on)."""
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_doc(path)
     times = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
         if bench.get("run_type", "iteration") == "iteration":
             times.setdefault(bench["name"], float(bench["cpu_time"]))
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
         if (bench.get("run_type") == "aggregate"
                 and bench.get("aggregate_name") == "median"):
             times[bench["run_name"]] = float(bench["cpu_time"])
@@ -98,14 +164,34 @@ def is_tracked(name):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("new")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("new", nargs="?")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional cpu_time regression (default 0.30)")
+    parser.add_argument("--json-schema", metavar="BENCH_JSON",
+                        help="validate one BENCH JSON file's shape and exit "
+                             "(no baseline comparison)")
     args = parser.parse_args()
 
-    base = load_times(args.baseline)
-    new = load_times(args.new)
+    if args.json_schema:
+        try:
+            doc = load_doc(args.json_schema)
+        except BenchFormatError as e:
+            print(e, file=sys.stderr)
+            return 1
+        print("%s: valid BENCH JSON (%d benchmark rows)"
+              % (args.json_schema, len(doc["benchmarks"])))
+        return 0
+    if not args.baseline or not args.new:
+        parser.error("baseline and new JSON files are required "
+                     "(or use --json-schema FILE)")
+
+    try:
+        base = load_times(args.baseline)
+        new = load_times(args.new)
+    except BenchFormatError as e:
+        print(e, file=sys.stderr)
+        return 1
 
     shared = [n for n in base if n in new and base[n] > 0]
     if not shared:

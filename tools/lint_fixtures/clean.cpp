@@ -1,0 +1,28 @@
+// Self-test fixture: constructs that LOOK like violations but must not fire
+// — the lint's false-positive guard rail. tools/test_determinism_lint.py
+// asserts this file scans clean with zero directives.
+#include <ctime>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> lookup_only;
+std::map<std::string, int> ordered;
+
+int Clean(const std::string& key) {
+  // Point lookups and membership tests on unordered containers are fine;
+  // only ITERATION is order-sensitive.
+  auto it = lookup_only.find(key);
+  int sum = it == lookup_only.end() ? 0 : it->second;
+  // Ordered containers iterate deterministically.
+  for (const auto& kv : ordered) sum += kv.second;
+  // Inside comments and strings nothing fires: rand(), time(nullptr),
+  // steady_clock::now(), std::accumulate(...)
+  const char* doc = "call rand() or steady_clock::now() -- just a string";
+  // Identifiers merely CONTAINING the pattern names don't fire:
+  int localtime_cache = 0;   // `time(` must not match inside "localtime_..."
+  int operand = 1;           // `rand` must not match inside "operand"
+  struct tm when;            // localtime_r(&now, &when) would fire; this doesn't
+  (void)doc; (void)when;
+  return sum + localtime_cache + operand;
+}

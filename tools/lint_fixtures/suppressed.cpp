@@ -1,0 +1,36 @@
+// Self-test fixture: the same constructs as violations.cpp, each carrying a
+// det-lint allow directive. The lint must report NOTHING for this file —
+// both directive placements (same line, line above) are exercised, for
+// every rule. tools/test_determinism_lint.py depends on this file scanning
+// clean.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <numeric>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<std::string, int> counts;
+std::unordered_set<int> seen;
+
+int Suppressed() {
+  int sum = 0;
+  // det-lint: allow(unordered-iteration, order-insensitive sum, result folded commutatively)
+  for (const auto& kv : counts) sum += kv.second;
+  for (int v : seen) sum += v;  // det-lint: allow(unordered-iteration, order-insensitive sum)
+  // det-lint: allow(raw-rand, fixture exercising the line-above placement)
+  sum += rand();
+  std::random_device rd;  // det-lint: allow(raw-rand, entropy only seeds a log tag)
+  // det-lint: allow(wall-clock, log-only timestamp, never reaches an output)
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::system_clock::now();  // det-lint: allow(wall-clock, log-only timestamp)
+  time_t epoch = time(nullptr);  // det-lint: allow(wall-clock, log-only timestamp)
+  std::vector<float> xs(8, 1.0f);
+  // det-lint: allow(float-accumulate, fixed-order serial reduction, single thread)
+  float total = std::accumulate(xs.begin(), xs.end(), 0.0f);
+  (void)rd; (void)t0; (void)t1; (void)epoch;
+  return sum + static_cast<int>(total);
+}

@@ -1,0 +1,20 @@
+# Self-test fixture: every Python-rule construct suppressed by a directive.
+# Must scan clean; both directive placements are exercised.
+import datetime
+import os
+import random
+import time
+import uuid
+
+
+def suppressed():
+    # det-lint: allow(py-raw-rand, nonce for a throwaway temp-file name)
+    a = os.urandom(8)
+    b = uuid.uuid4()  # det-lint: allow(py-raw-rand, report id, not an output value)
+    c = random.random()  # det-lint: allow(py-raw-rand, jitter on a retry sleep)
+    # det-lint: allow(py-raw-rand, jitter on a retry sleep)
+    d = random.choice([1, 2, 3])
+    t0 = time.time()  # det-lint: allow(py-wall-clock, wall-time budget for the runner)
+    # det-lint: allow(py-wall-clock, report header timestamp, log-only)
+    t1 = datetime.datetime.now()
+    return a, b, c, d, t0, t1

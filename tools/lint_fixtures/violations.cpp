@@ -1,0 +1,31 @@
+// Self-test fixture for tools/determinism_lint.py: every C++ rule fires
+// exactly where tools/test_determinism_lint.py expects. NOT compiled; kept
+// out of the default scan (the fixtures directory is skipped unless listed
+// explicitly). Edit in lockstep with the test's expected line numbers.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <numeric>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<std::string, int> counts;
+std::unordered_set<int> seen;
+
+int Violations() {
+  int sum = 0;
+  for (const auto& kv : counts) sum += kv.second;            // unordered-iteration
+  for (int v : seen) sum += v;                               // unordered-iteration
+  sum += rand();                                             // raw-rand
+  std::random_device rd;                                     // raw-rand
+  auto t0 = std::chrono::steady_clock::now();                // wall-clock
+  auto t1 = std::chrono::system_clock::now();                // wall-clock
+  time_t epoch = time(nullptr);                              // wall-clock
+  std::vector<float> xs(8, 1.0f);
+  float total = std::accumulate(xs.begin(), xs.end(), 0.0f); // float-accumulate
+  (void)rd; (void)t0; (void)t1; (void)epoch;
+  return sum + static_cast<int>(total);
+}

@@ -1,0 +1,17 @@
+# Self-test fixture for the Python rules of tools/determinism_lint.py.
+# Never imported; the fixtures directory is excluded from the default scan.
+import datetime
+import os
+import random
+import time
+import uuid
+
+
+def violations():
+    a = os.urandom(8)                      # py-raw-rand
+    b = uuid.uuid4()                       # py-raw-rand
+    c = random.random()                    # py-raw-rand
+    d = random.choice([1, 2, 3])           # py-raw-rand
+    t0 = time.time()                       # py-wall-clock
+    t1 = datetime.datetime.now()           # py-wall-clock
+    return a, b, c, d, t0, t1

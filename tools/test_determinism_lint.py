@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Self-test for tools/determinism_lint.py against tools/lint_fixtures/.
+
+Covers, per ISSUE 10: every rule firing on a deliberately violating fixture,
+every allow-directive suppression (both placements), the false-positive
+guard fixture, the path allowlists against real tree files, and the
+default-scan contract (fixtures skipped, repo clean).
+
+Run: python3 tools/test_determinism_lint.py
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import determinism_lint as lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "lint_fixtures")
+
+
+def rules_found(path):
+    findings, errors = lint.scan_file(path)
+    if errors:
+        raise AssertionError("scan errors: %r" % errors)
+    return [rule for (_, _, rule, _) in findings]
+
+
+class ViolationFixtures(unittest.TestCase):
+    """Every rule must fire on its violating construct."""
+
+    def test_cpp_rules_all_fire(self):
+        got = rules_found(os.path.join(FIXTURES, "violations.cpp"))
+        self.assertEqual(got.count("unordered-iteration"), 2,
+                         "map and set range-for loops")
+        self.assertEqual(got.count("raw-rand"), 2, "rand() and random_device")
+        self.assertEqual(got.count("wall-clock"), 3,
+                         "steady_clock, system_clock, time(nullptr)")
+        self.assertEqual(got.count("float-accumulate"), 1)
+
+    def test_py_rules_all_fire(self):
+        got = rules_found(os.path.join(FIXTURES, "violations.py"))
+        self.assertEqual(got.count("py-raw-rand"), 4,
+                         "urandom, uuid4, random.random, random.choice")
+        self.assertEqual(got.count("py-wall-clock"), 2,
+                         "time.time and datetime.now")
+
+    def test_every_documented_rule_is_exercised(self):
+        exercised = set(rules_found(os.path.join(FIXTURES, "violations.cpp")) +
+                        rules_found(os.path.join(FIXTURES, "violations.py")))
+        self.assertEqual(exercised, set(lint.RULES),
+                         "a rule exists that no fixture exercises")
+
+
+class AllowDirectives(unittest.TestCase):
+    """Suppressed fixtures carry the same constructs plus directives and must
+    scan clean; the directives must be the reason why."""
+
+    def test_cpp_suppressions_hold(self):
+        self.assertEqual(rules_found(os.path.join(FIXTURES, "suppressed.cpp")),
+                         [])
+
+    def test_py_suppressions_hold(self):
+        self.assertEqual(rules_found(os.path.join(FIXTURES, "suppressed.py")),
+                         [])
+
+    def test_directive_rule_name_must_match(self):
+        # A directive for a DIFFERENT rule must not suppress this line's
+        # finding — allow() is per-rule, not per-line-blanket.
+        table = lint.allows(
+            ["x = now();  // det-lint: allow(raw-rand, wrong rule on purpose)"])
+        self.assertIn("raw-rand", table.get(1, {}))
+        self.assertNotIn("wall-clock", table.get(1, {}))
+
+    def test_directive_covers_own_and_next_line_only(self):
+        table = lint.allows(["// det-lint: allow(wall-clock, reason)", "", ""])
+        self.assertIn("wall-clock", table.get(1, {}))
+        self.assertIn("wall-clock", table.get(2, {}))
+        self.assertNotIn(3, table)
+
+
+class FalsePositiveGuards(unittest.TestCase):
+    def test_clean_fixture_is_clean(self):
+        self.assertEqual(rules_found(os.path.join(FIXTURES, "clean.cpp")), [])
+
+    def test_strings_and_comments_do_not_fire(self):
+        stripped = lint.strip_cpp(
+            ['int x = 0;  // rand() in a comment',
+             'const char* s = "time(nullptr) in a string";',
+             '/* std::accumulate( */ int y = 1;'])
+        joined = "\n".join(stripped)
+        self.assertNotIn("rand", joined)
+        self.assertNotIn("time(nullptr)", joined)
+        self.assertNotIn("accumulate", joined)
+
+    def test_py_strings_and_comments_do_not_fire(self):
+        stripped = lint.strip_py(
+            ['x = 1  # time.time() in a comment',
+             's = "os.urandom(8) in a string"',
+             '"""random.random()', 'time.time()"""', 'y = 2'])
+        joined = "\n".join(stripped)
+        self.assertNotIn("urandom", joined)
+        self.assertNotIn("time.time", joined)
+        self.assertNotIn("random.random", joined)
+
+    def test_nested_template_args_resolve_to_the_declared_name(self):
+        names = lint.unordered_names(
+            "std::unordered_map<std::string, std::vector<int>> deep_;")
+        self.assertEqual(names, {"deep_"})
+
+
+class PathAllowlists(unittest.TestCase):
+    """The real tree's sanctioned sites must pass WITHOUT directives."""
+
+    def test_serve_wall_clock_is_sanctioned(self):
+        # inference_engine.cpp reads the clock for deadlines/latency — the
+        # canonical SLO-telemetry path the wall-clock allowlist exists for.
+        path = os.path.join(lint.REPO_ROOT, "src/serve/inference_engine.cpp")
+        with open(path) as f:
+            self.assertIn("::now(", f.read(),
+                          "expected the engine to read the clock; if that "
+                          "moved, point this test at the new telemetry site")
+        self.assertNotIn("wall-clock", rules_found(path))
+
+    def test_rng_header_is_sanctioned_for_raw_rand(self):
+        path = os.path.join(lint.REPO_ROOT, "src/tensor/rng.h")
+        self.assertNotIn("raw-rand", rules_found(path))
+
+
+class DefaultScan(unittest.TestCase):
+    def test_fixtures_excluded_by_default_and_tree_clean(self):
+        # The injected violations live only under lint_fixtures/, so the
+        # default scan (which skips that directory) must exit 0...
+        self.assertEqual(lint.main([]), 0)
+
+    def test_explicit_fixture_path_fails_the_lint(self):
+        # ...while explicitly pointing the lint at the fixtures must exit 1:
+        # the ISSUE's "an injected violation fails it" acceptance check.
+        self.assertEqual(lint.main([FIXTURES]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
